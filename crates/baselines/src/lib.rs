@@ -1,0 +1,39 @@
+//! Baseline total-order algorithms compared in Figure 1 of Schiper & Pedone
+//! (PODC 2007).
+//!
+//! Each module reimplements the causal/message structure of one published
+//! algorithm — what determines both Figure 1 columns (latency degree and
+//! inter-group message complexity). Where a paper's full mechanism is
+//! orthogonal to those quantities we simplify and say so in the module docs
+//! (see also DESIGN.md's substitution table).
+//!
+//! | Module | Algorithm | Kind | Latency degree | Inter-group msgs |
+//! |---|---|---|---|---|
+//! | [`skeen`] | Skeen (Birman & Joseph [2]) | multicast, failure-free | 2 | O(k²d²) |
+//! | [`fritzke`] | Fritzke et al. [5] | genuine multicast | 2 | O(k²d²) |
+//! | [`ring`] | Delporte-Gallet & Fauconnier [4] | genuine multicast | k+1 | O(kd²) |
+//! | [`rodrigues`] | Rodrigues et al. [10] | genuine multicast | 4 | O(k²d²) |
+//! | [`optimistic`] | Sousa et al. [12] | broadcast, non-uniform | 2 | O(n) |
+//! | [`sequencer`] | Vicente & Rodrigues [13] | broadcast, uniform | 2 | O(n²) |
+//! | [`detmerge`] | Aguilera & Strom [1] | broadcast/multicast, streams | 1 | O(kd) |
+//!
+//! (k = destination groups, d = processes per group, n = kd.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detmerge;
+pub mod fritzke;
+pub mod optimistic;
+pub mod ring;
+pub mod rodrigues;
+pub mod sequencer;
+pub mod skeen;
+
+pub use detmerge::DeterministicMerge;
+pub use fritzke::fritzke_multicast;
+pub use optimistic::OptimisticBroadcast;
+pub use ring::RingMulticast;
+pub use rodrigues::RodriguesMulticast;
+pub use sequencer::SequencerBroadcast;
+pub use skeen::SkeenMulticast;

@@ -1,0 +1,320 @@
+//! Delporte-Gallet & Fauconnier, *Fault-tolerant genuine atomic multicast
+//! to multiple groups* (OPODIS 2000 — reference [4]).
+//!
+//! A genuine multicast that trades latency for bandwidth: the destination
+//! groups of `m` are visited **sequentially** in ascending group-id order.
+//! The first group consensus-orders `m` and hands it to the second, and so
+//! on; the last group fixes the final timestamp and sends it to every
+//! addressed process. "To avoid cycles in the message delivery order,
+//! before handling other messages, every group waits for a final
+//! acknowledgment from group g_k" (§6) — the wait-for edges then always
+//! point from lower to higher group ids, so the blocking can never
+//! deadlock, and a group's clock jumps past the final timestamp before it
+//! orders the next message, which yields the total order.
+//!
+//! Figure 1(a) accounting: latency degree k+1 (one hop to g₁, k−1
+//! hand-offs, one final fan-out) and O(kd²) inter-group messages — cheaper
+//! in messages than A1's O(k²d²) but k+1 ≫ 2 in latency; "deciding which
+//! algorithm is best … depends on factors such as the network topology"
+//! (§6).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_types::{AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol};
+
+/// A consensus value: "order this message next, with this output
+/// timestamp".
+///
+/// The proposer computes `ts = max(accumulated ts, proposer clock)` and the
+/// decision **is** the group's assignment — members must not recompute it
+/// from their local clocks, which drift apart in real time as `Final`
+/// messages arrive in different orders at different members. (A proposer is
+/// necessarily unblocked, i.e. it has processed the final timestamp of the
+/// previous message this group ordered, so its clock exceeds that final and
+/// the serialization invariant holds.)
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingStep {
+    /// The message to order.
+    pub msg: AppMessage,
+    /// The proposed output timestamp of this group for the message.
+    pub ts: u64,
+}
+
+/// Wire messages of the ring multicast.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RingMsg {
+    /// Hand-off of `msg` to the members of the next destination group.
+    Enter {
+        /// The message (with payload, so late members learn it).
+        msg: AppMessage,
+        /// Timestamp accumulated so far (0 from the caster).
+        ts: u64,
+    },
+    /// Intra-group consensus traffic.
+    Cons(ConsensusMsg<RingStep>),
+    /// The final timestamp, fanned out by the last group to every
+    /// addressed process.
+    Final {
+        /// The message.
+        msg: AppMessage,
+        /// Its final (agreed) timestamp.
+        ts: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct PendingDelivery {
+    msg: AppMessage,
+    /// Lower bound on the final timestamp; exact once `is_final`.
+    ts: u64,
+    is_final: bool,
+}
+
+/// Ring multicast — code of one process.
+#[derive(Debug)]
+pub struct RingMulticast {
+    me: ProcessId,
+    group: GroupId,
+    /// Group clock used to assign hand-off timestamps.
+    clock: u64,
+    /// Dense consensus instance counter of this group.
+    inst: u64,
+    prop_inst: u64,
+    /// Messages that entered this group but are not yet ordered by it.
+    queue: BTreeMap<MessageId, RingStep>,
+    /// Message currently ordered and awaiting its final ack ("the group
+    /// waits for a final acknowledgment before handling other messages").
+    blocked_on: Option<MessageId>,
+    /// Messages ordered by this group already.
+    ordered: BTreeSet<MessageId>,
+    /// Delivery buffer.
+    pending: BTreeMap<MessageId, PendingDelivery>,
+    delivered: BTreeSet<MessageId>,
+    cons: GroupConsensus<RingStep>,
+    buffered_decisions: BTreeMap<u64, RingStep>,
+}
+
+impl RingMulticast {
+    /// Creates the protocol instance for process `me` of `topo`.
+    pub fn new(me: ProcessId, topo: &wamcast_types::Topology) -> Self {
+        let group = topo.group_of(me);
+        RingMulticast {
+            me,
+            group,
+            clock: 0,
+            inst: 0,
+            prop_inst: 0,
+            queue: BTreeMap::new(),
+            blocked_on: None,
+            ordered: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            cons: GroupConsensus::new(me, topo.members(group).to_vec()),
+            buffered_decisions: BTreeMap::new(),
+        }
+    }
+
+    fn flush_cons(&mut self, sink: MsgSink<RingStep>, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        for (to, m) in sink.msgs {
+            out.send(to, RingMsg::Cons(m));
+        }
+        self.drain_decisions(ctx, out);
+    }
+
+    /// The destination group after ours on `m`'s ascending path, if any.
+    fn next_group(&self, m: &AppMessage) -> Option<GroupId> {
+        m.dest.iter().find(|&g| g > self.group)
+    }
+
+    fn is_last_group(&self, m: &AppMessage) -> bool {
+        self.next_group(m).is_none()
+    }
+
+    fn on_enter(&mut self, msg: AppMessage, ts: u64, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        let id = msg.id;
+        if self.ordered.contains(&id) || self.delivered.contains(&id) {
+            return;
+        }
+        // Delivery lower bound: the final timestamp will be ≥ both the
+        // accumulated ts and whatever this group will assign (≥ clock).
+        self.pending.entry(id).or_insert(PendingDelivery {
+            msg: msg.clone(),
+            ts: ts.max(self.clock),
+            is_final: false,
+        });
+        self.queue.entry(id).or_insert(RingStep { msg, ts });
+        self.try_order(ctx, out);
+    }
+
+    /// Propose the next queued message, one at a time, while not blocked.
+    fn try_order(&mut self, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        if self.blocked_on.is_some() || self.prop_inst > self.inst {
+            return;
+        }
+        let Some((_, step)) = self.queue.iter().next() else { return };
+        let mut step = step.clone();
+        // The proposal carries this group's timestamp assignment (see
+        // RingStep docs): accumulated ts maxed with the proposer's clock.
+        step.ts = step.ts.max(self.clock);
+        let mut sink = MsgSink::new();
+        self.cons.propose(self.inst, step, &mut sink);
+        self.prop_inst = self.inst + 1;
+        self.flush_cons(sink, ctx, out);
+    }
+
+    fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        for (k, v) in self.cons.take_decisions() {
+            self.buffered_decisions.insert(k, v);
+        }
+        while let Some(step) = self.buffered_decisions.remove(&self.inst) {
+            self.inst += 1;
+            self.process_decision(step, ctx, out);
+        }
+    }
+
+    fn process_decision(&mut self, step: RingStep, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        let id = step.msg.id;
+        self.queue.remove(&id);
+        if !self.ordered.insert(id) || self.delivered.contains(&id) {
+            self.try_order(ctx, out);
+            return;
+        }
+        // Adopt the *decided* assignment; local clocks may differ here.
+        let ts_out = step.ts;
+        self.clock = self.clock.max(ts_out + 1);
+        let entry = self.pending.entry(id).or_insert(PendingDelivery {
+            msg: step.msg.clone(),
+            ts: ts_out,
+            is_final: false,
+        });
+        entry.ts = entry.ts.max(ts_out);
+        if self.is_last_group(&step.msg) {
+            // We fix the final timestamp and fan it out to every addressed
+            // process (including our own group, for uniform state).
+            let everyone: Vec<ProcessId> = ctx
+                .topology()
+                .processes_in(step.msg.dest)
+                .filter(|&q| q != self.me)
+                .collect();
+            out.send_many(
+                everyone,
+                RingMsg::Final {
+                    msg: step.msg.clone(),
+                    ts: ts_out,
+                },
+            );
+            self.on_final(step.msg, ts_out, ctx, out);
+        } else {
+            let next = self.next_group(&step.msg).expect("not last");
+            let members: Vec<ProcessId> = ctx.topology().members(next).to_vec();
+            out.send_many(
+                members,
+                RingMsg::Enter {
+                    msg: step.msg,
+                    ts: ts_out,
+                },
+            );
+            // Block until the final ack comes back (cycle avoidance).
+            self.blocked_on = Some(id);
+        }
+        self.try_order(ctx, out);
+    }
+
+    fn on_final(&mut self, msg: AppMessage, ts: u64, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        let id = msg.id;
+        if self.delivered.contains(&id) {
+            return;
+        }
+        // Unblock and push the clock past the final timestamp, so the next
+        // message this group orders gets a strictly larger one.
+        if self.blocked_on == Some(id) {
+            self.blocked_on = None;
+        }
+        self.clock = self.clock.max(ts + 1);
+        let entry = self.pending.entry(id).or_insert(PendingDelivery {
+            msg,
+            ts,
+            is_final: true,
+        });
+        entry.ts = ts;
+        entry.is_final = true;
+        self.delivery_test(out);
+        self.try_order(ctx, out);
+    }
+
+    fn delivery_test(&mut self, out: &mut Outbox<RingMsg>) {
+        loop {
+            let Some((&min_id, min_p)) = self
+                .pending
+                .iter()
+                .min_by_key(|(id, p)| (p.ts, **id))
+            else {
+                return;
+            };
+            if !min_p.is_final {
+                return;
+            }
+            let p = self.pending.remove(&min_id).expect("present");
+            self.delivered.insert(min_id);
+            out.deliver(p.msg);
+        }
+    }
+}
+
+impl Protocol for RingMulticast {
+    type Msg = RingMsg;
+
+    /// A-MCast: hand `m` (with timestamp 0) to its first destination group.
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<RingMsg>) {
+        let first = msg.dest.min().expect("non-empty destination");
+        let members: Vec<ProcessId> = ctx
+            .topology()
+            .members(first)
+            .iter()
+            .copied()
+            .filter(|&q| q != self.me)
+            .collect();
+        out.send_many(
+            members,
+            RingMsg::Enter {
+                msg: msg.clone(),
+                ts: 0,
+            },
+        );
+        if first == self.group {
+            self.on_enter(msg, 0, ctx, out);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: RingMsg,
+        ctx: &Context,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        match msg {
+            RingMsg::Enter { msg, ts } => self.on_enter(msg, ts, ctx, out),
+            RingMsg::Cons(c) => {
+                let mut sink = MsgSink::new();
+                self.cons.on_message(from, c, &mut sink);
+                self.flush_cons(sink, ctx, out);
+            }
+            RingMsg::Final { msg, ts } => self.on_final(msg, ts, ctx, out),
+        }
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        if ctx.topology().group_of(crashed) == self.group {
+            let mut sink = MsgSink::new();
+            self.cons.on_suspect(crashed, &mut sink);
+            self.flush_cons(sink, ctx, out);
+        }
+    }
+}

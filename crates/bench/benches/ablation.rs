@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Stage skipping (A1 vs Fritzke [5])** — the paper: "our algorithm
+//!   allows messages to skip stages, therefore sparing the execution of
+//!   consensus instances … our algorithm sends fewer intra-group messages"
+//!   (§6). The two variants run the same workload; the timing difference
+//!   tracks the extra consensus instances, and the bench asserts the
+//!   message-count ordering.
+//! * **A2 round pacing** — eager rounds minimize per-round latency but a
+//!   batching window is what realizes Theorem 5.1's Δ=1 schedule; the
+//!   bench quantifies the simulation cost across pacing values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wamcast_bench::run_a1_once;
+use wamcast_core::RoundBroadcast;
+use wamcast_harness::measure_broadcast_steady;
+use wamcast_sim::NetConfig;
+
+fn ablation_skip(c: &mut Criterion) {
+    // Correctness of the ablation claim, checked once outside the timing
+    // loop: skipping saves messages.
+    let with_skip = run_a1_once(3, 3, true);
+    let without = run_a1_once(3, 3, false);
+    assert!(
+        with_skip < without,
+        "stage skipping must reduce total messages: {with_skip} vs {without}"
+    );
+
+    let mut g = c.benchmark_group("ablation_stage_skipping");
+    g.sample_size(10);
+    g.bench_function("a1_skip_on", |b| {
+        b.iter(|| black_box(run_a1_once(3, 3, true)))
+    });
+    g.bench_function("a1_skip_off_fritzke", |b| {
+        b.iter(|| black_box(run_a1_once(3, 3, false)))
+    });
+    g.finish();
+}
+
+fn ablation_pacing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a2_pacing");
+    g.sample_size(10);
+    for pacing_ms in [0u64, 10, 25, 50] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pacing_ms),
+            &pacing_ms,
+            |b, &pacing_ms| {
+                b.iter(|| {
+                    let r = measure_broadcast_steady(
+                        2,
+                        2,
+                        |p, t| {
+                            RoundBroadcast::with_pacing(p, t, Duration::from_millis(pacing_ms))
+                        },
+                        8,
+                        Duration::from_millis(50),
+                        true,
+                        NetConfig::default(),
+                    );
+                    black_box(r.probe_degree)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_skip, ablation_pacing);
+criterion_main!(benches);

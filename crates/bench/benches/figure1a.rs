@@ -1,0 +1,84 @@
+//! Bench: regenerate Figure 1(a) (atomic multicast comparison).
+//!
+//! Each benchmark runs the full single-multicast simulation of one Figure
+//! 1(a) row; the asserted latency degrees keep the benches honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wamcast_baselines::{fritzke_multicast, RingMulticast, RodriguesMulticast, SkeenMulticast};
+use wamcast_core::{GenuineMulticast, MulticastConfig};
+use wamcast_harness::measure_one_multicast;
+use wamcast_types::SimTime;
+
+fn horizon() -> SimTime {
+    SimTime::ZERO + Duration::from_secs(600)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1a_k3_d2");
+    g.sample_size(10);
+    g.bench_function("a1", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(
+                3,
+                2,
+                3,
+                |p, t| GenuineMulticast::new(p, t, MulticastConfig::default()),
+                true,
+                SimTime::ZERO,
+                horizon(),
+            );
+            assert_eq!(r.degree, 2);
+            black_box(r)
+        })
+    });
+    g.bench_function("fritzke", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(3, 2, 3, fritzke_multicast, true, SimTime::ZERO, horizon());
+            assert_eq!(r.degree, 2);
+            black_box(r)
+        })
+    });
+    g.bench_function("skeen", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(
+                3,
+                2,
+                3,
+                |p, _| SkeenMulticast::new(p),
+                true,
+                SimTime::ZERO,
+                horizon(),
+            );
+            assert_eq!(r.degree, 2);
+            black_box(r)
+        })
+    });
+    g.bench_function("ring", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(3, 2, 3, RingMulticast::new, true, SimTime::ZERO, horizon());
+            assert_eq!(r.degree, 4);
+            black_box(r)
+        })
+    });
+    g.bench_function("rodrigues", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(
+                3,
+                2,
+                3,
+                |p, _| RodriguesMulticast::new(p),
+                true,
+                SimTime::ZERO,
+                horizon(),
+            );
+            assert_eq!(r.degree, 4);
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench: regenerate Figure 1(b) (atomic broadcast comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wamcast_baselines::{OptimisticBroadcast, SequencerBroadcast};
+use wamcast_core::RoundBroadcast;
+use wamcast_harness::measure_broadcast_steady;
+use wamcast_sim::NetConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1b_k2_d2");
+    g.sample_size(10);
+    g.bench_function("a2_steady", |b| {
+        b.iter(|| {
+            let r = measure_broadcast_steady(
+                2,
+                2,
+                |p, t| RoundBroadcast::with_pacing(p, t, Duration::from_millis(25)),
+                8,
+                Duration::from_millis(50),
+                true,
+                NetConfig::default(),
+            );
+            assert_eq!(r.probe_degree, 1);
+            black_box(r)
+        })
+    });
+    g.bench_function("optimistic", |b| {
+        b.iter(|| {
+            let r = measure_broadcast_steady(
+                2,
+                2,
+                |p, _| OptimisticBroadcast::new(p, Duration::from_millis(5)),
+                8,
+                Duration::from_millis(50),
+                true,
+                NetConfig::default(),
+            );
+            assert_eq!(r.probe_degree, 2);
+            black_box(r)
+        })
+    });
+    g.bench_function("sequencer", |b| {
+        b.iter(|| {
+            let r = measure_broadcast_steady(
+                2,
+                2,
+                |p, _| SequencerBroadcast::new(p),
+                8,
+                Duration::from_millis(50),
+                true,
+                NetConfig::default(),
+            );
+            assert_eq!(r.probe_degree, 2);
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

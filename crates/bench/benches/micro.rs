@@ -1,0 +1,95 @@
+//! Microbenchmarks of the substrates: the deterministic RNG, group-set
+//! algebra, simulator event throughput and intra-group consensus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_sim::SplitMix64;
+use wamcast_types::{GroupId, GroupSet, ProcessId};
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("splitmix64_next", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+fn bench_groupset(c: &mut Criterion) {
+    c.bench_function("groupset_ops", |b| {
+        let a = GroupSet::first_n(32);
+        let s = GroupSet::from_iter([GroupId(3), GroupId(17), GroupId(31)]);
+        b.iter(|| {
+            let u = black_box(a) | black_box(s);
+            let i = a & s;
+            let d = a - s;
+            black_box((u.len(), i.len(), d.iter().count()))
+        })
+    });
+}
+
+fn bench_sim_event_loop(c: &mut Criterion) {
+    use wamcast_sim::{SimConfig, Simulation};
+    use wamcast_types::{
+        AppMessage, Context, Outbox, Payload, Protocol, SimTime, Topology,
+    };
+
+    /// Ping-pong protocol to stress the event queue.
+    struct PingPong {
+        remaining: u32,
+    }
+    impl Protocol for PingPong {
+        type Msg = u32;
+        fn on_cast(&mut self, _m: AppMessage, ctx: &Context, out: &mut Outbox<u32>) {
+            let peer = ProcessId(1 - ctx.id().0);
+            out.send(peer, self.remaining);
+        }
+        fn on_message(&mut self, from: ProcessId, m: u32, _c: &Context, out: &mut Outbox<u32>) {
+            if m > 0 {
+                out.send(from, m - 1);
+            }
+        }
+    }
+
+    c.bench_function("sim_10k_events", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default().with_send_log(false);
+            let mut sim = Simulation::new(Topology::symmetric(2, 1), cfg, |_, _| PingPong {
+                remaining: 10_000,
+            });
+            let dest = sim.topology().all_groups();
+            sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+            sim.run_to_quiescence();
+            black_box(sim.metrics().steps)
+        })
+    });
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    c.bench_function("paxos_fastpath_decide_d3", |b| {
+        let members: Vec<_> = (0..3).map(ProcessId).collect();
+        b.iter(|| {
+            let mut engines: Vec<GroupConsensus<u64>> = members
+                .iter()
+                .map(|&m| GroupConsensus::new(m, members.clone()))
+                .collect();
+            let mut queue: Vec<(ProcessId, ProcessId, ConsensusMsg<u64>)> = Vec::new();
+            let mut sink = MsgSink::new();
+            engines[0].propose(1, 7, &mut sink);
+            for (to, m) in sink.msgs.drain(..) {
+                queue.push((ProcessId(0), to, m));
+            }
+            while let Some((from, to, m)) = queue.pop() {
+                let mut out = MsgSink::new();
+                engines[to.index()].on_message(from, m, &mut out);
+                for (t, mm) in out.msgs {
+                    queue.push((to, t, mm));
+                }
+            }
+            assert!(engines.iter().all(|e| e.is_decided(1)));
+            black_box(engines[2].decision(1).copied())
+        })
+    });
+}
+
+criterion_group!(benches, bench_rng, bench_groupset, bench_sim_event_loop, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench: the Theorem 4.1 / 5.1 / 5.2 witness runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_harness::{measure_broadcast_steady, measure_one_multicast};
+use wamcast_sim::NetConfig;
+use wamcast_types::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorems");
+    g.sample_size(10);
+    g.bench_function("thm_4_1_a1_degree2", |b| {
+        b.iter(|| {
+            let r = measure_one_multicast(
+                2,
+                3,
+                2,
+                |p, t| GenuineMulticast::new(p, t, MulticastConfig::default()),
+                true,
+                SimTime::ZERO,
+                SimTime::ZERO + Duration::from_secs(600),
+            );
+            assert_eq!(r.degree, 2);
+            black_box(r)
+        })
+    });
+    g.bench_function("thm_5_1_a2_degree1", |b| {
+        b.iter(|| {
+            let r = measure_broadcast_steady(
+                2,
+                3,
+                |p, t| RoundBroadcast::with_pacing(p, t, Duration::from_millis(25)),
+                8,
+                Duration::from_millis(50),
+                true,
+                NetConfig::default(),
+            );
+            assert_eq!(r.probe_degree, 1);
+            black_box(r)
+        })
+    });
+    g.bench_function("thm_5_2_a2_degree2_after_quiescence", |b| {
+        b.iter(|| {
+            let r = measure_broadcast_steady(
+                2,
+                3,
+                RoundBroadcast::new,
+                0,
+                Duration::from_millis(50),
+                true,
+                NetConfig::default(),
+            );
+            assert_eq!(r.probe_degree, 2);
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared helpers for the `wamcast` Criterion benches (see `benches/`).
+//!
+//! Each bench regenerates one of the paper's evaluation artifacts and
+//! measures how long the simulation takes, so regressions in either the
+//! protocols or the simulator surface as timing changes:
+//!
+//! * `figure1a` — one simulated run per Figure 1(a) row (multicast);
+//! * `figure1b` — one simulated run per Figure 1(b) row (broadcast);
+//! * `theorems` — the Theorem 4.1 / 5.1 / 5.2 witness runs;
+//! * `micro` — substrate microbenchmarks (RNG, group sets, event loop,
+//!   intra-group consensus);
+//! * `ablation` — the design choices DESIGN.md calls out: A1 stage
+//!   skipping vs. Fritzke [5], and A2 round pacing.
+
+#![forbid(unsafe_code)]
+
+use wamcast_core::{GenuineMulticast, MulticastConfig};
+use wamcast_sim::{SimConfig, Simulation};
+use wamcast_types::{GroupSet, Payload, ProcessId, SimTime, Topology};
+
+/// Runs one A1 multicast to `k` groups of `d` and returns the inter-group
+/// message count (used by benches to prevent dead-code elimination).
+pub fn run_a1_once(k: usize, d: usize, skip_stages: bool) -> u64 {
+    let cfg = SimConfig::default().with_send_log(false);
+    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, |p, t| {
+        GenuineMulticast::new(p, t, MulticastConfig { skip_stages, ..MulticastConfig::default() })
+    });
+    let dest = GroupSet::first_n(k);
+    let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+    let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
+    assert!(ok);
+    sim.run_to_quiescence();
+    sim.metrics().inter_sends + sim.metrics().intra_sends
+}

@@ -1,0 +1,825 @@
+//! Multi-instance single-decree Paxos inside one group.
+//!
+//! Every member of a group runs one [`GroupConsensus`] engine. The engine is
+//! sans-io: it never touches the network itself but pushes `(destination,
+//! message)` pairs into a [`MsgSink`] that the embedding protocol wraps into
+//! its own wire type. All destinations are members of the same group, so
+//! consensus traffic is intra-group only — exactly why the paper's
+//! algorithms pay no latency degree for it.
+//!
+//! # Protocol
+//!
+//! * **Fast path.** Ballot 0 is owned by the lowest-id member. While it is
+//!   not suspected, a proposal reaches decision in two intra-group delays:
+//!   `Accept(b₀, v)` to all members, each replying `Accepted(b₀, v)` to all
+//!   members; a majority of `Accepted` for one ballot decides.
+//! * **Forwarding.** Non-coordinator proposers forward their value to the
+//!   current coordinator; uniform integrity still holds because a forwarded
+//!   value was proposed by some process.
+//! * **Recovery.** When the coordinator is suspected (via
+//!   [`on_suspect`](GroupConsensus::on_suspect), fed by the simulator's ◇P
+//!   oracle or by [`HeartbeatFd`](crate::HeartbeatFd)), the next
+//!   non-suspected member runs classic prepare/promise with a higher ballot,
+//!   adopting the highest accepted value among a majority of promises.
+//! * **Catch-up.** A process receiving traffic for an instance it already
+//!   decided replies `Decide`.
+//!
+//! Uniform agreement holds by the standard Paxos invariant (a chosen value
+//! is the only value acceptable at higher ballots); termination holds with a
+//! majority of correct members and an eventually accurate suspicion source.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use wamcast_types::ProcessId;
+
+/// Values decidable by consensus.
+///
+/// Blanket-implemented; protocols decide on sets of in-flight application
+/// messages (A1's `msgSet`, A2's round bundles).
+pub trait Value: Clone + fmt::Debug + PartialEq + Send + 'static {}
+impl<T: Clone + fmt::Debug + PartialEq + Send + 'static> Value for T {}
+
+/// A Paxos ballot, totally ordered by `(round, owner)`.
+///
+/// Round 0 is reserved for the group's lowest-id member, which lets it skip
+/// the prepare phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ballot {
+    /// Monotone round counter.
+    pub round: u64,
+    /// The member that owns (may propose at) this ballot.
+    pub owner: ProcessId,
+}
+
+impl Ballot {
+    /// The fast-path ballot of `owner` (round 0).
+    pub fn zero(owner: ProcessId) -> Self {
+        Ballot { round: 0, owner }
+    }
+}
+
+/// Wire messages of the engine. `V` is the consensus value type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ConsensusMsg<V> {
+    /// A non-coordinator proposer hands its value to the coordinator.
+    Forward {
+        /// Instance number.
+        instance: u64,
+        /// Proposed value.
+        value: V,
+    },
+    /// Phase-1a: a recovery coordinator solicits promises.
+    Prepare {
+        /// Instance number.
+        instance: u64,
+        /// The coordinator's new ballot.
+        ballot: Ballot,
+    },
+    /// Phase-1b: an acceptor promises and reports its accepted value, if any.
+    Promise {
+        /// Instance number.
+        instance: u64,
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// Highest (ballot, value) this acceptor accepted before promising.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase-2a: the coordinator asks acceptors to accept `value`.
+    Accept {
+        /// Instance number.
+        instance: u64,
+        /// The coordinator's ballot.
+        ballot: Ballot,
+        /// The value to accept.
+        value: V,
+    },
+    /// Phase-2b: an acceptor announces its acceptance **to all members**, so
+    /// every member learns decisions directly (two-delay fast path).
+    Accepted {
+        /// Instance number.
+        instance: u64,
+        /// The accepted ballot.
+        ballot: Ballot,
+        /// The accepted value (carried so learners need no extra round).
+        value: V,
+    },
+    /// Catch-up: the sender has decided `value` in `instance`.
+    Decide {
+        /// Instance number.
+        instance: u64,
+        /// The decided value.
+        value: V,
+    },
+}
+
+/// Sink of outgoing consensus messages, filled by engine calls and drained
+/// by the embedding protocol into its own [`Outbox`](wamcast_types::Outbox).
+#[derive(Debug)]
+pub struct MsgSink<V> {
+    /// `(destination, message)` pairs in emission order. Destinations may
+    /// include the engine's own process (self-delivery goes through the
+    /// host loopback like any other message).
+    pub msgs: Vec<(ProcessId, ConsensusMsg<V>)>,
+}
+
+impl<V> Default for MsgSink<V> {
+    fn default() -> Self {
+        MsgSink { msgs: Vec::new() }
+    }
+}
+
+impl<V> MsgSink<V> {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, to: ProcessId, msg: ConsensusMsg<V>) {
+        self.msgs.push((to, msg));
+    }
+}
+
+impl<V: Clone> MsgSink<V> {
+    fn push_all(&mut self, tos: &[ProcessId], msg: ConsensusMsg<V>) {
+        for &to in tos {
+            self.msgs.push((to, msg.clone()));
+        }
+    }
+}
+
+/// Per-instance coordinator-side prepare state.
+#[derive(Clone, Debug)]
+struct PrepareState<V> {
+    ballot: Ballot,
+    promises: BTreeMap<ProcessId, Option<(Ballot, V)>>,
+    sent_accept: bool,
+}
+
+/// Per-instance state.
+#[derive(Clone, Debug)]
+struct Instance<V> {
+    promised: Ballot,
+    accepted: Option<(Ballot, V)>,
+    decided: bool,
+    /// This member's own proposal (kept for forward/recovery).
+    my_value: Option<V>,
+    /// Values forwarded to us while we are (or become) coordinator.
+    forwarded: Option<V>,
+    /// Fast-path guard: ballot-0 Accept already sent.
+    sent_accept0: bool,
+    prepare: Option<PrepareState<V>>,
+    accepted_votes: BTreeMap<Ballot, BTreeSet<ProcessId>>,
+}
+
+impl<V> Instance<V> {
+    fn new(b0_owner: ProcessId) -> Self {
+        Instance {
+            promised: Ballot::zero(b0_owner),
+            accepted: None,
+            decided: false,
+            my_value: None,
+            forwarded: None,
+            sent_accept0: false,
+            prepare: None,
+            accepted_votes: BTreeMap::new(),
+        }
+    }
+
+    fn candidate(&self) -> Option<&V> {
+        self.my_value.as_ref().or(self.forwarded.as_ref())
+    }
+}
+
+/// A multi-instance uniform consensus engine for one group member.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_consensus::{GroupConsensus, MsgSink};
+/// use wamcast_types::ProcessId;
+///
+/// // A single-member group decides instantly via its own messages.
+/// let members = vec![ProcessId(0)];
+/// let mut engine: GroupConsensus<u32> = GroupConsensus::new(ProcessId(0), members);
+/// let mut sink = MsgSink::new();
+/// engine.propose(1, 42, &mut sink);
+/// // Loop self-addressed messages back in (the host normally does this).
+/// while !sink.msgs.is_empty() {
+///     let batch = std::mem::take(&mut sink.msgs);
+///     for (to, msg) in batch {
+///         assert_eq!(to, ProcessId(0));
+///         engine.on_message(ProcessId(0), msg, &mut sink);
+///     }
+/// }
+/// assert_eq!(engine.take_decisions(), vec![(1, 42)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GroupConsensus<V> {
+    me: ProcessId,
+    /// Group members, ascending. `members[0]` owns ballot 0.
+    members: Vec<ProcessId>,
+    majority: usize,
+    suspected: BTreeSet<ProcessId>,
+    instances: BTreeMap<u64, Instance<V>>,
+    decisions: BTreeMap<u64, V>,
+    undrained: Vec<(u64, V)>,
+}
+
+impl<V: Value> GroupConsensus<V> {
+    /// Creates the engine for member `me` of the given (sorted or unsorted)
+    /// member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a member or the member list is empty.
+    pub fn new(me: ProcessId, mut members: Vec<ProcessId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "group must be non-empty");
+        assert!(members.contains(&me), "engine owner must be a group member");
+        let majority = members.len() / 2 + 1;
+        GroupConsensus {
+            me,
+            members,
+            majority,
+            suspected: BTreeSet::new(),
+            instances: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            undrained: Vec::new(),
+        }
+    }
+
+    /// The current coordinator: lowest-id non-suspected member.
+    pub fn coordinator(&self) -> ProcessId {
+        self.members
+            .iter()
+            .copied()
+            .find(|p| !self.suspected.contains(p))
+            .unwrap_or(self.members[0])
+    }
+
+    /// Whether `instance` has decided locally.
+    pub fn is_decided(&self, instance: u64) -> bool {
+        self.decisions.contains_key(&instance)
+    }
+
+    /// The decided value of `instance`, if known locally.
+    pub fn decision(&self, instance: u64) -> Option<&V> {
+        self.decisions.get(&instance)
+    }
+
+    /// Drains decisions reached since the previous call, in instance order.
+    /// Each decision is emitted exactly once.
+    pub fn take_decisions(&mut self) -> Vec<(u64, V)> {
+        let mut out = std::mem::take(&mut self.undrained);
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Proposes `value` for `instance` (the paper's `Propose(k, msgSet)`).
+    /// No-op if the instance already decided locally.
+    pub fn propose(&mut self, instance: u64, value: V, sink: &mut MsgSink<V>) {
+        if self.decisions.contains_key(&instance) {
+            return;
+        }
+        let inst = self.instance_mut(instance);
+        if inst.my_value.is_none() {
+            inst.my_value = Some(value);
+        }
+        let coord = self.coordinator();
+        if coord == self.me {
+            self.drive_as_coordinator(instance, sink);
+        } else {
+            let v = self.instances[&instance].my_value.clone().expect("just set");
+            sink.push(coord, ConsensusMsg::Forward { instance, value: v });
+        }
+    }
+
+    /// Feeds a suspicion (from the host's failure-detector oracle or a
+    /// [`HeartbeatFd`](crate::HeartbeatFd)). May trigger coordinator
+    /// takeover and re-forwarding of pending proposals.
+    pub fn on_suspect(&mut self, suspect: ProcessId, sink: &mut MsgSink<V>) {
+        if !self.members.contains(&suspect) || !self.suspected.insert(suspect) {
+            return;
+        }
+        let coord = self.coordinator();
+        let pending: Vec<u64> = self
+            .instances
+            .iter()
+            .filter(|(k, i)| !i.decided && !self.decisions.contains_key(k))
+            .filter(|(_, i)| i.candidate().is_some() || i.accepted.is_some())
+            .map(|(&k, _)| k)
+            .collect();
+        for k in pending {
+            if coord == self.me {
+                self.drive_as_coordinator(k, sink);
+            } else if let Some(v) = self.instances[&k].my_value.clone() {
+                sink.push(coord, ConsensusMsg::Forward { instance: k, value: v });
+            }
+        }
+    }
+
+    /// Handles an incoming consensus message.
+    pub fn on_message(&mut self, from: ProcessId, msg: ConsensusMsg<V>, sink: &mut MsgSink<V>) {
+        match msg {
+            ConsensusMsg::Forward { instance, value } => {
+                if let Some(v) = self.decisions.get(&instance) {
+                    let v = v.clone();
+                    sink.push(from, ConsensusMsg::Decide { instance, value: v });
+                    return;
+                }
+                self.instance_mut(instance).forwarded.get_or_insert(value);
+                if self.coordinator() == self.me {
+                    self.drive_as_coordinator(instance, sink);
+                } else if self.coordinator() != from {
+                    // We are not coordinator; route onwards (suspicion views
+                    // may differ transiently).
+                    let coord = self.coordinator();
+                    if let Some(v) = self.instances[&instance].forwarded.clone() {
+                        sink.push(coord, ConsensusMsg::Forward { instance, value: v });
+                    }
+                }
+            }
+            ConsensusMsg::Prepare { instance, ballot } => {
+                if let Some(v) = self.decisions.get(&instance) {
+                    let v = v.clone();
+                    sink.push(from, ConsensusMsg::Decide { instance, value: v });
+                    return;
+                }
+                let inst = self.instance_mut(instance);
+                if ballot > inst.promised {
+                    inst.promised = ballot;
+                    let accepted = inst.accepted.clone();
+                    sink.push(
+                        from,
+                        ConsensusMsg::Promise {
+                            instance,
+                            ballot,
+                            accepted,
+                        },
+                    );
+                }
+            }
+            ConsensusMsg::Promise {
+                instance,
+                ballot,
+                accepted,
+            } => {
+                if self.decisions.contains_key(&instance) {
+                    return;
+                }
+                let majority = self.majority;
+                let members = self.members.clone();
+                let inst = self.instance_mut(instance);
+                let Some(ps) = inst.prepare.as_mut() else { return };
+                if ps.ballot != ballot || ps.sent_accept {
+                    return;
+                }
+                ps.promises.insert(from, accepted);
+                if ps.promises.len() >= majority {
+                    // Adopt the highest accepted value among the promises
+                    // (Paxos safety), else fall back to our own candidate or
+                    // locally accepted value.
+                    let adopted = ps
+                        .promises
+                        .values()
+                        .flatten()
+                        .max_by_key(|(b, _)| *b)
+                        .map(|(_, v)| v.clone());
+                    let ballot = ps.ballot;
+                    let local = inst
+                        .candidate()
+                        .cloned()
+                        .or_else(|| inst.accepted.as_ref().map(|(_, v)| v.clone()));
+                    if let Some(value) = adopted.or(local) {
+                        inst.prepare.as_mut().expect("checked above").sent_accept = true;
+                        sink.push_all(
+                            &members,
+                            ConsensusMsg::Accept {
+                                instance,
+                                ballot,
+                                value,
+                            },
+                        );
+                    }
+                    // If we still have no value, the Accept goes out when a
+                    // proposal or Forward arrives (see drive_as_coordinator).
+                }
+            }
+            ConsensusMsg::Accept {
+                instance,
+                ballot,
+                value,
+            } => {
+                if let Some(v) = self.decisions.get(&instance) {
+                    let v = v.clone();
+                    sink.push(from, ConsensusMsg::Decide { instance, value: v });
+                    return;
+                }
+                let inst = self.instance_mut(instance);
+                if ballot >= inst.promised {
+                    inst.promised = ballot;
+                    inst.accepted = Some((ballot, value.clone()));
+                    sink.push_all(
+                        &self.members,
+                        ConsensusMsg::Accepted {
+                            instance,
+                            ballot,
+                            value,
+                        },
+                    );
+                }
+            }
+            ConsensusMsg::Accepted {
+                instance,
+                ballot,
+                value,
+            } => {
+                if self.decisions.contains_key(&instance) {
+                    return;
+                }
+                let majority = self.majority;
+                let inst = self.instance_mut(instance);
+                let votes = inst.accepted_votes.entry(ballot).or_default();
+                votes.insert(from);
+                if votes.len() >= majority {
+                    self.learn(instance, value);
+                }
+            }
+            ConsensusMsg::Decide { instance, value } => {
+                self.learn(instance, value);
+            }
+        }
+    }
+
+    /// Acts as coordinator for `instance`: fast path if we own ballot 0 and
+    /// it is still viable, otherwise run/refresh a recovery ballot.
+    fn drive_as_coordinator(&mut self, instance: u64, sink: &mut MsgSink<V>) {
+        let me = self.me;
+        let members = self.members.clone();
+        let majority = self.majority;
+        let is_b0_owner = members[0] == me;
+        let inst = self.instance_mut(instance);
+        // A takeover coordinator may hold no proposal of its own but an
+        // accepted (possibly chosen) value; re-driving with that value is
+        // safe and required for liveness.
+        let fallback = inst.accepted.as_ref().map(|(_, v)| v.clone());
+        let Some(value) = inst.candidate().cloned().or(fallback) else {
+            return;
+        };
+        if is_b0_owner && inst.promised == Ballot::zero(me) {
+            if !inst.sent_accept0 {
+                inst.sent_accept0 = true;
+                sink.push_all(
+                    &members,
+                    ConsensusMsg::Accept {
+                        instance,
+                        ballot: Ballot::zero(me),
+                        value,
+                    },
+                );
+            }
+            // Fast path already in progress (e.g. a Forward arrived after
+            // our own Accept, or vice versa): the circulating ballot-0 value
+            // will decide; starting a recovery ballot here would only add
+            // traffic.
+            return;
+        }
+        // Recovery: if a prepare round is already running and majority
+        // promises arrived while we lacked a value, fire the Accept now.
+        if let Some(ps) = inst.prepare.as_mut() {
+            if !ps.sent_accept && ps.promises.len() >= majority {
+                let adopted = ps
+                    .promises
+                    .values()
+                    .flatten()
+                    .max_by_key(|(b, _)| *b)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(value);
+                ps.sent_accept = true;
+                let b = ps.ballot;
+                sink.push_all(
+                    &members,
+                    ConsensusMsg::Accept {
+                        instance,
+                        ballot: b,
+                        value: adopted,
+                    },
+                );
+                return;
+            }
+            if !ps.sent_accept {
+                return; // prepare in flight
+            }
+        }
+        if inst.prepare.as_ref().is_some_and(|ps| ps.sent_accept) {
+            return; // accept already out for our recovery ballot
+        }
+        let ballot = Ballot {
+            round: inst.promised.round + 1,
+            owner: me,
+        };
+        inst.prepare = Some(PrepareState {
+            ballot,
+            promises: BTreeMap::new(),
+            sent_accept: false,
+        });
+        sink.push_all(&members, ConsensusMsg::Prepare { instance, ballot });
+    }
+
+    fn learn(&mut self, instance: u64, value: V) {
+        if self.decisions.contains_key(&instance) {
+            return;
+        }
+        if let Some(inst) = self.instances.get_mut(&instance) {
+            inst.decided = true;
+        }
+        self.decisions.insert(instance, value.clone());
+        self.undrained.push((instance, value));
+    }
+
+    fn instance_mut(&mut self, k: u64) -> &mut Instance<V> {
+        let b0 = self.members[0];
+        self.instances.entry(k).or_insert_with(|| Instance::new(b0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy in-memory "network" delivering consensus messages among a set
+    /// of engines, with controllable ordering.
+    struct Net {
+        engines: Vec<GroupConsensus<u32>>,
+        queue: std::collections::VecDeque<(ProcessId, ProcessId, ConsensusMsg<u32>)>,
+    }
+
+    impl Net {
+        fn new(n: u32) -> Self {
+            let members: Vec<_> = (0..n).map(ProcessId).collect();
+            Net {
+                engines: members
+                    .iter()
+                    .map(|&m| GroupConsensus::new(m, members.clone()))
+                    .collect(),
+                queue: Default::default(),
+            }
+        }
+
+        fn absorb(&mut self, from: ProcessId, sink: MsgSink<u32>) {
+            for (to, m) in sink.msgs {
+                self.queue.push_back((from, to, m));
+            }
+        }
+
+        fn propose(&mut self, p: ProcessId, instance: u64, v: u32) {
+            let mut sink = MsgSink::new();
+            self.engines[p.index()].propose(instance, v, &mut sink);
+            self.absorb(p, sink);
+        }
+
+        fn suspect_everywhere(&mut self, dead: ProcessId) {
+            for i in 0..self.engines.len() {
+                if i == dead.index() {
+                    continue;
+                }
+                let mut sink = MsgSink::new();
+                self.engines[i].on_suspect(dead, &mut sink);
+                self.absorb(ProcessId(i as u32), sink);
+            }
+        }
+
+        /// Delivers all queued messages; messages to `drop_to` are discarded
+        /// (simulating a crashed receiver).
+        fn run(&mut self, drop_to: &[ProcessId]) {
+            let mut guard = 0;
+            while let Some((from, to, m)) = self.queue.pop_front() {
+                guard += 1;
+                assert!(guard < 100_000, "consensus did not terminate");
+                if drop_to.contains(&to) || drop_to.contains(&from) {
+                    continue;
+                }
+                let mut sink = MsgSink::new();
+                self.engines[to.index()].on_message(from, m, &mut sink);
+                self.absorb(to, sink);
+            }
+        }
+
+        fn decision(&self, p: ProcessId, k: u64) -> Option<u32> {
+            self.engines[p.index()].decision(k).copied()
+        }
+    }
+
+    #[test]
+    fn fast_path_decides_everyones_instance() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(0), 1, 10);
+        net.propose(ProcessId(1), 1, 11);
+        net.propose(ProcessId(2), 1, 12);
+        net.run(&[]);
+        let d0 = net.decision(ProcessId(0), 1).unwrap();
+        assert_eq!(net.decision(ProcessId(1), 1), Some(d0));
+        assert_eq!(net.decision(ProcessId(2), 1), Some(d0));
+        // Uniform integrity: the decision was proposed by someone.
+        assert!([10, 11, 12].contains(&d0));
+    }
+
+    #[test]
+    fn forwarded_value_decides_when_only_follower_proposes() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(2), 7, 99);
+        net.run(&[]);
+        for p in 0..3 {
+            assert_eq!(net.decision(ProcessId(p), 7), Some(99));
+        }
+    }
+
+    #[test]
+    fn single_member_group() {
+        let mut net = Net::new(1);
+        net.propose(ProcessId(0), 3, 5);
+        net.run(&[]);
+        assert_eq!(net.decision(ProcessId(0), 3), Some(5));
+    }
+
+    #[test]
+    fn sparse_instance_numbers() {
+        let mut net = Net::new(3);
+        for &k in &[1u64, 5, 1000, 17] {
+            net.propose(ProcessId(0), k, k as u32);
+        }
+        net.run(&[]);
+        for &k in &[1u64, 5, 1000, 17] {
+            assert_eq!(net.decision(ProcessId(1), k), Some(k as u32));
+        }
+        // take_decisions drains in instance order, exactly once.
+        let ks: Vec<u64> = net.engines[1]
+            .take_decisions()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(ks, vec![1, 5, 17, 1000]);
+        assert!(net.engines[1].take_decisions().is_empty());
+    }
+
+    #[test]
+    fn coordinator_crash_recovery() {
+        let mut net = Net::new(3);
+        // p0 (coordinator) is dead from the start: its messages are dropped.
+        net.propose(ProcessId(1), 4, 41);
+        net.propose(ProcessId(2), 4, 42);
+        net.run(&[ProcessId(0)]); // forwards to p0 vanish
+        assert_eq!(net.decision(ProcessId(1), 4), None, "blocked without FD");
+        // Failure detector kicks in.
+        net.suspect_everywhere(ProcessId(0));
+        net.run(&[ProcessId(0)]);
+        let d = net.decision(ProcessId(1), 4).unwrap();
+        assert_eq!(net.decision(ProcessId(2), 4), Some(d));
+        assert!([41, 42].contains(&d));
+    }
+
+    #[test]
+    fn recovery_preserves_possibly_chosen_value() {
+        // p0's Accept(b0, 10) reaches only p1 before p0 crashes; p1 accepted
+        // (b0, 10). Recovery led by p1 must re-propose 10, never p2's 22.
+        let members: Vec<_> = (0..3).map(ProcessId).collect();
+        let mut engines: Vec<GroupConsensus<u32>> = members
+            .iter()
+            .map(|&m| GroupConsensus::new(m, members.clone()))
+            .collect();
+
+        // Step 1: p0 proposes 10; deliver its Accept only to p1.
+        let mut s0 = MsgSink::new();
+        engines[0].propose(9, 10, &mut s0);
+        let mut queue: std::collections::VecDeque<(ProcessId, ProcessId, ConsensusMsg<u32>)> =
+            Default::default();
+        for (to, m) in s0.msgs {
+            if to == ProcessId(1) {
+                queue.push_back((ProcessId(0), to, m));
+            }
+        }
+        // p1 processes the Accept; its Accepted broadcast reaches only p1
+        // itself (p0 crashed; p2's copy is "lost" with p0's crash window for
+        // the sake of the scenario -- links to p2 drop this one message).
+        let mut first_accepted = true;
+        let mut guard = 0;
+        while let Some((from, to, m)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000, "did not terminate");
+            if to == ProcessId(0) {
+                continue; // p0 is crashed
+            }
+            // Drop p1's initial Accepted copies addressed to p2, simulating
+            // loss concurrent with p0's crash.
+            if first_accepted && to == ProcessId(2) && matches!(m, ConsensusMsg::Accepted { .. })
+            {
+                continue;
+            }
+            let mut out = MsgSink::new();
+            engines[to.index()].on_message(from, m, &mut out);
+            for (t, mm) in out.msgs {
+                queue.push_back((to, t, mm));
+            }
+        }
+        first_accepted = false;
+        let _ = first_accepted;
+        assert!(engines[1].decision(9).is_none(), "no majority yet");
+
+        // Step 2: p0 is suspected everywhere; p2 proposes 22.
+        let mut s = MsgSink::new();
+        engines[1].on_suspect(ProcessId(0), &mut s);
+        for (to, m) in std::mem::take(&mut s.msgs) {
+            queue.push_back((ProcessId(1), to, m));
+        }
+        engines[2].on_suspect(ProcessId(0), &mut s);
+        for (to, m) in std::mem::take(&mut s.msgs) {
+            queue.push_back((ProcessId(2), to, m));
+        }
+        engines[2].propose(9, 22, &mut s);
+        for (to, m) in std::mem::take(&mut s.msgs) {
+            queue.push_back((ProcessId(2), to, m));
+        }
+        // Step 3: run to completion among p1, p2.
+        let mut guard = 0;
+        while let Some((from, to, m)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000, "did not terminate");
+            if to == ProcessId(0) {
+                continue;
+            }
+            let mut out = MsgSink::new();
+            engines[to.index()].on_message(from, m, &mut out);
+            for (t, mm) in out.msgs {
+                queue.push_back((to, t, mm));
+            }
+        }
+        assert_eq!(engines[1].decision(9), Some(&10), "chosen value must survive");
+        assert_eq!(engines[2].decision(9), Some(&10));
+    }
+
+    #[test]
+    fn late_proposer_catches_up_via_decide_reply() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(0), 2, 7);
+        net.run(&[]);
+        // p1 already decided via Accepted flood; a late Forward from a
+        // hypothetical straggler gets a Decide back. Simulate by clearing
+        // p2's decision memory with a fresh engine.
+        let members: Vec<_> = (0..3).map(ProcessId).collect();
+        let mut fresh = GroupConsensus::<u32>::new(ProcessId(2), members);
+        let mut s = MsgSink::new();
+        fresh.propose(2, 100, &mut s);
+        // Its Forward goes to p0, which decided already.
+        let (to, m) = s.msgs.pop().unwrap();
+        assert_eq!(to, ProcessId(0));
+        let mut reply = MsgSink::new();
+        net.engines[0].on_message(ProcessId(2), m, &mut reply);
+        let (back_to, decide) = reply.msgs.pop().unwrap();
+        assert_eq!(back_to, ProcessId(2));
+        fresh.on_message(ProcessId(0), decide, &mut MsgSink::new());
+        assert_eq!(fresh.decision(2), Some(&7));
+    }
+
+    #[test]
+    fn coordinator_accessor_tracks_suspicions() {
+        let members: Vec<_> = (0..3).map(ProcessId).collect();
+        let mut e: GroupConsensus<u32> = GroupConsensus::new(ProcessId(2), members);
+        assert_eq!(e.coordinator(), ProcessId(0));
+        e.on_suspect(ProcessId(0), &mut MsgSink::new());
+        assert_eq!(e.coordinator(), ProcessId(1));
+        e.on_suspect(ProcessId(1), &mut MsgSink::new());
+        assert_eq!(e.coordinator(), ProcessId(2));
+    }
+
+    #[test]
+    fn duplicate_suspicions_are_idempotent() {
+        let members: Vec<_> = (0..2).map(ProcessId).collect();
+        let mut e: GroupConsensus<u32> = GroupConsensus::new(ProcessId(1), members);
+        let mut s = MsgSink::new();
+        e.propose(1, 4, &mut s);
+        s.msgs.clear();
+        e.on_suspect(ProcessId(0), &mut s);
+        let n1 = s.msgs.len();
+        e.on_suspect(ProcessId(0), &mut s);
+        assert_eq!(s.msgs.len(), n1, "second identical suspicion is a no-op");
+    }
+
+    #[test]
+    fn propose_after_decide_is_noop() {
+        let mut net = Net::new(1);
+        net.propose(ProcessId(0), 1, 5);
+        net.run(&[]);
+        let mut s = MsgSink::new();
+        net.engines[0].propose(1, 6, &mut s);
+        assert!(s.msgs.is_empty());
+        assert_eq!(net.decision(ProcessId(0), 1), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a group member")]
+    fn non_member_owner_panics() {
+        let _ = GroupConsensus::<u32>::new(ProcessId(9), vec![ProcessId(0)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the Paxos engine: random delivery orders,
+//! random crash subsets (minority), random suspicion timing. The engine is
+//! driven directly (no simulator) so the schedule space is explored at the
+//! message level.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_types::ProcessId;
+
+/// A deterministic scheduler over engine messages: `picks` selects, at each
+/// step, which pending message to deliver next (mod queue length).
+struct Fuzzer {
+    engines: Vec<GroupConsensus<u32>>,
+    queue: VecDeque<(ProcessId, ProcessId, ConsensusMsg<u32>)>,
+    crashed: Vec<bool>,
+}
+
+impl Fuzzer {
+    fn new(n: usize) -> Self {
+        let members: Vec<_> = (0..n as u32).map(ProcessId).collect();
+        Fuzzer {
+            engines: members
+                .iter()
+                .map(|&m| GroupConsensus::new(m, members.clone()))
+                .collect(),
+            queue: VecDeque::new(),
+            crashed: vec![false; n],
+        }
+    }
+
+    fn absorb(&mut self, from: ProcessId, sink: MsgSink<u32>) {
+        for (to, m) in sink.msgs {
+            self.queue.push_back((from, to, m));
+        }
+    }
+
+    fn propose(&mut self, p: ProcessId, instance: u64, v: u32) {
+        if self.crashed[p.index()] {
+            return;
+        }
+        let mut sink = MsgSink::new();
+        self.engines[p.index()].propose(instance, v, &mut sink);
+        self.absorb(p, sink);
+    }
+
+    fn crash(&mut self, p: ProcessId) {
+        if self.crashed[p.index()] {
+            return;
+        }
+        self.crashed[p.index()] = true;
+        // Suspicion reaches all survivors.
+        for i in 0..self.engines.len() {
+            if !self.crashed[i] {
+                let mut sink = MsgSink::new();
+                self.engines[i].on_suspect(p, &mut sink);
+                self.absorb(ProcessId(i as u32), sink);
+            }
+        }
+    }
+
+    /// Delivers queued messages; `picks` permutes the order. Returns the
+    /// number of steps executed.
+    fn run(&mut self, picks: &[u8]) -> usize {
+        let mut steps = 0;
+        let mut pick_i = 0;
+        while let Some(pos) = (!self.queue.is_empty()).then(|| {
+            let raw = picks.get(pick_i).copied().unwrap_or(0) as usize;
+            pick_i += 1;
+            raw % self.queue.len()
+        }) {
+            steps += 1;
+            assert!(steps < 200_000, "fuzzer did not terminate");
+            let (from, to, m) = self.queue.remove(pos).expect("in range");
+            if self.crashed[to.index()] || self.crashed[from.index()] {
+                continue;
+            }
+            let mut sink = MsgSink::new();
+            self.engines[to.index()].on_message(from, m, &mut sink);
+            self.absorb(to, sink);
+        }
+        steps
+    }
+
+    fn decisions(&self, instance: u64) -> Vec<Option<u32>> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                if self.crashed[i] {
+                    None
+                } else {
+                    e.decision(instance).copied()
+                }
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Uniform agreement + integrity under arbitrary message interleavings:
+    /// all correct members decide the same proposed value.
+    #[test]
+    fn agreement_under_random_interleavings(
+        n in 1usize..6,
+        proposals in proptest::collection::vec((0u64..4, 0usize..8, 1u32..100), 1..10),
+        picks in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let mut fz = Fuzzer::new(n);
+        let mut proposed: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        for &(inst, p, v) in &proposals {
+            fz.propose(ProcessId((p % n) as u32), inst, v);
+            proposed.entry(inst).or_default().push(v);
+        }
+        fz.run(&picks);
+        for (&inst, values) in &proposed {
+            let ds = fz.decisions(inst);
+            let decided: Vec<u32> = ds.iter().flatten().copied().collect();
+            // Termination: every member decided (no crashes here).
+            prop_assert_eq!(decided.len(), n, "instance {} not decided everywhere", inst);
+            // Uniform agreement.
+            prop_assert!(decided.windows(2).all(|w| w[0] == w[1]), "disagreement: {:?}", ds);
+            // Uniform integrity: the decision was proposed.
+            prop_assert!(values.contains(&decided[0]), "{} not in {:?}", decided[0], values);
+        }
+    }
+
+    /// Crashing a minority (including coordinators) never blocks decisions
+    /// or breaks agreement.
+    #[test]
+    fn minority_crash_liveness(
+        crash_pick in 0usize..5,
+        crash_when in 0usize..3,
+        proposals in proptest::collection::vec((0usize..8, 1u32..100), 1..6),
+        picks in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let n = 5; // majority 3; crash exactly one
+        let mut fz = Fuzzer::new(n);
+        let victim = ProcessId((crash_pick % n) as u32);
+        if crash_when == 0 {
+            fz.crash(victim);
+        }
+        for (i, &(p, v)) in proposals.iter().enumerate() {
+            let mut proposer = ProcessId((p % n) as u32);
+            if proposer == victim {
+                proposer = ProcessId((proposer.0 + 1) % n as u32);
+            }
+            fz.propose(proposer, 0, v + i as u32);
+        }
+        if crash_when == 1 {
+            fz.crash(victim);
+        }
+        // Let some traffic flow, crash mid-flight, then drain.
+        if crash_when == 2 {
+            let half: Vec<u8> = picks.iter().take(picks.len() / 2).copied().collect();
+            fz.run(&half);
+            fz.crash(victim);
+        }
+        fz.run(&picks);
+        let ds = fz.decisions(0);
+        let decided: Vec<u32> = ds.iter().flatten().copied().collect();
+        prop_assert_eq!(decided.len(), n - 1, "survivors must decide: {:?}", ds);
+        prop_assert!(decided.windows(2).all(|w| w[0] == w[1]), "disagreement: {:?}", ds);
+    }
+
+    /// Decisions are emitted exactly once per instance by take_decisions.
+    #[test]
+    fn decisions_emitted_once(
+        n in 1usize..5,
+        instances in proptest::collection::vec(0u64..6, 1..8),
+        picks in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut fz = Fuzzer::new(n);
+        for (i, &inst) in instances.iter().enumerate() {
+            fz.propose(ProcessId((i % n) as u32), inst, inst as u32 + 1);
+        }
+        fz.run(&picks);
+        for e in &mut fz.engines {
+            let emitted = e.take_decisions();
+            let mut seen = std::collections::BTreeSet::new();
+            for (inst, _) in &emitted {
+                prop_assert!(seen.insert(*inst), "instance {} emitted twice", inst);
+            }
+            prop_assert!(e.take_decisions().is_empty(), "second drain must be empty");
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Algorithm A2: atomic broadcast with latency degree one (§5 of the paper).
+//!
+//! Processes execute a sequence of *rounds*. In round `K`:
+//!
+//! 1. inside each group, consensus instance `K` fixes the group's **message
+//!    bundle** — the set of messages R-Delivered but not yet A-Delivered
+//!    (possibly empty, line 12);
+//! 2. each process sends its group's bundle to every process of every other
+//!    group (line 15) and waits for one bundle per other group (line 16);
+//! 3. the union of all bundles is A-Delivered in a deterministic order
+//!    (lines 18–19).
+//!
+//! To broadcast, a process merely R-MCasts the message **to its own group**
+//! (line 5); the round machinery spreads it. Because rounds run proactively,
+//! a message cast while rounds are active rides the very next bundle
+//! exchange and is delivered after **one** inter-group delay (Theorem 5.1) —
+//! beating the 2-delay lower bound that binds *genuine multicast*
+//! (Proposition 3.1), which is the paper's headline separation between the
+//! two problems.
+//!
+//! **Quiescence** (lines 21–23): `K` advances every round, but `Barrier`
+//! only advances when a round actually delivered something. Once a round
+//! delivers nothing and no R-Delivered message is pending, the line-11 guard
+//! goes false and the process stops — no messages are sent ever again
+//! (Proposition A.9). A message broadcast *after* quiescence still gets
+//! through: the caster's group restarts rounds, and its bundle (line 8–10)
+//! raises `Barrier` at the other groups, waking them — at the cost of a
+//! second inter-group delay (Theorem 5.2, provably unavoidable).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_types::{
+    AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+};
+
+/// Wire messages of Algorithm A2.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BroadcastMsg {
+    /// Intra-group dissemination of a freshly broadcast message (line 5's
+    /// R-MCast restricted to the caster's group).
+    Rm(AppMessage),
+    /// Intra-group consensus traffic (bundle agreement).
+    Cons(ConsensusMsg<Vec<AppMessage>>),
+    /// `(K, msgSet)`: the sender's group bundle for round `K` (line 15).
+    Bundle {
+        /// Round number.
+        round: u64,
+        /// The group's decided bundle (may be empty).
+        msgs: Vec<AppMessage>,
+    },
+}
+
+/// Algorithm A2 — atomic broadcast (code of process p, §5.2).
+///
+/// # Round pacing
+///
+/// Algorithm A2's line-11 `When` clause only says a round *may* start once
+/// its guard holds; the scheduler is free to delay it. [`new`](Self::new)
+/// starts rounds eagerly (propose the instant the previous round ends).
+/// [`with_pacing`](Self::with_pacing) waits a batching window `δ` first, so
+/// messages R-Delivered in the window ride the very next round — this is
+/// the schedule used by Theorem 5.1's latency-degree-1 run, and standard
+/// batching practice in group communication systems. Pacing does not affect
+/// quiescence: the window timer is armed only while the guard holds.
+#[derive(Debug)]
+pub struct RoundBroadcast {
+    me: ProcessId,
+    group: GroupId,
+    /// `K`: current round number = consensus instance number.
+    k: u64,
+    /// `propK`: at most one proposal per instance.
+    prop_k: u64,
+    /// `Barrier`: the last round this process currently intends to execute.
+    barrier: u64,
+    /// `RDELIVERED \ ADELIVERED`, with payloads.
+    rdelivered: BTreeMap<MessageId, AppMessage>,
+    adelivered: BTreeSet<MessageId>,
+    /// `Msgs`: received bundles, round → group → bundle.
+    bundles: BTreeMap<u64, BTreeMap<GroupId, Vec<AppMessage>>>,
+    /// Round whose own bundle is decided and sent; waiting for the others.
+    waiting_bundles: Option<u64>,
+    cons: GroupConsensus<Vec<AppMessage>>,
+    buffered_decisions: BTreeMap<u64, Vec<AppMessage>>,
+    /// R-Delivered messages by origin, for crash-triggered intra-group relay.
+    by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
+    relayed: BTreeSet<MessageId>,
+    /// Batching window before proposing the next round (see type docs).
+    pacing: Duration,
+    /// Whether a pacing timer is currently armed.
+    timer_armed: bool,
+    /// Prediction strategy: how many *consecutive empty* rounds to run
+    /// after a useful one before predicting that no more messages will be
+    /// broadcast. The paper's Algorithm A2 corresponds to 1 (lines 22–23
+    /// extend the barrier only on useful rounds, which lets exactly one
+    /// trailing empty round run). §5.3 suggests "more elaborate prediction
+    /// strategies" as future work; larger values trade idle inter-group
+    /// traffic for a wider window in which a new broadcast still achieves
+    /// latency degree 1.
+    idle_rounds: u64,
+    /// Empty rounds executed since the last useful one.
+    empty_streak: u64,
+}
+
+impl RoundBroadcast {
+    /// Creates the protocol instance for process `me` of `topo`.
+    pub fn new(me: ProcessId, topo: &wamcast_types::Topology) -> Self {
+        let group = topo.group_of(me);
+        let members = topo.members(group).to_vec();
+        RoundBroadcast {
+            me,
+            group,
+            k: 1,
+            prop_k: 1,
+            barrier: 0,
+            rdelivered: BTreeMap::new(),
+            adelivered: BTreeSet::new(),
+            bundles: BTreeMap::new(),
+            waiting_bundles: None,
+            cons: GroupConsensus::new(me, members),
+            buffered_decisions: BTreeMap::new(),
+            by_origin: BTreeMap::new(),
+            relayed: BTreeSet::new(),
+            pacing: Duration::ZERO,
+            timer_armed: false,
+            idle_rounds: 1,
+            empty_streak: 0,
+        }
+    }
+
+    /// Creates an instance that waits `pacing` after a round completes (or
+    /// after going idle) before proposing the next round. See the type-level
+    /// docs.
+    pub fn with_pacing(me: ProcessId, topo: &wamcast_types::Topology, pacing: Duration) -> Self {
+        let mut rb = Self::new(me, topo);
+        rb.pacing = pacing;
+        rb
+    }
+
+    /// Sets the quiescence-prediction horizon: run up to `idle_rounds`
+    /// consecutive empty rounds after the last useful one before going
+    /// quiet. `1` is the paper's Algorithm A2; larger values implement the
+    /// §5.3 suggestion of more patient prediction — broadcasts arriving
+    /// within the extended window still achieve latency degree 1, at the
+    /// cost of idle round traffic. The algorithm stays quiescent for finite
+    /// workloads for any finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_rounds == 0` (the barrier mechanism needs at least
+    /// one trailing round to restart cleanly).
+    #[must_use]
+    pub fn with_idle_rounds(mut self, idle_rounds: u64) -> Self {
+        assert!(idle_rounds >= 1, "at least one trailing round is required");
+        self.idle_rounds = idle_rounds;
+        self
+    }
+
+    /// Current round number (`K`), for tests/inspection.
+    pub fn round(&self) -> u64 {
+        self.k
+    }
+
+    /// Current `Barrier` value, for tests/inspection.
+    pub fn barrier(&self) -> u64 {
+        self.barrier
+    }
+
+    /// Whether this process is currently idle (quiescent): no round in
+    /// progress and the line-11 guard false.
+    pub fn is_idle(&self) -> bool {
+        self.waiting_bundles.is_none()
+            && !(self.has_undelivered() || self.k <= self.barrier)
+    }
+
+    fn has_undelivered(&self) -> bool {
+        !self.rdelivered.is_empty()
+    }
+
+    fn flush_cons(
+        &mut self,
+        sink: MsgSink<Vec<AppMessage>>,
+        ctx: &Context,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
+        for (to, m) in sink.msgs {
+            out.send(to, BroadcastMsg::Cons(m));
+        }
+        self.drain_decisions(ctx, out);
+    }
+
+    /// Lines 6–7: R-Deliver within the group.
+    fn on_rdeliver(&mut self, m: AppMessage, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        if self.adelivered.contains(&m.id) || self.rdelivered.contains_key(&m.id) {
+            return;
+        }
+        self.by_origin.entry(m.id.origin).or_default().push(m.clone());
+        self.rdelivered.insert(m.id, m);
+        self.schedule_round(ctx, out);
+    }
+
+    /// Lines 11–13: start round `K` when there is something to deliver or
+    /// the barrier demands it, proposing at most once per instance.
+    fn try_start_round(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        if self.prop_k > self.k {
+            return;
+        }
+        if !(self.has_undelivered() || self.k <= self.barrier) {
+            return;
+        }
+        let proposal: Vec<AppMessage> = self.rdelivered.values().cloned().collect();
+        let mut sink = MsgSink::new();
+        self.cons.propose(self.k, proposal, &mut sink);
+        self.prop_k = self.k + 1;
+        self.flush_cons(sink, ctx, out);
+    }
+
+    /// Entry point for the line-11 guard: either propose now (eager mode)
+    /// or arm the batching window (paced mode).
+    fn schedule_round(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        if self.pacing.is_zero() {
+            self.try_start_round(ctx, out);
+            return;
+        }
+        if self.timer_armed || self.prop_k > self.k {
+            return;
+        }
+        if self.has_undelivered() || self.k <= self.barrier {
+            self.timer_armed = true;
+            out.set_timer(self.pacing, 0);
+        }
+    }
+
+    fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        for (k, v) in self.cons.take_decisions() {
+            self.buffered_decisions.insert(k, v);
+        }
+        self.advance(ctx, out);
+    }
+
+    /// Pushes the round state machine as far as possible: process the
+    /// current round's decision (lines 14–15), then complete the round once
+    /// all bundles are in (lines 16–23).
+    fn advance(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        loop {
+            if self.waiting_bundles.is_none() {
+                let Some(mut decided) = self.buffered_decisions.remove(&self.k) else {
+                    return;
+                };
+                decided.sort_by_key(|m| m.id);
+                decided.dedup_by_key(|m| m.id);
+                // Line 15: send (K, msgSet′) to every process outside our
+                // group.
+                let remote: Vec<ProcessId> = ctx
+                    .topology()
+                    .processes()
+                    .filter(|&q| ctx.topology().group_of(q) != self.group)
+                    .collect();
+                out.send_many(
+                    remote,
+                    BroadcastMsg::Bundle {
+                        round: self.k,
+                        msgs: decided.clone(),
+                    },
+                );
+                // Line 17: record our own bundle.
+                self.bundles
+                    .entry(self.k)
+                    .or_default()
+                    .insert(self.group, decided);
+                self.waiting_bundles = Some(self.k);
+            }
+            let round = self.waiting_bundles.expect("set above");
+            if !self.round_complete(ctx, round) {
+                return;
+            }
+            self.finish_round(round, ctx, out);
+        }
+    }
+
+    /// Line 16's wait condition: one bundle per group for `round`.
+    fn round_complete(&self, ctx: &Context, round: u64) -> bool {
+        let Some(per_group) = self.bundles.get(&round) else {
+            return false;
+        };
+        ctx.topology().groups().all(|g| per_group.contains_key(&g))
+    }
+
+    /// Lines 18–23: deliver the union of bundles in a deterministic order,
+    /// advance `K`, and extend `Barrier` iff the round was useful.
+    fn finish_round(&mut self, round: u64, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        let per_group = self.bundles.remove(&round).expect("round complete");
+        let mut to_deliver: Vec<AppMessage> = per_group
+            .into_values()
+            .flatten()
+            .filter(|m| !self.adelivered.contains(&m.id))
+            .collect();
+        to_deliver.sort_by_key(|m| m.id);
+        to_deliver.dedup_by_key(|m| m.id);
+        let useful = !to_deliver.is_empty();
+        for m in to_deliver {
+            self.adelivered.insert(m.id);
+            self.rdelivered.remove(&m.id);
+            out.deliver(m);
+        }
+        self.waiting_bundles = None;
+        self.k += 1; // line 21
+        if useful {
+            // Lines 22–23: keep executing rounds. With a prediction horizon
+            // of h, allow h trailing empty rounds before quiescing.
+            self.empty_streak = 0;
+            self.barrier = self.barrier.max(self.k + (self.idle_rounds - 1));
+        } else {
+            self.empty_streak += 1;
+        }
+        self.schedule_round(ctx, out);
+    }
+}
+
+impl Protocol for RoundBroadcast {
+    type Msg = BroadcastMsg;
+
+    /// Lines 4–5: to A-BCast `m`, R-MCast it to the caster's own group.
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        debug_assert_eq!(msg.id.origin, self.me);
+        let peers: Vec<ProcessId> = ctx
+            .topology()
+            .members(self.group)
+            .iter()
+            .copied()
+            .filter(|&q| q != self.me)
+            .collect();
+        out.send_many(peers, BroadcastMsg::Rm(msg.clone()));
+        self.on_rdeliver(msg, ctx, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BroadcastMsg,
+        ctx: &Context,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
+        match msg {
+            BroadcastMsg::Rm(m) => self.on_rdeliver(m, ctx, out),
+            BroadcastMsg::Cons(c) => {
+                let mut sink = MsgSink::new();
+                self.cons.on_message(from, c, &mut sink);
+                self.flush_cons(sink, ctx, out);
+            }
+            BroadcastMsg::Bundle { round, msgs } => {
+                // Lines 8–10: store the bundle and raise the barrier — this
+                // is what wakes a quiescent group up.
+                let sender_group = ctx.topology().group_of(from);
+                self.bundles
+                    .entry(round)
+                    .or_default()
+                    .entry(sender_group)
+                    .or_insert(msgs);
+                self.barrier = self.barrier.max(round);
+                self.schedule_round(ctx, out);
+                self.advance(ctx, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _kind: u64, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        self.timer_armed = false;
+        self.try_start_round(ctx, out);
+        // If the guard still holds but the proposal could not go out (e.g.
+        // a round is already in flight), re-arm when that round finishes —
+        // finish_round calls schedule_round, so nothing to do here.
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
+        // Intra-group relay of messages whose caster crashed (reliable
+        // multicast agreement).
+        if let Some(msgs) = self.by_origin.get(&crashed).cloned() {
+            let peers: Vec<ProcessId> = ctx
+                .topology()
+                .members(self.group)
+                .iter()
+                .copied()
+                .filter(|&q| q != self.me && q != crashed)
+                .collect();
+            for m in msgs {
+                if self.relayed.insert(m.id) {
+                    out.send_many(peers.clone(), BroadcastMsg::Rm(m));
+                }
+            }
+        }
+        if ctx.topology().group_of(crashed) == self.group {
+            let mut sink = MsgSink::new();
+            self.cons.on_suspect(crashed, &mut sink);
+            self.flush_cons(sink, ctx, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wamcast_types::{Action, Payload, SimTime, Topology};
+
+    fn ctx(p: u32, topo: &Arc<Topology>) -> Context {
+        Context::new(ProcessId(p), Arc::clone(topo), SimTime::ZERO)
+    }
+
+    fn bmsg(origin: u32, seq: u64, topo: &Topology) -> AppMessage {
+        AppMessage::new(
+            MessageId::new(ProcessId(origin), seq),
+            topo.all_groups(),
+            Payload::new(),
+        )
+    }
+
+    fn actions(out: &mut Outbox<BroadcastMsg>) -> (Vec<(ProcessId, BroadcastMsg)>, Vec<MessageId>) {
+        let mut sends = Vec::new();
+        let mut delivers = Vec::new();
+        for a in out.drain() {
+            match a {
+                Action::Send { to, msg } => sends.push((to, msg)),
+                Action::Deliver(m) => delivers.push(m.id),
+                _ => {}
+            }
+        }
+        (sends, delivers)
+    }
+
+    #[test]
+    fn initial_state_is_idle() {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let rb = RoundBroadcast::new(ProcessId(0), &topo);
+        assert!(rb.is_idle());
+        assert_eq!(rb.round(), 1);
+        assert_eq!(rb.barrier(), 0);
+    }
+
+    #[test]
+    fn cast_rmcasts_within_group_only() {
+        // Line 5: the broadcast's dissemination never leaves the caster's
+        // group — the round bundles carry it across (that is why A2 is not
+        // genuine multicast material but optimal broadcast material).
+        let topo = Arc::new(Topology::symmetric(2, 3));
+        let mut rb = RoundBroadcast::new(ProcessId(0), &topo);
+        let mut out = Outbox::new();
+        rb.on_cast(bmsg(0, 0, &topo), &ctx(0, &topo), &mut out);
+        let (sends, delivers) = actions(&mut out);
+        assert!(delivers.is_empty());
+        let rm_tos: Vec<ProcessId> = sends
+            .iter()
+            .filter(|(_, m)| matches!(m, BroadcastMsg::Rm(_)))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(rm_tos, vec![ProcessId(1), ProcessId(2)], "own group only");
+        assert!(!rb.is_idle(), "the guard is now true");
+    }
+
+    #[test]
+    fn bundle_from_future_round_raises_barrier() {
+        // Lines 8–10: receiving (x, msgSet) sets Barrier ← max(Barrier, x),
+        // which is what wakes a quiescent group.
+        let topo = Arc::new(Topology::symmetric(2, 1));
+        let mut rb = RoundBroadcast::new(ProcessId(0), &topo);
+        let mut out = Outbox::new();
+        rb.on_message(
+            ProcessId(1),
+            BroadcastMsg::Bundle { round: 3, msgs: vec![] },
+            &ctx(0, &topo),
+            &mut out,
+        );
+        assert_eq!(rb.barrier(), 3);
+        assert!(!rb.is_idle(), "rounds 1..=3 must now be executed");
+    }
+
+    #[test]
+    fn round_completes_only_with_all_groups_bundles() {
+        // 3 groups x 1 process: p0's round needs bundles from g1 AND g2.
+        let topo = Arc::new(Topology::symmetric(3, 1));
+        let mut rb = RoundBroadcast::new(ProcessId(0), &topo);
+        let m = bmsg(0, 0, &topo);
+        // Cast, then drive p0's (single-member) consensus to decision.
+        let mut queue = Vec::new();
+        let mut out = Outbox::new();
+        rb.on_cast(m.clone(), &ctx(0, &topo), &mut out);
+        let (sends, _) = actions(&mut out);
+        queue.extend(sends);
+        let mut bundles_sent = 0;
+        let mut guard = 0;
+        while let Some((to, w)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 200);
+            if to != ProcessId(0) {
+                if matches!(w, BroadcastMsg::Bundle { .. }) {
+                    bundles_sent += 1;
+                }
+                continue;
+            }
+            let mut out = Outbox::new();
+            rb.on_message(ProcessId(0), w, &ctx(0, &topo), &mut out);
+            let (sends, delivers) = actions(&mut out);
+            assert!(delivers.is_empty(), "cannot deliver before remote bundles");
+            queue.extend(sends);
+        }
+        assert_eq!(bundles_sent, 2, "own bundle to p1 and p2");
+        // First remote bundle: still incomplete.
+        let mut out = Outbox::new();
+        rb.on_message(
+            ProcessId(1),
+            BroadcastMsg::Bundle { round: 1, msgs: vec![] },
+            &ctx(0, &topo),
+            &mut out,
+        );
+        let (_, delivers) = actions(&mut out);
+        assert!(delivers.is_empty());
+        // Second remote bundle completes round 1 and delivers m.
+        let mut out = Outbox::new();
+        rb.on_message(
+            ProcessId(2),
+            BroadcastMsg::Bundle { round: 1, msgs: vec![] },
+            &ctx(0, &topo),
+            &mut out,
+        );
+        let (_, delivers) = actions(&mut out);
+        assert_eq!(delivers, vec![m.id]);
+        assert_eq!(rb.round(), 2, "K incremented (line 21)");
+        assert_eq!(rb.barrier(), 2, "useful round extends the barrier (line 23)");
+    }
+
+    #[test]
+    fn deliveries_are_sorted_and_deduped_within_a_round() {
+        let topo = Arc::new(Topology::symmetric(2, 1));
+        let mut rb = RoundBroadcast::new(ProcessId(0), &topo);
+        let a = bmsg(1, 0, &topo);
+        let b = bmsg(1, 1, &topo);
+        // Remote bundle for round 1 with [b, a] (unsorted) + duplicate a.
+        let mut out = Outbox::new();
+        rb.on_message(
+            ProcessId(1),
+            BroadcastMsg::Bundle {
+                round: 1,
+                msgs: vec![b.clone(), a.clone(), a.clone()],
+            },
+            &ctx(0, &topo),
+            &mut out,
+        );
+        // Drive own (single-member) consensus for round 1 (empty proposal).
+        let mut queue = {
+            let (sends, _) = actions(&mut out);
+            sends
+        };
+        let mut delivered = Vec::new();
+        let mut guard = 0;
+        while let Some((to, w)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 200);
+            if to != ProcessId(0) {
+                continue;
+            }
+            let mut out = Outbox::new();
+            rb.on_message(ProcessId(0), w, &ctx(0, &topo), &mut out);
+            let (sends, dels) = actions(&mut out);
+            queue.extend(sends);
+            delivered.extend(dels);
+        }
+        assert_eq!(delivered, vec![a.id, b.id], "deterministic (sorted) order");
+    }
+}

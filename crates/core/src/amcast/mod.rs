@@ -1,0 +1,610 @@
+//! Algorithm A1: genuine atomic multicast (§4 of the paper).
+//!
+//! Every multicast message is assigned a timestamp on which all destination
+//! groups agree; messages are A-Delivered in timestamp order (ties broken by
+//! message id). Inside each group, a logical clock `K` doubles as the
+//! consensus instance counter; consensus keeps the group's clock consistent.
+//! A message `m` moves through four stages:
+//!
+//! * **s0** — each destination group runs consensus to fix its timestamp
+//!   *proposal* for `m` (the deciding instance number `K` is the proposal);
+//! * **s1** — groups exchange proposals in `(TS, m)` messages; the final
+//!   timestamp is the maximum proposal;
+//! * **s2** — groups whose proposal was below the maximum run one more
+//!   consensus instance to push their clock past the final timestamp;
+//! * **s3** — `m` is A-Deliverable; it is A-Delivered once it has the
+//!   smallest `(ts, id)` among all pending messages.
+//!
+//! The paper's optimizations over Fritzke et al. [5] (both controlled by
+//! [`MulticastConfig::skip_stages`]):
+//!
+//! * a message addressed to a **single group** jumps from s0 directly to s3
+//!   (lines 28–29) — no proposal exchange, no second consensus;
+//! * a group whose proposal **equals the maximum** skips s2 (line 35) — its
+//!   clock is already past the final timestamp.
+//!
+//! Latency degree: 2 for `|m.dest| > 1` (R-MCast across groups, then one
+//! proposal exchange), matching the lower bound of Proposition 3.1; 0 or 1
+//! for single-group messages (0 when the caster is in the destination
+//! group).
+
+pub mod nongenuine;
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
+use wamcast_types::{
+    AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+};
+
+/// The stage of a pending message (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Waiting for this group's timestamp proposal (consensus pending).
+    S0,
+    /// Proposal fixed; waiting for the other destination groups' proposals.
+    S1,
+    /// Final timestamp known but group clock behind; second consensus runs.
+    S2,
+    /// Final timestamp agreed; deliverable when minimal.
+    S3,
+}
+
+/// One message together with its protocol fields — the unit that consensus
+/// decides on (`msgSet` entries carry `dest`, `id`, `ts` and `stage`; §4.2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MsgEntry {
+    /// The application message (id, destination groups, payload).
+    pub msg: AppMessage,
+    /// Current timestamp (`m.ts`).
+    pub ts: u64,
+    /// Current stage (`m.stage`).
+    pub stage: Stage,
+}
+
+/// Wire messages of Algorithm A1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MulticastMsg {
+    /// Reliable-multicast dissemination of the application message.
+    Rm(RmcastMsg),
+    /// Intra-group consensus traffic.
+    Cons(ConsensusMsg<Vec<MsgEntry>>),
+    /// `(TS, m)`: the sender's group proposes `entry.ts` as `m`'s timestamp
+    /// (line 24). Also serves to propagate `m` itself (footnote 4).
+    Ts(MsgEntry),
+}
+
+/// Configuration of [`GenuineMulticast`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MulticastConfig {
+    /// `true` — the paper's A1 (single-group messages jump s0→s3; groups
+    /// whose proposal is the maximum skip s2). `false` — the Fritzke et
+    /// al. [5] baseline: every message runs both consensus stages.
+    pub skip_stages: bool,
+    /// `false` (the paper's A1) — disseminate with the **non-uniform**
+    /// reliable multicast (deliver on first receipt, latency degree 1).
+    /// `true` — use the uniform primitive instead (majority relay, latency
+    /// degree 2), as Fritzke et al. [5] originally did. §4.1 presents the
+    /// non-uniform choice as one of A1's optimizations; flipping this flag
+    /// measures its cost — the overall latency degree grows from 2 to 3.
+    pub uniform_dissemination: bool,
+}
+
+impl Default for MulticastConfig {
+    fn default() -> Self {
+        MulticastConfig {
+            skip_stages: true,
+            uniform_dissemination: false,
+        }
+    }
+}
+
+/// Per-message pending state.
+#[derive(Clone, Debug)]
+struct Pending {
+    msg: AppMessage,
+    ts: u64,
+    stage: Stage,
+    /// Timestamp proposals received from other groups via `(TS, m)`.
+    remote_proposals: BTreeMap<GroupId, u64>,
+}
+
+/// Algorithm A1 — genuine atomic multicast (code of process p, §4.2).
+///
+/// Construct one instance per process with [`new`](Self::new) and host it on
+/// a runtime; see the crate docs of `wamcast-sim` for an end-to-end example.
+#[derive(Debug)]
+pub struct GenuineMulticast {
+    me: ProcessId,
+    group: GroupId,
+    cfg: MulticastConfig,
+    /// `K`: this process's copy of the group clock, also the next consensus
+    /// instance number.
+    k: u64,
+    /// `propK`: at most one proposal per instance (line 17).
+    prop_k: u64,
+    pending: BTreeMap<MessageId, Pending>,
+    adelivered: BTreeSet<MessageId>,
+    rmcast: RmcastEngine,
+    /// Used instead of `rmcast` when `cfg.uniform_dissemination` is set.
+    urmcast: UniformRmcastEngine,
+    cons: GroupConsensus<Vec<MsgEntry>>,
+    /// Decisions whose instance number is ahead of `K` (link jitter can
+    /// reorder consensus learning across instances).
+    buffered_decisions: BTreeMap<u64, Vec<MsgEntry>>,
+}
+
+impl GenuineMulticast {
+    /// Creates the protocol instance for process `me` of `topo`.
+    pub fn new(me: ProcessId, topo: &wamcast_types::Topology, cfg: MulticastConfig) -> Self {
+        let group = topo.group_of(me);
+        let members = topo.members(group).to_vec();
+        GenuineMulticast {
+            me,
+            group,
+            cfg,
+            k: 1,
+            prop_k: 1,
+            pending: BTreeMap::new(),
+            adelivered: BTreeSet::new(),
+            rmcast: RmcastEngine::new(me),
+            urmcast: UniformRmcastEngine::new(me),
+            cons: GroupConsensus::new(me, members),
+            buffered_decisions: BTreeMap::new(),
+        }
+    }
+
+    /// The current group clock value (`K`), exposed for tests/inspection.
+    pub fn clock(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of messages currently pending (not yet A-Delivered).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing: route sub-engine output into the host outbox.
+    // ------------------------------------------------------------------
+
+    fn flush_rmcast(&mut self, rm_out: RmcastOut, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        for (to, m) in rm_out.sends {
+            out.send(to, MulticastMsg::Rm(m));
+        }
+        for m in rm_out.delivered {
+            self.on_rdeliver(m, ctx, out);
+        }
+    }
+
+    fn flush_cons(&mut self, sink: MsgSink<Vec<MsgEntry>>, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        for (to, m) in sink.msgs {
+            out.send(to, MulticastMsg::Cons(m));
+        }
+        self.drain_decisions(ctx, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm A1, line by line.
+    // ------------------------------------------------------------------
+
+    /// Lines 10–13: on R-Deliver(m) or receive(TS, m) with m fresh, add m to
+    /// PENDING in stage s0 with the current clock as provisional timestamp.
+    fn on_rdeliver(&mut self, m: AppMessage, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        if self.pending.contains_key(&m.id) || self.adelivered.contains(&m.id) {
+            return;
+        }
+        self.pending.insert(
+            m.id,
+            Pending {
+                ts: self.k,
+                stage: Stage::S0,
+                remote_proposals: BTreeMap::new(),
+                msg: m,
+            },
+        );
+        self.maybe_propose(ctx, out);
+    }
+
+    /// Lines 14–17: propose every stage-s0/s2 message to the next consensus
+    /// instance, at most once per instance.
+    fn maybe_propose(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        if self.prop_k > self.k {
+            return;
+        }
+        let msg_set: Vec<MsgEntry> = self
+            .pending
+            .values()
+            .filter(|p| matches!(p.stage, Stage::S0 | Stage::S2))
+            .map(|p| MsgEntry {
+                msg: p.msg.clone(),
+                ts: p.ts,
+                stage: p.stage,
+            })
+            .collect();
+        if msg_set.is_empty() {
+            return;
+        }
+        let mut sink = MsgSink::new();
+        self.cons.propose(self.k, msg_set, &mut sink);
+        self.prop_k = self.k + 1;
+        self.flush_cons(sink, ctx, out);
+    }
+
+    /// Pulls decided instances from the consensus engine and processes them
+    /// strictly in this process's clock order (Lemma A.1 guarantees all
+    /// group members observe the same instance sequence).
+    fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        for (k, v) in self.cons.take_decisions() {
+            self.buffered_decisions.insert(k, v);
+        }
+        while let Some(msg_set) = self.buffered_decisions.remove(&self.k) {
+            self.process_decision(msg_set, ctx, out);
+        }
+    }
+
+    /// Lines 18–32: handle the decision of instance `K`.
+    fn process_decision(
+        &mut self,
+        mut msg_set: Vec<MsgEntry>,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
+        let k = self.k;
+        msg_set.sort_by_key(|e| e.msg.id); // deterministic processing order
+        let mut max_ts = 0u64;
+        for mut entry in msg_set {
+            let id = entry.msg.id;
+            if self.adelivered.contains(&id) {
+                // Already A-Delivered here (decision learned late); its
+                // timestamp no longer matters but keeps the clock monotone.
+                max_ts = max_ts.max(entry.ts);
+                continue;
+            }
+            let multi_group = entry.msg.dest.len() > 1;
+            if entry.stage == Stage::S2 {
+                // Line 26: second consensus done; the final timestamp
+                // (already in `entry.ts`) stands.
+                entry.stage = Stage::S3;
+            } else if multi_group {
+                // Lines 22–24: this group's proposal is the deciding
+                // instance number; exchange it with the other groups.
+                entry.ts = k;
+                entry.stage = Stage::S1;
+                let remote: Vec<ProcessId> = ctx
+                    .topology()
+                    .processes_in(entry.msg.dest)
+                    .filter(|&q| ctx.topology().group_of(q) != self.group)
+                    .collect();
+                out.send_many(remote, MulticastMsg::Ts(entry.clone()));
+            } else {
+                // Lines 28–29: single destination group — the proposal *is*
+                // the final timestamp; no exchange needed, stage s1/s2
+                // skipped (paper A1). In Fritzke [5] mode the message still
+                // runs the (vacuous) proposal exchange plus the second
+                // consensus.
+                entry.ts = k;
+                entry.stage = if self.cfg.skip_stages {
+                    Stage::S3
+                } else {
+                    Stage::S1
+                };
+            }
+            max_ts = max_ts.max(entry.ts);
+            // Line 30: add the message or update its fields. The decision
+            // value may teach us a message we never R-Delivered.
+            let remote_proposals = self
+                .pending
+                .get(&id)
+                .map(|p| p.remote_proposals.clone())
+                .unwrap_or_default();
+            self.pending.insert(
+                id,
+                Pending {
+                    msg: entry.msg.clone(),
+                    ts: entry.ts,
+                    stage: entry.stage,
+                    remote_proposals,
+                },
+            );
+            // Mark as seen so a late R-MCast copy is not re-inserted at s0
+            // (the pending/adelivered checks cover the uniform engine).
+            if !self.cfg.uniform_dissemination {
+                let mut rm_out = RmcastOut::new();
+                self.rmcast.accept(entry.msg.clone(), ctx.topology(), &mut rm_out);
+            }
+        }
+        // Line 31: K ← max(max decided ts, K) + 1.
+        self.k = self.k.max(max_ts) + 1;
+        // Stage-s1 messages whose remote proposals already all arrived can
+        // now be resolved (the TS messages may have beaten our decision).
+        let ready: Vec<MessageId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.stage == Stage::S1)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ready {
+            self.try_resolve_s1(id, ctx, out);
+        }
+        // Line 32 + re-evaluation of the line-14 guard.
+        self.adelivery_test(out);
+        self.maybe_propose(ctx, out);
+        self.drain_decisions(ctx, out);
+    }
+
+    /// Lines 33–40: once every other destination group's proposal for `m`
+    /// is known, either finalize (own proposal was the maximum: skip s2) or
+    /// adopt the maximum and run a second consensus (stage s2).
+    fn try_resolve_s1(&mut self, id: MessageId, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        let Some(p) = self.pending.get(&id) else { return };
+        if p.stage != Stage::S1 {
+            return;
+        }
+        let needed: Vec<GroupId> = p
+            .msg
+            .dest
+            .iter()
+            .filter(|&g| g != self.group)
+            .collect();
+        if !needed.iter().all(|g| p.remote_proposals.contains_key(g)) {
+            return;
+        }
+        let max_remote = needed
+            .iter()
+            .filter_map(|g| p.remote_proposals.get(g))
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let own = p.ts;
+        let p = self.pending.get_mut(&id).expect("checked above");
+        if self.cfg.skip_stages && own >= max_remote {
+            // Line 35–36: our clock is already past the final timestamp.
+            p.stage = Stage::S3;
+            self.adelivery_test(out);
+        } else {
+            // Lines 39–40 (or Fritzke mode: always run the second
+            // consensus, even when own == max).
+            p.ts = own.max(max_remote);
+            p.stage = Stage::S2;
+            self.maybe_propose(ctx, out);
+        }
+    }
+
+    /// Lines 3–7: A-Deliver every stage-s3 message that is minimal in
+    /// `(ts, id)` among *all* pending messages.
+    fn adelivery_test(&mut self, out: &mut Outbox<MulticastMsg>) {
+        loop {
+            let Some((&min_id, min_p)) = self
+                .pending
+                .iter()
+                .min_by_key(|(id, p)| (p.ts, **id))
+            else {
+                return;
+            };
+            if min_p.stage != Stage::S3 {
+                return;
+            }
+            let p = self.pending.remove(&min_id).expect("present");
+            self.adelivered.insert(min_id);
+            out.deliver(p.msg);
+        }
+    }
+}
+
+impl Protocol for GenuineMulticast {
+    type Msg = MulticastMsg;
+
+    /// Line 9: to A-MCast `m`, R-MCast it to the processes of `m.dest`.
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        debug_assert_eq!(msg.id.origin, self.me);
+        let mut rm_out = RmcastOut::new();
+        if self.cfg.uniform_dissemination {
+            self.urmcast.rmcast(msg, ctx.topology(), &mut rm_out);
+        } else {
+            self.rmcast.rmcast(msg, ctx.topology(), &mut rm_out);
+        }
+        self.flush_rmcast(rm_out, ctx, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: MulticastMsg,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
+        match msg {
+            MulticastMsg::Rm(rm) => {
+                let mut rm_out = RmcastOut::new();
+                if self.cfg.uniform_dissemination {
+                    self.urmcast.on_message(from, rm, ctx.topology(), &mut rm_out);
+                } else {
+                    self.rmcast.on_message(from, rm, ctx.topology(), &mut rm_out);
+                }
+                self.flush_rmcast(rm_out, ctx, out);
+            }
+            MulticastMsg::Cons(c) => {
+                let mut sink = MsgSink::new();
+                self.cons.on_message(from, c, &mut sink);
+                self.flush_cons(sink, ctx, out);
+            }
+            MulticastMsg::Ts(entry) => {
+                let id = entry.msg.id;
+                let sender_group = ctx.topology().group_of(from);
+                // Line 10: a (TS, m) message also discloses m itself.
+                self.on_rdeliver(entry.msg.clone(), ctx, out);
+                if let Some(p) = self.pending.get_mut(&id) {
+                    p.remote_proposals.insert(sender_group, entry.ts);
+                }
+                self.try_resolve_s1(id, ctx, out);
+            }
+        }
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
+        // Reliable multicast relays messages whose origin crashed.
+        let mut rm_out = RmcastOut::new();
+        self.rmcast
+            .on_crash_notification(crashed, ctx.topology(), &mut rm_out);
+        self.flush_rmcast(rm_out, ctx, out);
+        // Consensus re-coordinates if the crashed process led our group.
+        if ctx.topology().group_of(crashed) == self.group {
+            let mut sink = MsgSink::new();
+            self.cons.on_suspect(crashed, &mut sink);
+            self.flush_cons(sink, ctx, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wamcast_types::{Action, GroupSet, Payload, SimTime, Topology};
+
+    fn ctx(p: u32, topo: &Arc<Topology>) -> Context {
+        Context::new(ProcessId(p), Arc::clone(topo), SimTime::ZERO)
+    }
+
+    fn msg(origin: u32, seq: u64, groups: &[u16]) -> AppMessage {
+        AppMessage::new(
+            MessageId::new(ProcessId(origin), seq),
+            groups.iter().map(|&g| GroupId(g)).collect::<GroupSet>(),
+            Payload::new(),
+        )
+    }
+
+    fn sends(out: &mut Outbox<MulticastMsg>) -> Vec<(ProcessId, MulticastMsg)> {
+        out.drain()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cast_rmcasts_to_destination_processes_only() {
+        let topo = Arc::new(Topology::symmetric(3, 2));
+        let mut p0 = GenuineMulticast::new(ProcessId(0), &topo, MulticastConfig::default());
+        let mut out = Outbox::new();
+        p0.on_cast(msg(0, 0, &[0, 1]), &ctx(0, &topo), &mut out);
+        let tos: Vec<ProcessId> = sends(&mut out)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, MulticastMsg::Rm(_)))
+            .map(|(to, _)| to)
+            .collect();
+        // Data copies go to p1 (own group) and p2, p3 (g1) — never to g2.
+        assert_eq!(tos, vec![ProcessId(1), ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn single_member_group_decides_and_enters_s1() {
+        // 2 groups x 1 process: consensus is local, so the cast handler's
+        // self-addressed consensus messages drive the instance once fed
+        // back. Feed them manually and check m reaches stage S1 with a TS
+        // message to the other group.
+        let topo = Arc::new(Topology::symmetric(2, 1));
+        let mut p0 = GenuineMulticast::new(ProcessId(0), &topo, MulticastConfig::default());
+        let mut out = Outbox::new();
+        p0.on_cast(msg(0, 0, &[0, 1]), &ctx(0, &topo), &mut out);
+        let mut queue = sends(&mut out);
+        let mut ts_seen = false;
+        let mut guard = 0;
+        while let Some((to, m)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 100);
+            if to != ProcessId(0) {
+                if let MulticastMsg::Ts(e) = &m {
+                    ts_seen = true;
+                    assert_eq!(e.stage, Stage::S1);
+                    assert_eq!(e.ts, 1, "proposal = deciding instance number");
+                }
+                continue; // remote copies not simulated here
+            }
+            let mut out = Outbox::new();
+            p0.on_message(ProcessId(0), m, &ctx(0, &topo), &mut out);
+            queue.extend(sends(&mut out));
+        }
+        assert!(ts_seen, "a (TS, m) message must go to g1");
+        assert_eq!(p0.clock(), 2, "K advances past the proposal");
+        assert_eq!(p0.pending_len(), 1);
+    }
+
+    #[test]
+    fn ts_message_discloses_message_and_resolves_s1() {
+        // p0 learns m only via (TS, m) from the remote group; after its own
+        // group's consensus the remote proposal is already there.
+        let topo = Arc::new(Topology::symmetric(2, 1));
+        let mut p0 = GenuineMulticast::new(ProcessId(0), &topo, MulticastConfig::default());
+        let m = msg(1, 0, &[0, 1]); // cast by p1 (g1)
+        let entry = MsgEntry {
+            msg: m.clone(),
+            ts: 1,
+            stage: Stage::S1,
+        };
+        let mut out = Outbox::new();
+        p0.on_message(ProcessId(1), MulticastMsg::Ts(entry), &ctx(0, &topo), &mut out);
+        // m is now pending in s0 and proposed to consensus.
+        assert_eq!(p0.pending_len(), 1);
+        let mut queue = sends(&mut out);
+        let mut delivered = false;
+        let mut guard = 0;
+        while let Some((to, w)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 100);
+            if to != ProcessId(0) {
+                continue;
+            }
+            let mut out = Outbox::new();
+            p0.on_message(ProcessId(0), w, &ctx(0, &topo), &mut out);
+            for a in out.drain() {
+                match a {
+                    Action::Send { to, msg } => queue.push((to, msg)),
+                    Action::Deliver(d) => {
+                        assert_eq!(d.id, m.id);
+                        delivered = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Own proposal (instance 1) equals the remote proposal (1): skip s2
+        // and deliver.
+        assert!(delivered, "m must be A-Delivered after s1 resolution");
+        assert_eq!(p0.pending_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_rm_copies_are_ignored() {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let mut p2 = GenuineMulticast::new(ProcessId(2), &topo, MulticastConfig::default());
+        let m = msg(0, 0, &[0, 1]);
+        let wire = MulticastMsg::Rm(wamcast_rmcast::RmcastMsg::Data(m));
+        let mut out = Outbox::new();
+        p2.on_message(ProcessId(0), wire.clone(), &ctx(2, &topo), &mut out);
+        assert_eq!(p2.pending_len(), 1);
+        let mut out2 = Outbox::new();
+        p2.on_message(ProcessId(1), wire, &ctx(2, &topo), &mut out2);
+        assert_eq!(p2.pending_len(), 1, "second copy must not re-add");
+        assert!(out2.is_empty(), "no actions for a duplicate");
+    }
+
+    #[test]
+    fn remote_crash_notification_does_not_touch_consensus() {
+        // A crash in *another* group only concerns the rmcast relay; the
+        // local consensus engine must not be suspicious of a non-member.
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let mut p0 = GenuineMulticast::new(ProcessId(0), &topo, MulticastConfig::default());
+        let mut out = Outbox::new();
+        p0.on_crash_notification(ProcessId(3), &ctx(0, &topo), &mut out);
+        assert!(out.is_empty(), "nothing pending, nothing to do");
+    }
+}

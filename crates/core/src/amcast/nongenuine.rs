@@ -1,0 +1,90 @@
+//! Non-genuine atomic multicast by reduction to atomic broadcast (§1).
+//!
+//! "Every message is broadcast to all the groups in the system and only
+//! delivered by those processes the message is originally addressed to.
+//! Obviously, this solution is inefficient as it implies communication among
+//! processes that are not concerned by the multicast messages." (§1)
+//!
+//! The reduction is nevertheless the *latency-optimal* choice: riding
+//! Algorithm A2 gives latency degree 1 while any genuine multicast pays 2
+//! (Proposition 3.1). The price is message complexity — O(n²) per round
+//! regardless of `|m.dest|` — and the involvement of bystander groups,
+//! violating genuineness. The experiment harness uses this protocol to
+//! reproduce the paper's latency/bandwidth trade-off discussion.
+
+use crate::abcast::{BroadcastMsg, RoundBroadcast};
+use wamcast_types::{Action, AppMessage, Context, Outbox, ProcessId, Protocol, Topology};
+
+/// Atomic multicast implemented as "A-BCast everywhere, filter deliveries".
+///
+/// Satisfies all atomic multicast properties of §2.2 **except**
+/// genuineness: processes outside `m.dest` participate in every round.
+#[derive(Debug)]
+pub struct NonGenuineMulticast {
+    inner: RoundBroadcast,
+    me: ProcessId,
+}
+
+impl NonGenuineMulticast {
+    /// Creates the protocol instance for process `me` of `topo`.
+    pub fn new(me: ProcessId, topo: &Topology) -> Self {
+        NonGenuineMulticast {
+            inner: RoundBroadcast::new(me, topo),
+            me,
+        }
+    }
+
+    /// The wrapped broadcast instance, for inspection.
+    pub fn broadcast(&self) -> &RoundBroadcast {
+        &self.inner
+    }
+
+    /// Re-emit the inner protocol's actions, dropping deliveries of
+    /// messages not addressed to this process.
+    fn filter(&self, ctx: &Context, tmp: &mut Outbox<BroadcastMsg>, out: &mut Outbox<BroadcastMsg>) {
+        for action in tmp.drain() {
+            match action {
+                Action::Deliver(m) => {
+                    if ctx.topology().addresses(m.dest, self.me) {
+                        out.deliver(m);
+                    }
+                }
+                Action::Send { to, msg } => out.send(to, msg),
+                Action::Timer { after, kind } => out.set_timer(after, kind),
+            }
+        }
+    }
+}
+
+impl Protocol for NonGenuineMulticast {
+    type Msg = BroadcastMsg;
+
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_cast(msg, ctx, &mut tmp);
+        self.filter(ctx, &mut tmp, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BroadcastMsg,
+        ctx: &Context,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_message(from, msg, ctx, &mut tmp);
+        self.filter(ctx, &mut tmp, out);
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_crash_notification(crashed, ctx, &mut tmp);
+        self.filter(ctx, &mut tmp, out);
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's contributions: optimal atomic multicast and broadcast.
+//!
+//! This crate implements the two algorithms of Schiper & Pedone, *Optimal
+//! Atomic Broadcast and Multicast Algorithms for Wide Area Networks* (PODC
+//! 2007):
+//!
+//! * [`GenuineMulticast`] — **Algorithm A1** (§4): a genuine atomic
+//!   multicast in which every message travels through up to four stages
+//!   (timestamp proposal, proposal exchange, clock catch-up, delivery). Its
+//!   latency degree is 2 for messages addressed to multiple groups, which
+//!   is **optimal** by the paper's Proposition 3.1; single-group messages
+//!   skip straight to delivery (latency degree 0/1). Stage skipping — the
+//!   paper's improvement over Fritzke et al. [5] — is configurable via
+//!   [`MulticastConfig`], which is also how the Fritzke baseline is built.
+//! * [`RoundBroadcast`] — **Algorithm A2** (§5): the first fault-tolerant
+//!   atomic broadcast with latency degree 1. Processes proactively run
+//!   rounds (consensus on a bundle inside each group, then a bundle
+//!   exchange between groups); the round structure makes delivery possible
+//!   one inter-group delay after a cast. The protocol is *quiescent*: when
+//!   rounds stop delivering messages, processes stop executing rounds, at
+//!   the provably unavoidable cost (Theorem 5.2) of a latency degree of 2
+//!   for a message broadcast after quiescence.
+//! * [`NonGenuineMulticast`] — the §1 strawman: multicast implemented by
+//!   broadcasting to all groups via A2 and filtering deliveries. Latency
+//!   degree 1–2 but O(n²) messages per cast regardless of `|m.dest|`; the
+//!   other side of the genuineness trade-off.
+//!
+//! All three are sans-io [`Protocol`]s (see `wamcast_types::proto`) and run
+//! unchanged under the deterministic simulator (`wamcast-sim`) and the
+//! threaded runtime (`wamcast-net`).
+//!
+//! [`Protocol`]: wamcast_types::Protocol
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abcast;
+pub mod amcast;
+
+pub use abcast::{BroadcastMsg, RoundBroadcast};
+pub use amcast::nongenuine::NonGenuineMulticast;
+pub use amcast::{GenuineMulticast, MulticastConfig, MulticastMsg, Stage};

@@ -1,0 +1,85 @@
+//! E11 (extension) — quiescence-prediction horizons, the §5.3 future work.
+//!
+//! "In case the broadcast frequency is too low or not constant, to prevent
+//! processes from stopping prematurely, more elaborate prediction
+//! strategies based on application behavior could be used." (§5.3)
+//!
+//! We implement the simplest such family — run up to h consecutive empty
+//! rounds after the last useful one — and measure, per horizon h, how long
+//! the latency-degree-1 window stays open after a burst and what the idle
+//! traffic costs.
+
+use std::time::Duration;
+use wamcast_core::RoundBroadcast;
+use wamcast_harness::Table;
+use wamcast_sim::{SimConfig, Simulation};
+use wamcast_types::{Payload, ProcessId, SimTime, Topology};
+
+fn main() {
+    println!("A2 quiescence-prediction horizons (2 groups x 3, 100 ms WAN):");
+    println!("(burst of 8 broadcasts, then a probe after a growing gap)\n");
+    let mut t = Table::new(vec![
+        "horizon (empty rounds)",
+        "Δ=1 window after burst",
+        "idle msgs after last delivery",
+    ]);
+    for horizon in [1u64, 2, 4, 8, 16] {
+        // Find the largest probe gap (100 ms granularity) still giving Δ=1.
+        let mut window_ms = 0u64;
+        for gap in (0..4000).step_by(100) {
+            if probe_degree(horizon, gap) == 1 {
+                window_ms = gap;
+            }
+        }
+        let idle = idle_traffic(horizon);
+        t.row(vec![
+            horizon.to_string(),
+            format!("~{window_ms} ms"),
+            idle.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("horizon 1 is the paper's Algorithm A2 (lines 22-23). Larger horizons");
+    println!("buy a longer optimal-latency window after traffic stops, paying linearly");
+    println!("in idle bundle exchanges — the §5.3 prediction trade-off, quantified.");
+}
+
+fn probe_degree(horizon: u64, gap_ms: u64) -> u64 {
+    let cfg = SimConfig::default().with_seed(0xE11);
+    let mut sim = Simulation::new(Topology::symmetric(2, 3), cfg, move |p, t| {
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(25)).with_idle_rounds(horizon)
+    });
+    let dest = sim.topology().all_groups();
+    for i in 0..8u64 {
+        sim.cast_at(
+            SimTime::from_millis(i * 50),
+            ProcessId((i % 3) as u32),
+            dest,
+            Payload::new(),
+        );
+    }
+    let probe = sim.cast_at(
+        SimTime::from_millis(400 + gap_ms),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
+    sim.run_to_quiescence();
+    sim.metrics().latency_degree(probe).unwrap_or(99)
+}
+
+fn idle_traffic(horizon: u64) -> u64 {
+    let cfg = SimConfig::default().with_seed(0xE11);
+    let mut sim = Simulation::new(Topology::symmetric(2, 3), cfg, move |p, t| {
+        RoundBroadcast::new(p, t).with_idle_rounds(horizon)
+    });
+    let dest = sim.topology().all_groups();
+    let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+    sim.run_to_quiescence();
+    let last = sim.metrics().deliveries[&id]
+        .values()
+        .map(|d| d.time)
+        .max()
+        .unwrap();
+    sim.metrics().sends_after(last)
+}

@@ -1,0 +1,87 @@
+//! E10 — Quiescence cost: messages sent after the last cast.
+//!
+//! A2 is quiescent (Proposition A.9): after a finite burst it eventually
+//! stops sending. The deterministic merge [1] achieves latency degree 1
+//! precisely by *never* stopping. This experiment counts post-burst traffic
+//! for both, quantifying the §3 trade-off between quiescence and latency.
+
+use std::time::Duration;
+use wamcast_baselines::DeterministicMerge;
+use wamcast_core::RoundBroadcast;
+use wamcast_harness::Table;
+use wamcast_sim::{SimConfig, Simulation};
+use wamcast_types::{Payload, ProcessId, SimTime, Topology};
+
+fn main() {
+    let mut t = Table::new(vec![
+        "protocol",
+        "msgs in burst window",
+        "msgs 1 s after burst",
+        "msgs 5-10 s after",
+        "quiescent?",
+    ]);
+    let burst_end = SimTime::from_millis(500);
+
+    // A2: burst of 10 broadcasts over 0.5 s, then silence.
+    {
+        let cfg = SimConfig::default().with_seed(0xE10);
+        let mut sim = Simulation::new(Topology::symmetric(2, 2), cfg, |p, topo| {
+            RoundBroadcast::new(p, topo)
+        });
+        let dest = sim.topology().all_groups();
+        for i in 0..10u64 {
+            sim.cast_at(SimTime::from_millis(i * 50), ProcessId((i % 4) as u32), dest, Payload::new());
+        }
+        sim.run_until(SimTime::from_millis(10_000));
+        report(&mut t, "A2 (quiescent)", &sim, burst_end);
+    }
+
+    // Deterministic merge: same burst; heartbeats continue forever.
+    {
+        let cfg = SimConfig::default().with_seed(0xE10);
+        let mut sim = Simulation::new(Topology::symmetric(2, 2), cfg, |p, _| {
+            DeterministicMerge::new(p, Duration::from_millis(100))
+        });
+        let dest = sim.topology().all_groups();
+        for i in 0..10u64 {
+            sim.cast_at(SimTime::from_millis(i * 50), ProcessId((i % 4) as u32), dest, Payload::new());
+        }
+        sim.run_until(SimTime::from_millis(10_000));
+        report(&mut t, "detmerge [1] (streams)", &sim, burst_end);
+    }
+
+    println!("Quiescence after a finite burst (10 broadcasts in 0.5 s):\n");
+    println!("{}", t.render());
+    println!("expected: A2's traffic ends within ~2 rounds of the burst (Prop A.9);");
+    println!("[1] keeps heartbeating forever — the price of its latency degree 1, and");
+    println!("the reason quiescent algorithms cannot always achieve it (Theorem 5.2).");
+}
+
+fn report<P: wamcast_types::Protocol>(
+    t: &mut Table,
+    name: &str,
+    sim: &Simulation<P>,
+    burst_end: SimTime,
+) {
+    let m = sim.metrics();
+    let in_burst = m.send_log.iter().filter(|s| s.time <= burst_end).count();
+    let settle = burst_end + Duration::from_secs(1);
+    let after_1s = m
+        .send_log
+        .iter()
+        .filter(|s| s.time > settle && s.time <= SimTime::from_millis(5_000))
+        .count();
+    let tail = m
+        .send_log
+        .iter()
+        .filter(|s| s.time > SimTime::from_millis(5_000))
+        .count();
+    let quiescent = tail == 0;
+    t.row(vec![
+        name.into(),
+        in_burst.to_string(),
+        after_1s.to_string(),
+        tail.to_string(),
+        if quiescent { "yes".into() } else { "no".into() },
+    ]);
+}

@@ -1,0 +1,70 @@
+//! E3/E4/E5 — Witness runs for Theorems 4.1, 5.1 and 5.2.
+
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_harness::{measure_broadcast_steady, measure_one_multicast, Table};
+use wamcast_sim::NetConfig;
+use wamcast_types::SimTime;
+
+fn main() {
+    let mut t = Table::new(vec!["theorem", "claim", "measured", "verdict"]);
+
+    // Theorem 4.1: ∃ run of A1 with a message A-MCast to two groups and Δ = 2.
+    let a1 = measure_one_multicast(
+        2,
+        3,
+        2,
+        |p, topo| GenuineMulticast::new(p, topo, MulticastConfig::default()),
+        true,
+        SimTime::ZERO,
+        SimTime::ZERO + Duration::from_secs(600),
+    );
+    t.row(vec![
+        "4.1 (A1 multicast to 2 groups)".into(),
+        "Δ = 2".into(),
+        format!("Δ = {}", a1.degree),
+        verdict(a1.degree == 2),
+    ]);
+
+    // Theorem 5.1: ∃ run of A2 with Δ = 1 (rounds active at every group).
+    let warm = measure_broadcast_steady(
+        2,
+        3,
+        |p, topo| RoundBroadcast::with_pacing(p, topo, Duration::from_millis(25)),
+        8,
+        Duration::from_millis(50),
+        true,
+        NetConfig::default(),
+    );
+    t.row(vec![
+        "5.1 (A2 during active rounds)".into(),
+        "Δ = 1".into(),
+        format!("Δ = {}", warm.probe_degree),
+        verdict(warm.probe_degree == 1),
+    ]);
+
+    // Theorem 5.2: the last message, broadcast when processes are reactive
+    // (quiescent), has Δ = 2.
+    let cold = measure_broadcast_steady(
+        2,
+        3,
+        RoundBroadcast::new,
+        0,
+        Duration::from_millis(50),
+        true,
+        NetConfig::default(),
+    );
+    t.row(vec![
+        "5.2 (A2 after quiescence)".into(),
+        "Δ = 2".into(),
+        format!("Δ = {}", cold.probe_degree),
+        verdict(cold.probe_degree == 2),
+    ]);
+
+    println!("Witness runs for the paper's theorems (2 groups x 3 processes, 100 ms WAN):\n");
+    println!("{}", t.render());
+}
+
+fn verdict(ok: bool) -> String {
+    if ok { "reproduced".into() } else { "MISMATCH".into() }
+}

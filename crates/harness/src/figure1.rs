@@ -1,0 +1,329 @@
+//! Figure 1 of the paper: the algorithm comparison tables.
+//!
+//! The paper compares, in the best case (no failure, no suspicion), the
+//! latency degree and the number of inter-group messages of each algorithm,
+//! with `d` processes per group, `k` destination groups and `n = kd`
+//! processes. This module reruns every algorithm in the simulator and
+//! produces the measured counterpart of each row.
+
+use crate::measure::{measure_broadcast_steady, measure_one_multicast};
+use std::time::Duration;
+use wamcast_baselines::{
+    fritzke_multicast, DeterministicMerge, OptimisticBroadcast, RingMulticast,
+    RodriguesMulticast, SequencerBroadcast, SkeenMulticast,
+};
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_sim::NetConfig;
+use wamcast_types::{ProcessId, SimTime};
+
+/// One comparison row: paper claim vs. measurement.
+#[derive(Clone, Debug)]
+pub struct Figure1Row {
+    /// Algorithm label as in Figure 1.
+    pub algorithm: String,
+    /// The paper's latency degree (symbolic, e.g. "k+1").
+    pub paper_degree: String,
+    /// Measured latency degree.
+    pub measured_degree: u64,
+    /// The paper's inter-group message complexity class.
+    pub paper_msgs: String,
+    /// Measured inter-group message copies for one cast.
+    pub measured_msgs: u64,
+    /// Measured virtual-time delivery latency (cast → last delivery).
+    pub wall: Duration,
+}
+
+impl Figure1Row {
+    /// Formats the row for [`crate::Table`].
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.algorithm.clone(),
+            self.paper_degree.clone(),
+            self.measured_degree.to_string(),
+            self.paper_msgs.clone(),
+            self.measured_msgs.to_string(),
+            format!("{:.1} ms", self.wall.as_secs_f64() * 1e3),
+        ]
+    }
+}
+
+fn horizon() -> SimTime {
+    SimTime::from_nanos(600_000_000_000)
+}
+
+/// Reproduces **Figure 1(a)** (atomic multicast) for a message multicast to
+/// `k` groups of `d` processes.
+pub fn figure1a_rows(k: usize, d: usize) -> Vec<Figure1Row> {
+    let mut rows = Vec::new();
+
+    let ring = measure_one_multicast(k, d, k, RingMulticast::new, true, SimTime::ZERO, horizon());
+    rows.push(Figure1Row {
+        algorithm: "[4] Delporte-G. & Fauconnier (ring)".into(),
+        paper_degree: "k+1".into(),
+        measured_degree: ring.degree,
+        paper_msgs: "O(kd^2)".into(),
+        measured_msgs: ring.inter_msgs,
+        wall: ring.wall,
+    });
+
+    let rod = measure_one_multicast(
+        k,
+        d,
+        k,
+        |p, _| RodriguesMulticast::new(p),
+        true,
+        SimTime::ZERO,
+        horizon(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[10] Rodrigues et al.".into(),
+        paper_degree: "4".into(),
+        measured_degree: rod.degree,
+        paper_msgs: "O(k^2 d^2)".into(),
+        measured_msgs: rod.inter_msgs,
+        wall: rod.wall,
+    });
+
+    let fri = measure_one_multicast(k, d, k, fritzke_multicast, true, SimTime::ZERO, horizon());
+    rows.push(Figure1Row {
+        algorithm: "[5] Fritzke et al.".into(),
+        paper_degree: "2".into(),
+        measured_degree: fri.degree,
+        paper_msgs: "O(k^2 d^2)".into(),
+        measured_msgs: fri.inter_msgs,
+        wall: fri.wall,
+    });
+
+    let a1 = measure_one_multicast(
+        k,
+        d,
+        k,
+        |p, t| GenuineMulticast::new(p, t, MulticastConfig::default()),
+        true,
+        SimTime::ZERO,
+        horizon(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "Algorithm A1 (this paper)".into(),
+        paper_degree: "2".into(),
+        measured_degree: a1.degree,
+        paper_msgs: "O(k^2 d^2)".into(),
+        measured_msgs: a1.inter_msgs,
+        wall: a1.wall,
+    });
+
+    // [1] runs in its stronger streams model: heartbeats, never quiescent;
+    // cast timed just before the other publishers' heartbeats and counted
+    // in the delivery window only (see DESIGN.md).
+    let skeen = measure_one_multicast(
+        k,
+        d,
+        k,
+        |p, _| SkeenMulticast::new(p),
+        true,
+        SimTime::ZERO,
+        horizon(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[2] Skeen (failure-free)".into(),
+        paper_degree: "2".into(),
+        measured_degree: skeen.degree,
+        paper_msgs: "O(k^2 d^2)".into(),
+        measured_msgs: skeen.inter_msgs,
+        wall: skeen.wall,
+    });
+
+    let merge = measure_one_multicast(
+        k,
+        d,
+        k,
+        |p, _| {
+            let phase = if p == ProcessId(((k - 1) * d) as u32) {
+                Duration::from_millis(500)
+            } else {
+                Duration::from_secs(1)
+            };
+            DeterministicMerge::with_phase(p, Duration::from_secs(1), phase)
+        },
+        false,
+        SimTime::from_millis(1950),
+        horizon(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[1] Aguilera & Strom (streams)".into(),
+        paper_degree: "1".into(),
+        measured_degree: merge.degree,
+        paper_msgs: "O(kd)".into(),
+        measured_msgs: detmerge_marginal_msgs(k, d),
+        wall: merge.wall,
+    });
+
+    rows
+}
+
+/// The *marginal* inter-group cost of one [1] cast: its standing heartbeat
+/// traffic is independent of casts, so we run the same scenario with and
+/// without the cast and subtract. (The paper's O(kd) is the per-message
+/// stream cost in a model where data messages themselves are the stream.)
+fn detmerge_marginal_msgs(k: usize, d: usize) -> u64 {
+    use wamcast_sim::{SimConfig, Simulation};
+    use wamcast_types::{GroupSet, Payload, Topology};
+    let run = |with_cast: bool| {
+        let cfg = SimConfig::default().with_seed(0xF1C);
+        let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, |p, _| {
+            DeterministicMerge::new(p, Duration::from_secs(1))
+        });
+        if with_cast {
+            let caster = ProcessId(((k - 1) * d) as u32);
+            sim.cast_at(
+                SimTime::from_millis(1950),
+                caster,
+                GroupSet::first_n(k),
+                Payload::new(),
+            );
+        }
+        sim.run_until(SimTime::from_millis(5_000));
+        sim.metrics().inter_sends
+    };
+    run(true).saturating_sub(run(false))
+}
+
+/// Reproduces **Figure 1(b)** (atomic broadcast) for `k` groups of `d`
+/// processes (`n = kd`).
+pub fn figure1b_rows(k: usize, d: usize) -> Vec<Figure1Row> {
+    let mut rows = Vec::new();
+    let warm = 8;
+    let gap = Duration::from_millis(50);
+
+    let opt = measure_broadcast_steady(
+        k,
+        d,
+        |p, _| OptimisticBroadcast::new(p, Duration::from_millis(5)),
+        warm,
+        gap,
+        true,
+        NetConfig::default(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[12] Sousa et al. (optimistic, non-uniform)".into(),
+        paper_degree: "2".into(),
+        measured_degree: opt.probe_degree,
+        paper_msgs: "O(n)".into(),
+        measured_msgs: opt.probe_inter_msgs,
+        wall: opt.probe_wall,
+    });
+
+    let seq = measure_broadcast_steady(
+        k,
+        d,
+        |p, _| SequencerBroadcast::new(p),
+        warm,
+        gap,
+        true,
+        NetConfig::default(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[13] Vicente & Rodrigues (sequencers)".into(),
+        paper_degree: "2".into(),
+        measured_degree: seq.probe_degree,
+        paper_msgs: "O(n^2)".into(),
+        measured_msgs: seq.probe_inter_msgs,
+        wall: seq.probe_wall,
+    });
+
+    let a2 = measure_broadcast_steady(
+        k,
+        d,
+        |p, t| RoundBroadcast::with_pacing(p, t, Duration::from_millis(25)),
+        warm,
+        gap,
+        true,
+        NetConfig::default(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "Algorithm A2 (this paper)".into(),
+        paper_degree: "1".into(),
+        measured_degree: a2.probe_degree,
+        paper_msgs: "O(n^2)".into(),
+        measured_msgs: a2.probe_inter_msgs,
+        wall: a2.probe_wall,
+    });
+
+    let probe_caster = ProcessId(((k - 1) * d) as u32);
+    let merge = measure_broadcast_steady(
+        k,
+        d,
+        move |p, _| {
+            let phase = if p == probe_caster {
+                Duration::from_millis(500)
+            } else {
+                Duration::from_secs(1)
+            };
+            DeterministicMerge::with_phase(p, Duration::from_secs(1), phase)
+        },
+        0, // streams model: heartbeats warm it, no message warm-up needed
+        Duration::from_millis(1950),
+        false,
+        NetConfig::default(),
+    );
+    rows.push(Figure1Row {
+        algorithm: "[1] Aguilera & Strom (streams)".into(),
+        paper_degree: "1".into(),
+        measured_degree: merge.probe_degree,
+        paper_msgs: "O(n)".into(),
+        measured_msgs: merge.probe_inter_msgs,
+        wall: merge.probe_wall,
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1a_degrees_match_paper() {
+        let rows = figure1a_rows(2, 2);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.algorithm.contains(n))
+                .unwrap_or_else(|| panic!("row {n}"))
+        };
+        assert_eq!(by_name("[4]").measured_degree, 3, "k+1 with k=2");
+        assert_eq!(by_name("[10]").measured_degree, 4);
+        assert_eq!(by_name("[5]").measured_degree, 2);
+        assert_eq!(by_name("A1").measured_degree, 2);
+        assert_eq!(by_name("Skeen").measured_degree, 2);
+        assert_eq!(by_name("[1]").measured_degree, 1);
+    }
+
+    #[test]
+    fn figure1b_degrees_match_paper() {
+        let rows = figure1b_rows(2, 2);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.algorithm.contains(n))
+                .unwrap_or_else(|| panic!("row {n}"))
+        };
+        assert_eq!(by_name("[12]").measured_degree, 2);
+        assert_eq!(by_name("[13]").measured_degree, 2);
+        assert_eq!(by_name("A2").measured_degree, 1);
+        assert_eq!(by_name("[1]").measured_degree, 1);
+    }
+
+    #[test]
+    fn figure1a_message_ordering_matches_complexity_classes() {
+        // O(kd²) [4] must send fewer inter-group copies than O(k²d²) peers
+        // once k grows.
+        let rows = figure1a_rows(4, 3);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.algorithm.contains(n))
+                .unwrap()
+                .measured_msgs
+        };
+        assert!(by_name("[4]") < by_name("A1"));
+        assert!(by_name("[1]") < by_name("[4]"));
+    }
+}

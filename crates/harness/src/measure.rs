@@ -1,0 +1,166 @@
+//! Generic scenario runners shared by the experiment binaries and benches.
+
+use std::time::Duration;
+use wamcast_sim::{invariants, NetConfig, SimConfig, Simulation};
+use wamcast_types::{GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
+
+/// Result of a single-message multicast measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OneShot {
+    /// Measured latency degree Δ(m, R) (§2.3).
+    pub degree: u64,
+    /// Inter-group message copies sent during the run.
+    pub inter_msgs: u64,
+    /// Intra-group message copies sent during the run.
+    pub intra_msgs: u64,
+    /// Virtual-time latency from cast to last delivery.
+    pub wall: Duration,
+}
+
+/// Casts one message and measures it. The caster is the first process of
+/// the **last** destination group (the placement under which the paper's
+/// Figure 1 worst-case accounting holds for every algorithm).
+///
+/// Quiescent protocols are run to quiescence so the message count is the
+/// complete per-cast cost; non-quiescent ones are cut off at `horizon`
+/// with the count restricted to `[cast, last delivery]`.
+pub fn measure_one_multicast<P: Protocol>(
+    k: usize,
+    d: usize,
+    dest_groups: usize,
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+    quiescent: bool,
+    cast_at: SimTime,
+    horizon: SimTime,
+) -> OneShot {
+    let cfg = SimConfig::default().with_seed(0xF1A);
+    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, factory);
+    let dest = GroupSet::first_n(dest_groups);
+    let caster = ProcessId(((dest_groups - 1) * d) as u32);
+    let id = sim.cast_at(cast_at, caster, dest, Payload::new());
+    let ok = sim.run_until_delivered(&[id], horizon);
+    assert!(ok, "message not delivered within horizon");
+    if quiescent {
+        sim.run_to_quiescence();
+    }
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    let m = sim.metrics();
+    let degree = m.latency_degree(id).expect("delivered");
+    let wall = m.delivery_latency(id).expect("delivered");
+    let (inter, intra) = if quiescent {
+        (m.inter_sends, m.intra_sends)
+    } else {
+        let last = m.deliveries[&id].values().map(|d| d.time).max().unwrap();
+        (m.inter_sends_in_window(cast_at, last), m.intra_sends)
+    };
+    OneShot {
+        degree,
+        inter_msgs: inter,
+        intra_msgs: intra,
+        wall,
+    }
+}
+
+/// Result of a steady-state broadcast measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BroadcastSteady {
+    /// Latency degree of the probe message (cast in the steady state).
+    pub probe_degree: u64,
+    /// Latency degree of the very first message (the wake-up cost).
+    pub first_degree: u64,
+    /// Inter-group copies attributable to the probe's round window.
+    pub probe_inter_msgs: u64,
+    /// Virtual-time latency of the probe.
+    pub probe_wall: Duration,
+    /// Latency degrees of the full warm-up stream, in cast order.
+    pub stream_degrees: Vec<u64>,
+}
+
+/// Warms a broadcast protocol with a stream of `warm` messages (gap
+/// `gap`), then probes it with one more and measures the probe.
+pub fn measure_broadcast_steady<P: Protocol>(
+    k: usize,
+    d: usize,
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+    warm: u64,
+    gap: Duration,
+    quiescent: bool,
+    net: NetConfig,
+) -> BroadcastSteady {
+    let cfg = SimConfig::default().with_seed(0xF1B).with_net(net);
+    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, factory);
+    let dest = sim.topology().all_groups();
+    let mut ids = Vec::new();
+    for i in 0..warm {
+        let at = SimTime::from_nanos(i * gap.as_nanos() as u64);
+        ids.push(sim.cast_at(at, ProcessId((i % d as u64) as u32), dest, Payload::new()));
+    }
+    // The probe comes from the first process of the *last* group, so that
+    // sequencer-based baselines cannot collapse dissemination and ordering
+    // into one hop (the sequencer lives in group 0).
+    let probe_at = SimTime::from_nanos(warm.max(1) * gap.as_nanos() as u64);
+    let probe_caster = ProcessId(((k - 1) * d) as u32);
+    let probe = sim.cast_at(probe_at, probe_caster, dest, Payload::new());
+    ids.push(probe);
+    let horizon = probe_at + Duration::from_secs(600);
+    let ok = sim.run_until_delivered(&ids, horizon);
+    assert!(ok, "broadcast stream not delivered");
+    if quiescent {
+        sim.run_to_quiescence();
+    } else {
+        sim.run_until(sim.now() + Duration::from_secs(5));
+    }
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    let m = sim.metrics();
+    let last = m.deliveries[&probe].values().map(|d| d.time).max().unwrap();
+    BroadcastSteady {
+        probe_degree: m.latency_degree(probe).expect("delivered"),
+        first_degree: m.latency_degree(ids[0]).expect("delivered"),
+        probe_inter_msgs: m.inter_sends_in_window(probe_at, last),
+        probe_wall: m.delivery_latency(probe).expect("delivered"),
+        stream_degrees: ids
+            .iter()
+            .map(|&i| m.latency_degree(i).expect("delivered"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+
+    #[test]
+    fn one_shot_a1_matches_theorem() {
+        let r = measure_one_multicast(
+            2,
+            2,
+            2,
+            |p, t| GenuineMulticast::new(p, t, MulticastConfig::default()),
+            true,
+            SimTime::ZERO,
+            SimTime::from_millis(600_000),
+        );
+        assert_eq!(r.degree, 2);
+        assert!(r.inter_msgs > 0);
+        assert!(r.wall >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn steady_state_a2_probe_is_degree_one() {
+        let r = measure_broadcast_steady(
+            2,
+            2,
+            |p, t| RoundBroadcast::with_pacing(p, t, Duration::from_millis(25)),
+            8,
+            Duration::from_millis(50),
+            true,
+            NetConfig::default(),
+        );
+        assert_eq!(r.probe_degree, 1);
+        assert_eq!(r.first_degree, 2);
+        assert_eq!(r.stream_degrees.len(), 9);
+    }
+}

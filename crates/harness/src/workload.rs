@@ -1,0 +1,119 @@
+//! Workload generators for loaded experiments.
+//!
+//! Figure 1 measures isolated casts; real deployments see streams. These
+//! generators produce deterministic, seeded arrival schedules for the
+//! loaded-latency experiments and the §5.3 frequency sweeps.
+
+use std::time::Duration;
+use wamcast_sim::SplitMix64;
+use wamcast_types::{GroupId, GroupSet, ProcessId, SimTime, Topology};
+
+/// One planned cast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedCast {
+    /// When to cast.
+    pub at: SimTime,
+    /// Which process casts.
+    pub caster: ProcessId,
+    /// Destination groups.
+    pub dest: GroupSet,
+}
+
+/// Poisson arrivals: exponential inter-arrival times with the given mean
+/// rate, casters drawn uniformly, destinations drawn from `dest_choices`.
+///
+/// Deterministic for a given seed.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_harness::workload::{poisson, PlannedCast};
+/// use wamcast_types::{GroupSet, Topology};
+/// use std::time::Duration;
+///
+/// let topo = Topology::symmetric(2, 2);
+/// let all = vec![topo.all_groups()];
+/// let plan = poisson(&topo, 50.0, Duration::from_secs(1), &all, 7);
+/// assert!(!plan.is_empty());
+/// assert!(plan.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+/// ```
+pub fn poisson(
+    topo: &Topology,
+    rate_per_sec: f64,
+    horizon: Duration,
+    dest_choices: &[GroupSet],
+    seed: u64,
+) -> Vec<PlannedCast> {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    assert!(!dest_choices.is_empty(), "need at least one destination choice");
+    let mut rng = SplitMix64::new(seed);
+    let mut plan = Vec::new();
+    let mut t_ns = 0f64;
+    let horizon_ns = horizon.as_nanos() as f64;
+    let mean_gap_ns = 1e9 / rate_per_sec;
+    loop {
+        // Exponential inter-arrival via inverse transform.
+        let u = rng.next_f64().max(1e-12);
+        t_ns += -u.ln() * mean_gap_ns;
+        if t_ns >= horizon_ns {
+            break;
+        }
+        let caster = ProcessId(rng.next_below(topo.num_processes() as u64) as u32);
+        let dest = dest_choices[rng.next_below(dest_choices.len() as u64) as usize];
+        plan.push(PlannedCast {
+            at: SimTime::from_nanos(t_ns as u64),
+            caster,
+            dest,
+        });
+    }
+    plan
+}
+
+/// All pairs of distinct groups — a uniform partial-replication workload
+/// shape (every operation touches two sites).
+pub fn all_group_pairs(topo: &Topology) -> Vec<GroupSet> {
+    let k = topo.num_groups() as u16;
+    let mut out = Vec::new();
+    for a in 0..k {
+        for b in (a + 1)..k {
+            out.push(GroupSet::from_iter([GroupId(a), GroupId(b)]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_in_horizon() {
+        let topo = Topology::symmetric(3, 2);
+        let dests = all_group_pairs(&topo);
+        let a = poisson(&topo, 100.0, Duration::from_secs(2), &dests, 42);
+        let b = poisson(&topo, 100.0, Duration::from_secs(2), &dests, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| c.at < SimTime::from_millis(2_000)));
+        // Mean rate ballpark: 100/s over 2 s => ~200 casts.
+        assert!((120..320).contains(&a.len()), "{}", a.len());
+        // Casters are valid processes; destinations non-empty.
+        assert!(a.iter().all(|c| c.caster.index() < 6 && !c.dest.is_empty()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = Topology::symmetric(2, 1);
+        let dests = vec![topo.all_groups()];
+        let a = poisson(&topo, 50.0, Duration::from_secs(1), &dests, 1);
+        let b = poisson(&topo, 50.0, Duration::from_secs(1), &dests, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn group_pairs_enumeration() {
+        let topo = Topology::symmetric(4, 1);
+        let pairs = all_group_pairs(&topo);
+        assert_eq!(pairs.len(), 6); // C(4,2)
+        assert!(pairs.iter().all(|d| d.len() == 2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Loaded and geo-asymmetric scenarios: Poisson workloads on A1/A2 and the
+//! realistic three-site geography, all checked against the §2.2 spec.
+
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_harness::workload::{all_group_pairs, poisson};
+use wamcast_sim::{invariants, NetConfig, SimConfig, Simulation};
+use wamcast_types::{MessageId, Payload, ProcessId, SimTime, Topology};
+
+#[test]
+fn a1_poisson_load_delivers_and_orders() {
+    let topo = Topology::symmetric(3, 2);
+    let dests = all_group_pairs(&topo);
+    let plan = poisson(&topo, 30.0, Duration::from_secs(2), &dests, 77);
+    assert!(plan.len() > 30, "workload too small: {}", plan.len());
+    let cfg = SimConfig::default().with_seed(77);
+    let mut sim = Simulation::new(topo, cfg, |p, t| {
+        GenuineMulticast::new(p, t, MulticastConfig::default())
+    });
+    let ids: Vec<MessageId> = plan
+        .iter()
+        .map(|c| sim.cast_at(c.at, c.caster, c.dest, Payload::new()))
+        .collect();
+    assert!(
+        sim.run_until_delivered(&ids, SimTime::from_millis(3_600_000)),
+        "load not drained"
+    );
+    sim.run_to_quiescence();
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    invariants::check_genuineness(sim.topology(), sim.metrics()).assert_ok();
+    // Throughput sanity: commit latency stays ~2 RTT-halves under load
+    // (consensus batches; pending sets drain).
+    let mean_ms: f64 = ids
+        .iter()
+        .filter_map(|&m| sim.metrics().delivery_latency(m))
+        .map(|d| d.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / ids.len() as f64;
+    assert!(
+        (150.0..450.0).contains(&mean_ms),
+        "mean latency {mean_ms} ms out of expected band"
+    );
+}
+
+#[test]
+fn a2_poisson_load_total_order() {
+    let topo = Topology::symmetric(2, 3);
+    let dests = vec![topo.all_groups()];
+    let plan = poisson(&topo, 40.0, Duration::from_secs(2), &dests, 78);
+    let cfg = SimConfig::default().with_seed(78);
+    let mut sim = Simulation::new(topo, cfg, |p, t| {
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(20))
+    });
+    let ids: Vec<MessageId> = plan
+        .iter()
+        .map(|c| sim.cast_at(c.at, c.caster, c.dest, Payload::new()))
+        .collect();
+    assert!(sim.run_until_delivered(&ids, SimTime::from_millis(3_600_000)));
+    sim.run_to_quiescence();
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    let reference = &sim.metrics().delivered_seq[0];
+    assert_eq!(reference.len(), ids.len());
+    for p in sim.topology().processes() {
+        assert_eq!(&sim.metrics().delivered_seq[p.index()], reference);
+    }
+    // §5.3: at 40/s the steady state should be overwhelmingly degree 1.
+    let ones = ids
+        .iter()
+        .filter(|&&m| sim.metrics().latency_degree(m) == Some(1))
+        .count();
+    assert!(
+        ones * 2 > ids.len(),
+        "expected a mostly-Δ=1 steady state: {ones}/{}",
+        ids.len()
+    );
+}
+
+#[test]
+fn geo_asymmetric_latencies_shape_a1_commit_times() {
+    // EU(g0)–US(g1) 40 ms, EU–APAC(g2) 120 ms, US–APAC 90 ms. A1's commit
+    // latency for a 2-site multicast is ≈ 2× that pair's one-way latency.
+    // One fresh run per pair: Lamport clocks persist across casts, so a
+    // shared run would let one pair's residual stamps inflate another's
+    // measured degree.
+    let measure = |a: u16, b: u16, caster: u32| -> (f64, u64) {
+        let topo = Topology::symmetric(3, 2);
+        let cfg = SimConfig::default().with_seed(79).with_net(NetConfig::geo());
+        let mut sim = Simulation::new(topo, cfg, |p, t| {
+            GenuineMulticast::new(p, t, MulticastConfig::default())
+        });
+        let dest = wamcast_types::GroupSet::from_iter([
+            wamcast_types::GroupId(a),
+            wamcast_types::GroupId(b),
+        ]);
+        let id = sim.cast_at(SimTime::ZERO, ProcessId(caster), dest, Payload::new());
+        sim.run_to_quiescence();
+        let correct = sim.alive_processes();
+        invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+        (
+            sim.metrics().delivery_latency(id).unwrap().as_secs_f64() * 1e3,
+            sim.metrics().latency_degree(id).unwrap(),
+        )
+    };
+    let (a, da) = measure(0, 1, 0); // EU-US, cast in EU
+    let (b, db) = measure(0, 2, 0); // EU-APAC
+    let (c, dc) = measure(1, 2, 2); // US-APAC, cast in US
+    assert!((75.0..95.0).contains(&a), "EU-US ≈ 2x40 ms, got {a}");
+    assert!((235.0..255.0).contains(&b), "EU-APAC ≈ 2x120 ms, got {b}");
+    assert!((175.0..195.0).contains(&c), "US-APAC ≈ 2x90 ms, got {c}");
+    // Latency degree is 2 regardless of geography — the metric the paper
+    // optimizes counts message *delays*, not their absolute sizes.
+    assert_eq!((da, db, dc), (2, 2, 2));
+}
+
+#[test]
+fn geo_broadcast_waits_for_slowest_site() {
+    // A2 must wait for every group's bundle, so its wall latency tracks the
+    // *slowest* inter-site link even when rounds are warm.
+    let topo = Topology::symmetric(3, 1);
+    let cfg = SimConfig::default().with_seed(80).with_net(NetConfig::geo());
+    let mut sim = Simulation::new(topo, cfg, |p, t| RoundBroadcast::new(p, t));
+    let dest = sim.topology().all_groups();
+    let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+    sim.run_to_quiescence();
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    let wall = sim.metrics().delivery_latency(id).unwrap();
+    // Wake-up path (degree 2) over the slowest links: ≥ 120 + 90 = 210 ms.
+    assert!(
+        wall >= Duration::from_millis(210) && wall <= Duration::from_millis(260),
+        "wall {wall:?}"
+    );
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the threaded runtime: the same protocol cores that
+//! run under the simulator, on real OS threads.
+
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_net::Cluster;
+use wamcast_types::{GroupId, GroupSet, Payload, ProcessId, Topology};
+
+#[test]
+fn a2_total_order_on_threads() {
+    let cluster = Cluster::spawn(Topology::symmetric(2, 2), RoundBroadcast::new);
+    let dest = cluster.topology().all_groups();
+    let mut ids = Vec::new();
+    for i in 0..6u32 {
+        ids.push(cluster.cast(ProcessId(i % 4), dest, Payload::new()));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for &id in &ids {
+        cluster
+            .await_delivery_everywhere(id, Duration::from_secs(10))
+            .expect("delivered");
+    }
+    let reference: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    assert_eq!(reference.len(), 6);
+    for p in cluster.topology().processes() {
+        let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
+        assert_eq!(seq, reference, "{p} diverged");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn a1_genuine_multicast_on_threads() {
+    let cluster = Cluster::spawn(Topology::symmetric(3, 2), |p, t| {
+        GenuineMulticast::new(p, t, MulticastConfig::default())
+    });
+    let d01 = GroupSet::from_iter([GroupId(0), GroupId(1)]);
+    let a = cluster.cast(ProcessId(0), d01, Payload::from_static(b"a"));
+    let b = cluster.cast(ProcessId(2), d01, Payload::from_static(b"b"));
+    for &id in &[a, b] {
+        cluster
+            .await_delivery_everywhere(id, Duration::from_secs(10))
+            .expect("delivered");
+    }
+    // Addressed processes agree on the order; bystanders (g2) saw nothing.
+    let p0: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    let p3: Vec<_> = cluster.delivered(ProcessId(3)).iter().map(|m| m.id).collect();
+    assert_eq!(p0, p3);
+    assert!(cluster.delivered(ProcessId(4)).is_empty());
+    assert!(cluster.delivered(ProcessId(5)).is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn a2_survives_crash_on_threads() {
+    let cluster = Cluster::spawn(Topology::symmetric(2, 3), RoundBroadcast::new);
+    let dest = cluster.topology().all_groups();
+    let warm = cluster.cast(ProcessId(0), dest, Payload::new());
+    cluster
+        .await_delivery_everywhere(warm, Duration::from_secs(10))
+        .expect("warm-up delivered");
+    // Crash g1's ballot-0 coordinator; survivors must still make progress.
+    cluster.crash(ProcessId(3));
+    let id = cluster.cast(ProcessId(0), dest, Payload::new());
+    cluster
+        .await_delivery_everywhere(id, Duration::from_secs(15))
+        .expect("delivered despite crash");
+    assert!(!cluster
+        .delivered(ProcessId(4))
+        .iter()
+        .all(|m| m.id != id));
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_pending_timers() {
+    // A paced A2 arms timers; shutdown must not hang on them.
+    let cluster = Cluster::spawn(Topology::symmetric(2, 1), |p, t| {
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(50))
+    });
+    let dest = cluster.topology().all_groups();
+    let _ = cluster.cast(ProcessId(0), dest, Payload::new());
+    std::thread::sleep(Duration::from_millis(30));
+    cluster.shutdown(); // must return promptly
+}

@@ -1,0 +1,57 @@
+//! Reliable multicast primitives (§2.2, cf. [6] Frolund & Pedone).
+//!
+//! Both of the paper's algorithms disseminate application messages with a
+//! reliable multicast before ordering them:
+//!
+//! * **A1** (atomic multicast) R-MCasts `m` to all processes in `m.dest`
+//!   using a **non-uniform** primitive — the paper's stated optimization
+//!   over Fritzke et al. [5]. Non-uniformity is safe there because A1's
+//!   `(TS, m)` messages re-propagate `m` across groups (footnote 4).
+//! * **A2** (atomic broadcast) R-MCasts `m` to the caster's *own group
+//!   only*; the round bundles spread it system-wide.
+//!
+//! This crate provides both engines as sans-io components in the same style
+//! as `wamcast_consensus::GroupConsensus`: the embedding protocol passes
+//! incoming messages in and drains `(destination, message)` pairs plus
+//! R-Deliver events out.
+//!
+//! # Latency degree
+//!
+//! [`RmcastEngine`] (non-uniform) delivers on first receipt: latency degree
+//! 1 (0 intra-group). [`UniformRmcastEngine`] delivers after a majority of
+//! the destination processes are known to hold the message: latency degree 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nonuniform;
+mod uniform;
+
+pub use nonuniform::RmcastEngine;
+pub use uniform::UniformRmcastEngine;
+
+use serde::{Deserialize, Serialize};
+use wamcast_types::{AppMessage, ProcessId};
+
+/// Wire messages of the reliable multicast engines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RmcastMsg {
+    /// A copy of the multicast message (initial dissemination or relay).
+    Data(AppMessage),
+}
+
+/// Output buffer of a reliable multicast engine call.
+#[derive(Debug, Default)]
+pub struct RmcastOut {
+    /// Messages to transmit.
+    pub sends: Vec<(ProcessId, RmcastMsg)>,
+    /// Messages R-Delivered by this call, in delivery order.
+    pub delivered: Vec<AppMessage>,
+}
+
+impl RmcastOut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

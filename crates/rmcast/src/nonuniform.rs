@@ -1,0 +1,255 @@
+//! Non-uniform reliable multicast: deliver on first receipt.
+
+use crate::{RmcastMsg, RmcastOut};
+use std::collections::{BTreeMap, BTreeSet};
+use wamcast_types::{AppMessage, MessageId, ProcessId, Topology};
+
+/// Non-uniform reliable multicast engine (§2.2).
+///
+/// Properties (over crash-stop processes and quasi-reliable links):
+///
+/// * **uniform integrity** — R-Deliver at most once, only if addressed and
+///   previously R-MCast;
+/// * **validity** — a *correct* R-MCaster's message is R-Delivered by all
+///   correct addressed processes (immediate: the initial send reaches them);
+/// * **agreement** (non-uniform) — if a *correct* process R-Delivers `m`,
+///   all correct addressed processes eventually R-Deliver `m`. Ensured by
+///   relaying `m` once the origin is reported crashed; while the origin is
+///   alive its own sends suffice.
+///
+/// Latency degree 1: delivery happens on the first received copy.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_rmcast::{RmcastEngine, RmcastOut};
+/// use wamcast_types::{AppMessage, GroupSet, GroupId, MessageId, ProcessId, Topology};
+///
+/// let topo = Topology::symmetric(2, 1);
+/// let mut sender = RmcastEngine::new(ProcessId(0));
+/// let mut receiver = RmcastEngine::new(ProcessId(1));
+/// let m = AppMessage::new(
+///     MessageId::new(ProcessId(0), 0),
+///     GroupSet::from_iter([GroupId(0), GroupId(1)]),
+///     wamcast_types::Payload::new(),
+/// );
+///
+/// let mut out = RmcastOut::new();
+/// sender.rmcast(m.clone(), &topo, &mut out);
+/// assert_eq!(out.delivered.len(), 1, "origin is addressed: local delivery");
+/// let (to, wire) = out.sends.pop().unwrap();
+/// assert_eq!(to, ProcessId(1));
+///
+/// let mut out2 = RmcastOut::new();
+/// receiver.on_message(ProcessId(0), wire, &topo, &mut out2);
+/// assert_eq!(out2.delivered.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RmcastEngine {
+    me: ProcessId,
+    seen: BTreeSet<MessageId>,
+    /// Delivered messages kept by origin for crash-triggered relay.
+    by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
+    relayed: BTreeSet<MessageId>,
+}
+
+impl RmcastEngine {
+    /// Creates the engine for process `me`.
+    pub fn new(me: ProcessId) -> Self {
+        RmcastEngine {
+            me,
+            seen: BTreeSet::new(),
+            by_origin: BTreeMap::new(),
+            relayed: BTreeSet::new(),
+        }
+    }
+
+    /// Whether `m` was already R-Delivered (or sent) here.
+    pub fn has_seen(&self, m: MessageId) -> bool {
+        self.seen.contains(&m)
+    }
+
+    /// R-MCasts `m` to the processes of `m.dest` (origin side). If the
+    /// origin itself is addressed, `m` is R-Delivered locally in the same
+    /// call.
+    pub fn rmcast(&mut self, m: AppMessage, topo: &Topology, out: &mut RmcastOut) {
+        if !self.seen.insert(m.id) {
+            return; // duplicate R-MCast of the same id
+        }
+        for q in topo.processes_in(m.dest) {
+            if q != self.me {
+                out.sends.push((q, RmcastMsg::Data(m.clone())));
+            }
+        }
+        if topo.addresses(m.dest, self.me) {
+            self.record_delivery(&m);
+            out.delivered.push(m);
+        }
+    }
+
+    /// Handles an incoming engine message.
+    pub fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: RmcastMsg,
+        topo: &Topology,
+        out: &mut RmcastOut,
+    ) {
+        let RmcastMsg::Data(m) = msg;
+        self.accept(m, topo, out);
+    }
+
+    /// Injects a message learned through a side channel (A1 treats a
+    /// received `(TS, m)` as an implicit R-Deliver of `m`, line 10).
+    pub fn accept(&mut self, m: AppMessage, topo: &Topology, out: &mut RmcastOut) {
+        if !topo.addresses(m.dest, self.me) || !self.seen.insert(m.id) {
+            return;
+        }
+        self.record_delivery(&m);
+        out.delivered.push(m);
+    }
+
+    /// Failure-detector notification: the origin of previously delivered
+    /// messages crashed, so relay them once to the remaining addressed
+    /// processes (agreement despite an origin that crashed mid-send).
+    pub fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        topo: &Topology,
+        out: &mut RmcastOut,
+    ) {
+        let Some(msgs) = self.by_origin.get(&crashed) else {
+            return;
+        };
+        for m in msgs.clone() {
+            if !self.relayed.insert(m.id) {
+                continue;
+            }
+            for q in topo.processes_in(m.dest) {
+                if q != self.me && q != crashed {
+                    out.sends.push((q, RmcastMsg::Data(m.clone())));
+                }
+            }
+        }
+    }
+
+    fn record_delivery(&mut self, m: &AppMessage) {
+        self.by_origin
+            .entry(m.id.origin)
+            .or_default()
+            .push(m.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_types::{GroupId, GroupSet, Payload};
+
+    fn msg(origin: u32, seq: u64, dest: &[u16]) -> AppMessage {
+        AppMessage::new(
+            MessageId::new(ProcessId(origin), seq),
+            dest.iter().map(|&g| GroupId(g)).collect::<GroupSet>(),
+            Payload::new(),
+        )
+    }
+
+    #[test]
+    fn origin_outside_dest_does_not_self_deliver() {
+        let topo = Topology::symmetric(2, 1);
+        let mut e = RmcastEngine::new(ProcessId(0));
+        let m = msg(0, 0, &[1]); // addressed to g1 only; origin is in g0
+        let mut out = RmcastOut::new();
+        e.rmcast(m, &topo, &mut out);
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, ProcessId(1));
+    }
+
+    #[test]
+    fn duplicate_copies_deliver_once() {
+        let topo = Topology::symmetric(2, 2);
+        let mut e = RmcastEngine::new(ProcessId(2));
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        e.on_message(ProcessId(1), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        assert_eq!(out.delivered.len(), 1);
+        assert!(e.has_seen(m.id));
+    }
+
+    #[test]
+    fn unaddressed_receiver_ignores() {
+        let topo = Topology::symmetric(2, 1);
+        let mut e = RmcastEngine::new(ProcessId(1)); // in g1
+        let m = msg(0, 0, &[0]); // addressed to g0 only
+        let mut out = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m), &topo, &mut out);
+        assert!(out.delivered.is_empty());
+    }
+
+    #[test]
+    fn accept_counts_as_delivery() {
+        let topo = Topology::symmetric(2, 1);
+        let mut e = RmcastEngine::new(ProcessId(1));
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        e.accept(m.clone(), &topo, &mut out);
+        assert_eq!(out.delivered.len(), 1);
+        // A later network copy is a duplicate.
+        let mut out2 = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m), &topo, &mut out2);
+        assert!(out2.delivered.is_empty());
+    }
+
+    #[test]
+    fn crash_of_origin_triggers_single_relay() {
+        let topo = Topology::symmetric(2, 2);
+        let mut e = RmcastEngine::new(ProcessId(2));
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        let mut relay = RmcastOut::new();
+        e.on_crash_notification(ProcessId(0), &topo, &mut relay);
+        // Relayed to every addressed process except self and the crashed one.
+        let tos: Vec<_> = relay.sends.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tos, vec![ProcessId(1), ProcessId(3)]);
+        // Second notification (other FD source) does not re-relay.
+        let mut relay2 = RmcastOut::new();
+        e.on_crash_notification(ProcessId(0), &topo, &mut relay2);
+        assert!(relay2.sends.is_empty());
+    }
+
+    #[test]
+    fn crash_of_uninvolved_process_is_ignored() {
+        let topo = Topology::symmetric(2, 2);
+        let mut e = RmcastEngine::new(ProcessId(2));
+        let mut out = RmcastOut::new();
+        e.on_crash_notification(ProcessId(1), &topo, &mut out);
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn relay_completes_partial_dissemination() {
+        // The origin reached only p2 before crashing. p2's relay must bring
+        // p1 and p3 (also addressed) up to date.
+        let topo = Topology::symmetric(2, 2);
+        let m = msg(0, 0, &[0, 1]);
+        let mut p2 = RmcastEngine::new(ProcessId(2));
+        let mut p1 = RmcastEngine::new(ProcessId(1));
+        let mut out = RmcastOut::new();
+        p2.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        let mut relay = RmcastOut::new();
+        p2.on_crash_notification(ProcessId(0), &topo, &mut relay);
+        let to_p1 = relay
+            .sends
+            .iter()
+            .find(|(t, _)| *t == ProcessId(1))
+            .cloned()
+            .unwrap();
+        let mut out1 = RmcastOut::new();
+        p1.on_message(ProcessId(2), to_p1.1, &topo, &mut out1);
+        assert_eq!(out1.delivered.len(), 1);
+        assert_eq!(out1.delivered[0].id, m.id);
+    }
+}

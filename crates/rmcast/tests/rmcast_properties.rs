@@ -1,0 +1,209 @@
+//! Property-based tests of both reliable multicast engines under random
+//! delivery interleavings, duplications-by-relay and origin crashes.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
+use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, Payload, ProcessId, Topology};
+
+fn msg(origin: u32, seq: u64, dest_bits: u8, k: usize) -> AppMessage {
+    let mut dest = GroupSet::new();
+    for g in 0..k {
+        if dest_bits & (1 << g) != 0 {
+            dest.insert(GroupId(g as u16));
+        }
+    }
+    if dest.is_empty() {
+        dest.insert(GroupId(0));
+    }
+    AppMessage::new(MessageId::new(ProcessId(origin), seq), dest, Payload::new())
+}
+
+/// Drives non-uniform engines with a permuted schedule; `crash_origin`
+/// optionally kills the origin right after its initial sends and fans out
+/// the crash notification.
+fn run_nonuniform(
+    topo: &Topology,
+    messages: &[AppMessage],
+    picks: &[u8],
+    crash_origin: bool,
+) -> Vec<Vec<MessageId>> {
+    let n = topo.num_processes();
+    let mut engines: Vec<_> = (0..n as u32).map(|i| RmcastEngine::new(ProcessId(i))).collect();
+    let mut delivered = vec![Vec::new(); n];
+    let mut queue: VecDeque<(ProcessId, ProcessId, RmcastMsg)> = VecDeque::new();
+    let mut crashed = vec![false; n];
+
+    for m in messages {
+        let origin = m.id.origin;
+        if crashed[origin.index()] {
+            continue;
+        }
+        let mut out = RmcastOut::new();
+        engines[origin.index()].rmcast(m.clone(), topo, &mut out);
+        delivered[origin.index()].extend(out.delivered.iter().map(|d| d.id));
+        for (to, w) in out.sends {
+            queue.push_back((origin, to, w));
+        }
+        if crash_origin && !crashed[origin.index()] {
+            crashed[origin.index()] = true;
+            for q in 0..n {
+                if q != origin.index() && !crashed[q] {
+                    let mut relay = RmcastOut::new();
+                    engines[q].on_crash_notification(origin, topo, &mut relay);
+                    delivered[q].extend(relay.delivered.iter().map(|d| d.id));
+                    for (to, w) in relay.sends {
+                        queue.push_back((ProcessId(q as u32), to, w));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pick_i = 0;
+    let mut steps = 0;
+    while !queue.is_empty() {
+        steps += 1;
+        assert!(steps < 100_000);
+        let raw = picks.get(pick_i).copied().unwrap_or(0) as usize;
+        pick_i += 1;
+        let pos = raw % queue.len();
+        let (from, to, w) = queue.remove(pos).expect("in range");
+        if crashed[to.index()] {
+            continue;
+        }
+        let mut out = RmcastOut::new();
+        engines[to.index()].on_message(from, w, topo, &mut out);
+        delivered[to.index()].extend(out.delivered.iter().map(|d| d.id));
+        for (t, w2) in out.sends {
+            queue.push_back((to, t, w2));
+        }
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Non-uniform engine: integrity (once, addressed only) and validity
+    /// (correct origin => all addressed deliver) under any interleaving.
+    #[test]
+    fn nonuniform_integrity_and_validity(
+        k in 1usize..4,
+        d in 1usize..4,
+        specs in proptest::collection::vec((0usize..16, 0u8..8), 1..8),
+        picks in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let topo = Topology::symmetric(k, d);
+        let n = topo.num_processes();
+        let messages: Vec<AppMessage> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(origin, bits))| msg((origin % n) as u32, i as u64, bits, k))
+            .collect();
+        let delivered = run_nonuniform(&topo, &messages, &picks, false);
+        for (p_idx, seq) in delivered.iter().enumerate() {
+            let p = ProcessId(p_idx as u32);
+            // At most once.
+            let mut sorted = seq.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), seq.len(), "{} delivered duplicates", p);
+            // Addressed only.
+            for id in seq {
+                let m = messages.iter().find(|m| m.id == *id).unwrap();
+                prop_assert!(topo.addresses(m.dest, p));
+            }
+        }
+        // Validity: every addressed process delivered every message.
+        for m in &messages {
+            for q in topo.processes_in(m.dest) {
+                prop_assert!(
+                    delivered[q.index()].contains(&m.id),
+                    "{} missing at {}", m.id, q
+                );
+            }
+        }
+    }
+
+    /// Non-uniform engine with a crashing origin: the crash-relay keeps
+    /// agreement among the survivors.
+    #[test]
+    fn nonuniform_agreement_despite_origin_crash(
+        picks in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let topo = Topology::symmetric(2, 2);
+        let messages = vec![msg(0, 0, 0b11, 2)];
+        let delivered = run_nonuniform(&topo, &messages, &picks, true);
+        // All survivors (p1, p2, p3) deliver.
+        for (q, seq) in delivered.iter().enumerate().skip(1) {
+            prop_assert!(seq.contains(&messages[0].id), "missing at p{}", q);
+        }
+    }
+
+    /// Uniform engine: delivery at any process implies eventual delivery at
+    /// every addressed process (quiescent runs, no crashes), plus
+    /// integrity.
+    #[test]
+    fn uniform_agreement_and_integrity(
+        k in 1usize..3,
+        d in 1usize..4,
+        specs in proptest::collection::vec((0usize..16, 0u8..4), 1..6),
+        picks in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let topo = Topology::symmetric(k, d);
+        let n = topo.num_processes();
+        let messages: Vec<AppMessage> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(origin, bits))| msg((origin % n) as u32, i as u64, bits, k))
+            .collect();
+        let mut engines: Vec<_> =
+            (0..n as u32).map(|i| UniformRmcastEngine::new(ProcessId(i))).collect();
+        let mut delivered = vec![Vec::new(); n];
+        let mut queue: VecDeque<(ProcessId, ProcessId, RmcastMsg)> = VecDeque::new();
+        for m in &messages {
+            let o = m.id.origin;
+            let mut out = RmcastOut::new();
+            engines[o.index()].rmcast(m.clone(), &topo, &mut out);
+            delivered[o.index()].extend(out.delivered.iter().map(|d| d.id));
+            for (to, w) in out.sends {
+                queue.push_back((o, to, w));
+            }
+        }
+        let mut pick_i = 0;
+        let mut steps = 0;
+        while !queue.is_empty() {
+            steps += 1;
+            prop_assert!(steps < 100_000);
+            let raw = picks.get(pick_i).copied().unwrap_or(0) as usize;
+            pick_i += 1;
+            let pos = raw % queue.len();
+            let (from, to, w) = queue.remove(pos).expect("in range");
+            let mut out = RmcastOut::new();
+            engines[to.index()].on_message(from, w, &topo, &mut out);
+            delivered[to.index()].extend(out.delivered.iter().map(|d| d.id));
+            for (t, w2) in out.sends {
+                queue.push_back((to, t, w2));
+            }
+        }
+        for m in &messages {
+            let holders: Vec<_> = topo
+                .processes_in(m.dest)
+                .filter(|q| delivered[q.index()].contains(&m.id))
+                .collect();
+            // With no crashes every addressed process ends up delivering.
+            prop_assert_eq!(
+                holders.len(),
+                topo.processes_in(m.dest).count(),
+                "incomplete uniform delivery of {}", m.id
+            );
+        }
+        for (p_idx, seq) in delivered.iter().enumerate() {
+            let mut sorted = seq.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), seq.len(), "p{} delivered duplicates", p_idx);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Checkers for the agreement properties of §2.2 and the genuineness and
+//! quiescence definitions of §2.2/§3.
+//!
+//! Each checker inspects a finished run's [`RunMetrics`] and returns the list
+//! of violations it found (empty = the property held). Tests and the
+//! experiment harness call [`check_all`] on every run so that a protocol
+//! regression surfaces as a named property violation, not a mystery diff.
+
+use crate::RunMetrics;
+use wamcast_types::{MessageId, ProcessId, SimTime, Topology};
+
+/// Outcome of checking one run against the specification.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    /// Human-readable violations; empty means all checked properties held.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Whether the run satisfied every checked property.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the violation list unless the report is clean. Intended
+    /// for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any violation was recorded.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.is_ok(),
+            "invariant violations:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    fn merge(mut self, other: InvariantReport) -> InvariantReport {
+        self.violations.extend(other.violations);
+        self
+    }
+}
+
+/// Runs every applicable checker: uniform integrity, uniform agreement,
+/// validity, and uniform prefix order. (Genuineness and quiescence are
+/// workload-specific; call [`check_genuineness`] / [`check_quiescence`]
+/// explicitly.)
+///
+/// `correct` is the set of processes that never crashed in the run.
+pub fn check_all(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
+    check_uniform_integrity(topo, m)
+        .merge(check_uniform_agreement(topo, m, correct))
+        .merge(check_validity(topo, m, correct))
+        .merge(check_uniform_prefix_order(topo, m))
+}
+
+/// Uniform integrity (§2.2): every process delivers a message at most once,
+/// and only if it is addressed (`p ∈ m.dest`) and the message was cast.
+pub fn check_uniform_integrity(topo: &Topology, m: &RunMetrics) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    for (p_idx, seq) in m.delivered_seq.iter().enumerate() {
+        let p = ProcessId(p_idx as u32);
+        let mut seen = std::collections::BTreeSet::new();
+        for &mid in seq {
+            if !seen.insert(mid) {
+                r.violations
+                    .push(format!("integrity: {p} delivered {mid} more than once"));
+            }
+            match m.casts.get(&mid) {
+                None => r.violations.push(format!(
+                    "integrity: {p} delivered {mid} which was never cast"
+                )),
+                Some(c) => {
+                    if !topo.addresses(c.dest, p) {
+                        r.violations.push(format!(
+                            "integrity: {p} delivered {mid} but is not addressed by {:?}",
+                            c.dest
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+/// Uniform agreement (§2.2): if *any* process (even one that later crashed)
+/// delivers `m`, then every correct addressed process delivers `m`.
+pub fn check_uniform_agreement(
+    topo: &Topology,
+    m: &RunMetrics,
+    correct: &[ProcessId],
+) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    for (&mid, dels) in &m.deliveries {
+        if dels.is_empty() {
+            continue;
+        }
+        let Some(c) = m.casts.get(&mid) else { continue };
+        for &q in correct {
+            if topo.addresses(c.dest, q) && !dels.contains_key(&q) {
+                r.violations.push(format!(
+                    "uniform agreement: {mid} was delivered by {:?} but correct addressed \
+                     process {q} never delivered it",
+                    dels.keys().next().unwrap()
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Validity (§2.2): if a correct process casts `m`, every correct addressed
+/// process eventually delivers `m`.
+pub fn check_validity(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    for (&mid, c) in &m.casts {
+        if !correct.contains(&c.caster) {
+            continue;
+        }
+        for &q in correct {
+            if topo.addresses(c.dest, q) && !m.has_delivered(q, mid) {
+                r.violations.push(format!(
+                    "validity: {mid} cast by correct {} but correct addressed {q} never \
+                     delivered it",
+                    c.caster
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Uniform prefix order (§2.2): for any processes p, q, the projections of
+/// their delivery sequences onto messages addressed to both are
+/// prefix-comparable. Because sequences are append-only, checking the final
+/// sequences is equivalent to checking at every instant t.
+pub fn check_uniform_prefix_order(topo: &Topology, m: &RunMetrics) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    let n = m.delivered_seq.len();
+    let project = |p: ProcessId, q: ProcessId| -> Vec<MessageId> {
+        let (gp, gq) = (topo.group_of(p), topo.group_of(q));
+        m.delivered_seq[p.index()]
+            .iter()
+            .copied()
+            .filter(|mid| {
+                m.casts
+                    .get(mid)
+                    .is_some_and(|c| c.dest.contains(gp) && c.dest.contains(gq))
+            })
+            .collect()
+    };
+    for pi in 0..n {
+        for qi in (pi + 1)..n {
+            let (p, q) = (ProcessId(pi as u32), ProcessId(qi as u32));
+            let sp = project(p, q);
+            let sq = project(q, p);
+            let k = sp.len().min(sq.len());
+            if sp[..k] != sq[..k] {
+                let at = (0..k).find(|&i| sp[i] != sq[i]).unwrap();
+                r.violations.push(format!(
+                    "prefix order: {p} and {q} diverge at position {at}: {} vs {}",
+                    sp[at], sq[at]
+                ));
+            }
+        }
+    }
+    r
+}
+
+/// Genuineness (§2.2, from [Guerraoui & Schiper 2001]): a process sends or
+/// receives protocol messages only if some cast message involves it (it is
+/// the caster or is addressed). Checked against the run's workload.
+pub fn check_genuineness(topo: &Topology, m: &RunMetrics) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    let involved = |p: ProcessId| {
+        m.casts
+            .values()
+            .any(|c| c.caster == p || topo.addresses(c.dest, p))
+    };
+    for p in topo.processes() {
+        if (m.sent_any[p.index()] || m.received_any[p.index()]) && !involved(p) {
+            let what = if m.sent_any[p.index()] { "sent" } else { "received" };
+            r.violations.push(format!(
+                "genuineness: {p} {what} protocol messages but no cast message involves it"
+            ));
+        }
+    }
+    r
+}
+
+/// Quiescence (§5, Proposition A.9): after `t`, no messages are sent. `t` is
+/// typically "the time by which every cast message was delivered everywhere,
+/// plus a grace period".
+pub fn check_quiescence(m: &RunMetrics, after: SimTime) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    let n = m.sends_after(after);
+    if n > 0 {
+        r.violations.push(format!(
+            "quiescence: {n} messages sent after {after} (last at {})",
+            m.last_send_time
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CastRecord, DeliveryRecord};
+    use wamcast_types::{GroupId, GroupSet};
+
+    fn mid(o: u32, s: u64) -> MessageId {
+        MessageId::new(ProcessId(o), s)
+    }
+
+    /// Two groups of one process; m0 addressed to both, delivered by both.
+    fn good_run() -> (Topology, RunMetrics) {
+        let topo = Topology::symmetric(2, 1);
+        let mut m = RunMetrics::new(2);
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::first_n(2),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        for p in [ProcessId(0), ProcessId(1)] {
+            m.deliveries.entry(mid(0, 0)).or_default().insert(
+                p,
+                DeliveryRecord {
+                    time: SimTime::from_millis(1),
+                    stamp: 1,
+                },
+            );
+            m.delivered_seq[p.index()].push(mid(0, 0));
+        }
+        (topo, m)
+    }
+
+    #[test]
+    fn clean_run_passes_everything() {
+        let (topo, m) = good_run();
+        let correct = vec![ProcessId(0), ProcessId(1)];
+        check_all(&topo, &m, &correct).assert_ok();
+        check_genuineness(&topo, &m).assert_ok();
+        check_quiescence(&m, SimTime::ZERO).assert_ok();
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let (topo, mut m) = good_run();
+        m.delivered_seq[0].push(mid(0, 0));
+        let r = check_uniform_integrity(&topo, &m);
+        assert!(!r.is_ok());
+        assert!(r.violations[0].contains("more than once"));
+    }
+
+    #[test]
+    fn delivery_without_cast_is_flagged() {
+        let (topo, mut m) = good_run();
+        m.delivered_seq[0].push(mid(5, 5));
+        let r = check_uniform_integrity(&topo, &m);
+        assert!(r.violations.iter().any(|v| v.contains("never cast")));
+    }
+
+    #[test]
+    fn delivery_outside_dest_is_flagged() {
+        let topo = Topology::symmetric(2, 1);
+        let mut m = RunMetrics::new(2);
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::singleton(GroupId(0)),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.delivered_seq[1].push(mid(0, 0)); // p1 ∉ m.dest
+        let r = check_uniform_integrity(&topo, &m);
+        assert!(r.violations.iter().any(|v| v.contains("not addressed")));
+    }
+
+    #[test]
+    fn missing_delivery_violates_agreement() {
+        let (topo, mut m) = good_run();
+        m.deliveries.get_mut(&mid(0, 0)).unwrap().remove(&ProcessId(1));
+        m.delivered_seq[1].clear();
+        let r = check_uniform_agreement(&topo, &m, &[ProcessId(0), ProcessId(1)]);
+        assert!(!r.is_ok());
+        // But if p1 crashed, agreement holds vacuously.
+        let r2 = check_uniform_agreement(&topo, &m, &[ProcessId(0)]);
+        assert!(r2.is_ok());
+    }
+
+    #[test]
+    fn undelivered_cast_violates_validity() {
+        let (topo, mut m) = good_run();
+        m.deliveries.clear();
+        m.delivered_seq.iter_mut().for_each(Vec::clear);
+        let r = check_validity(&topo, &m, &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(r.violations.len(), 2, "neither correct process delivered");
+        // A faulty caster's message may be lost without violating validity.
+        let r2 = check_validity(&topo, &m, &[ProcessId(1)]);
+        assert!(r2.is_ok());
+    }
+
+    #[test]
+    fn divergent_orders_violate_prefix_order() {
+        let topo = Topology::symmetric(2, 1);
+        let mut m = RunMetrics::new(2);
+        for s in 0..2 {
+            m.casts.insert(
+                mid(0, s),
+                CastRecord {
+                    caster: ProcessId(0),
+                    dest: GroupSet::first_n(2),
+                    time: SimTime::ZERO,
+                    stamp: 0,
+                },
+            );
+        }
+        m.delivered_seq[0] = vec![mid(0, 0), mid(0, 1)];
+        m.delivered_seq[1] = vec![mid(0, 1), mid(0, 0)];
+        let r = check_uniform_prefix_order(&topo, &m);
+        assert!(!r.is_ok());
+        assert!(r.violations[0].contains("diverge at position 0"));
+    }
+
+    #[test]
+    fn prefix_order_ignores_disjoint_messages() {
+        // p delivers a message addressed only to its own group; q never sees
+        // it. Projections must filter it out.
+        let topo = Topology::symmetric(2, 1);
+        let mut m = RunMetrics::new(2);
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::singleton(GroupId(0)),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.casts.insert(
+            mid(0, 1),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::first_n(2),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.delivered_seq[0] = vec![mid(0, 0), mid(0, 1)];
+        m.delivered_seq[1] = vec![mid(0, 1)];
+        check_uniform_prefix_order(&topo, &m).assert_ok();
+    }
+
+    #[test]
+    fn bystander_traffic_violates_genuineness() {
+        let (topo, mut m) = good_run();
+        // Rebuild with 3 groups: g2's process p2 is a bystander.
+        let topo3 = Topology::symmetric(3, 1);
+        let mut m3 = RunMetrics::new(3);
+        m3.casts = m.casts.clone();
+        m3.delivered_seq[0] = m.delivered_seq.remove(0);
+        m3.delivered_seq[1] = m.delivered_seq.remove(0);
+        m3.sent_any[2] = true; // p2 sent something despite not being involved
+        let r = check_genuineness(&topo3, &m3);
+        assert!(!r.is_ok());
+        assert!(r.violations[0].contains("genuineness"));
+        let _ = topo;
+    }
+
+    #[test]
+    fn late_sends_violate_quiescence() {
+        let (_, mut m) = good_run();
+        m.send_log.push(crate::metrics::SendRecord {
+            time: SimTime::from_millis(500),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            inter_group: true,
+        });
+        let r = check_quiescence(&m, SimTime::from_millis(100));
+        assert!(!r.is_ok());
+        check_quiescence(&m, SimTime::from_millis(500)).assert_ok();
+    }
+}

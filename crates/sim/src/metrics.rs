@@ -1,0 +1,286 @@
+//! Run metrics: everything needed to evaluate a run against the paper.
+//!
+//! The simulator records casts, deliveries (with their §2.3 logical stamps),
+//! and a send log classified intra/inter-group. From these the harness
+//! derives every number in Figure 1 (latency degree, inter-group message
+//! counts) and the quiescence measurements of §5.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wamcast_types::{GroupSet, LatencyDegree, MessageId, ProcessId, SimTime};
+
+/// Record of one `A-XCast` event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CastRecord {
+    /// The casting process.
+    pub caster: ProcessId,
+    /// Destination groups.
+    pub dest: GroupSet,
+    /// Virtual time of the cast.
+    pub time: SimTime,
+    /// Logical stamp of the cast event (`ts(A-XCast(m)ₚ)`).
+    pub stamp: u64,
+}
+
+/// Record of one `A-Deliver` event at one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Virtual time of the delivery.
+    pub time: SimTime,
+    /// Logical stamp of the delivery event (`ts(A-Deliver(m)_q)`).
+    pub stamp: u64,
+}
+
+/// One entry of the send log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendRecord {
+    /// When the send event happened.
+    pub time: SimTime,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Whether the copy crossed a group boundary.
+    pub inter_group: bool,
+}
+
+/// Aggregated observations of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Casts by message id.
+    pub casts: BTreeMap<MessageId, CastRecord>,
+    /// Deliveries: message → process → record.
+    pub deliveries: BTreeMap<MessageId, BTreeMap<ProcessId, DeliveryRecord>>,
+    /// Per-process delivery sequence `Sₚ` (order of `A-Deliver` events).
+    pub delivered_seq: Vec<Vec<MessageId>>,
+    /// Total message copies sent on intra-group links.
+    pub intra_sends: u64,
+    /// Total message copies sent on inter-group links.
+    pub inter_sends: u64,
+    /// Full send log (kept only when
+    /// [`record_send_log`](crate::SimConfig::record_send_log) is on).
+    pub send_log: Vec<SendRecord>,
+    /// Per process: did it ever send a protocol message?
+    pub sent_any: Vec<bool>,
+    /// Per process: did it ever receive a protocol message?
+    pub received_any: Vec<bool>,
+    /// Time of the last send event in the run.
+    pub last_send_time: SimTime,
+    /// Virtual time at which the run stopped.
+    pub end_time: SimTime,
+    /// Number of handler invocations executed.
+    pub steps: u64,
+}
+
+impl RunMetrics {
+    pub(crate) fn new(num_processes: usize) -> Self {
+        RunMetrics {
+            delivered_seq: vec![Vec::new(); num_processes],
+            sent_any: vec![false; num_processes],
+            received_any: vec![false; num_processes],
+            ..RunMetrics::default()
+        }
+    }
+
+    /// The latency degree `Δ(m, R)` of §2.3: the maximum, over processes
+    /// that delivered `m`, of the delivery stamp minus the cast stamp.
+    /// `None` if `m` was never cast or never delivered.
+    pub fn latency_degree(&self, m: MessageId) -> Option<LatencyDegree> {
+        let cast = self.casts.get(&m)?;
+        let dels = self.deliveries.get(&m)?;
+        dels.values()
+            .map(|d| d.stamp.saturating_sub(cast.stamp))
+            .max()
+    }
+
+    /// The latency degree restricted to a subset of processes (e.g. only
+    /// those still correct at the end of the run).
+    pub fn latency_degree_among(
+        &self,
+        m: MessageId,
+        procs: &[ProcessId],
+    ) -> Option<LatencyDegree> {
+        let cast = self.casts.get(&m)?;
+        let dels = self.deliveries.get(&m)?;
+        procs
+            .iter()
+            .filter_map(|p| dels.get(p))
+            .map(|d| d.stamp.saturating_sub(cast.stamp))
+            .max()
+    }
+
+    /// Wall-clock (virtual) delivery latency of `m`: cast to last delivery.
+    pub fn delivery_latency(&self, m: MessageId) -> Option<std::time::Duration> {
+        let cast = self.casts.get(&m)?;
+        let dels = self.deliveries.get(&m)?;
+        let last = dels.values().map(|d| d.time).max()?;
+        Some(last.saturating_since(cast.time))
+    }
+
+    /// Processes that delivered `m`.
+    pub fn delivered_by(&self, m: MessageId) -> Vec<ProcessId> {
+        self.deliveries
+            .get(&m)
+            .map(|d| d.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether process `p` delivered `m`.
+    pub fn has_delivered(&self, p: ProcessId, m: MessageId) -> bool {
+        self.deliveries
+            .get(&m)
+            .is_some_and(|d| d.contains_key(&p))
+    }
+
+    /// Inter-group sends within a virtual-time window (inclusive bounds).
+    /// Requires the send log; used to attribute message cost to a single
+    /// cast when reproducing Figure 1.
+    pub fn inter_sends_in_window(&self, from: SimTime, to: SimTime) -> u64 {
+        self.send_log
+            .iter()
+            .filter(|s| s.inter_group && s.time >= from && s.time <= to)
+            .count() as u64
+    }
+
+    /// Sends (any class) strictly after `t`; zero means the run was quiescent
+    /// from `t` on (Proposition A.9 / §5.2 quiescence).
+    pub fn sends_after(&self, t: SimTime) -> u64 {
+        self.send_log.iter().filter(|s| s.time > t).count() as u64
+    }
+
+    /// Projection `P_{p,q}(Sₚ)` of §2.2: p's delivery sequence restricted to
+    /// messages addressed to both p and q's groups.
+    pub fn projected_sequence(
+        &self,
+        p: ProcessId,
+        p_group_dest: impl Fn(MessageId) -> Option<GroupSet>,
+        both: impl Fn(GroupSet) -> bool,
+    ) -> Vec<MessageId> {
+        self.delivered_seq[p.index()]
+            .iter()
+            .copied()
+            .filter(|&m| p_group_dest(m).is_some_and(&both))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_types::GroupId;
+
+    fn mid(o: u32, s: u64) -> MessageId {
+        MessageId::new(ProcessId(o), s)
+    }
+
+    fn sample_metrics() -> RunMetrics {
+        let mut m = RunMetrics::new(2);
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::first_n(2),
+                time: SimTime::from_millis(10),
+                stamp: 3,
+            },
+        );
+        let mut dels = BTreeMap::new();
+        dels.insert(
+            ProcessId(0),
+            DeliveryRecord {
+                time: SimTime::from_millis(110),
+                stamp: 4,
+            },
+        );
+        dels.insert(
+            ProcessId(1),
+            DeliveryRecord {
+                time: SimTime::from_millis(210),
+                stamp: 5,
+            },
+        );
+        m.deliveries.insert(mid(0, 0), dels);
+        m
+    }
+
+    #[test]
+    fn latency_degree_is_max_over_deliverers() {
+        let m = sample_metrics();
+        assert_eq!(m.latency_degree(mid(0, 0)), Some(2));
+        assert_eq!(
+            m.latency_degree_among(mid(0, 0), &[ProcessId(0)]),
+            Some(1)
+        );
+        assert_eq!(m.latency_degree(mid(9, 9)), None);
+    }
+
+    #[test]
+    fn delivery_latency_spans_to_last() {
+        let m = sample_metrics();
+        assert_eq!(
+            m.delivery_latency(mid(0, 0)),
+            Some(std::time::Duration::from_millis(200))
+        );
+    }
+
+    #[test]
+    fn delivered_by_and_has_delivered() {
+        let m = sample_metrics();
+        assert_eq!(m.delivered_by(mid(0, 0)), vec![ProcessId(0), ProcessId(1)]);
+        assert!(m.has_delivered(ProcessId(1), mid(0, 0)));
+        assert!(!m.has_delivered(ProcessId(1), mid(1, 0)));
+        assert!(m.delivered_by(mid(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn send_window_queries() {
+        let mut m = RunMetrics::new(1);
+        for (ms, inter) in [(1u64, true), (5, false), (9, true), (20, true)] {
+            m.send_log.push(SendRecord {
+                time: SimTime::from_millis(ms),
+                from: ProcessId(0),
+                to: ProcessId(0),
+                inter_group: inter,
+            });
+        }
+        assert_eq!(
+            m.inter_sends_in_window(SimTime::from_millis(1), SimTime::from_millis(10)),
+            2
+        );
+        assert_eq!(m.sends_after(SimTime::from_millis(9)), 1);
+        assert_eq!(m.sends_after(SimTime::from_millis(20)), 0);
+    }
+
+    #[test]
+    fn projection_filters_by_destination() {
+        let mut m = RunMetrics::new(1);
+        let g01 = GroupSet::from_iter([GroupId(0), GroupId(1)]);
+        let g0 = GroupSet::singleton(GroupId(0));
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: g01,
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.casts.insert(
+            mid(0, 1),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: g0,
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.delivered_seq[0] = vec![mid(0, 0), mid(0, 1)];
+        let casts = m.casts.clone();
+        let proj = m.projected_sequence(
+            ProcessId(0),
+            |id| casts.get(&id).map(|c| c.dest),
+            |dest| dest.contains(GroupId(0)) && dest.contains(GroupId(1)),
+        );
+        assert_eq!(proj, vec![mid(0, 0)]);
+    }
+}

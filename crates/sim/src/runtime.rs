@@ -1,0 +1,667 @@
+//! The discrete-event engine.
+
+use crate::{NetConfig, RunMetrics, SplitMix64};
+use crate::metrics::{CastRecord, DeliveryRecord, SendRecord};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use wamcast_types::{
+    Action, AppMessage, Context, GroupSet, LatencyClock, MessageId, Outbox, Payload, ProcessId,
+    Protocol, SimTime, Topology,
+};
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Link latency models and failure-detection delay.
+    pub net: NetConfig,
+    /// Seed of the run's deterministic generator. Two runs with equal
+    /// `(topology, config, workload)` and equal seeds are identical.
+    pub seed: u64,
+    /// Record every send in [`RunMetrics::send_log`] (needed by the
+    /// Figure 1 message-count attribution and the quiescence experiments).
+    pub record_send_log: bool,
+    /// Hard cap on handler invocations; exceeding it indicates a live-lock
+    /// or a non-quiescent protocol running unbounded.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            net: NetConfig::default(),
+            seed: 0xC0FFEE,
+            record_send_log: true,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Replaces the network configuration.
+    #[must_use]
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the send log.
+    #[must_use]
+    pub fn with_send_log(mut self, on: bool) -> Self {
+        self.record_send_log = on;
+        self
+    }
+}
+
+enum EvKind<M> {
+    Arrival { from: ProcessId, stamp: u64, msg: M },
+    Timer { kind: u64 },
+    Cast(AppMessage),
+    Crash,
+    NotifyCrash { of: ProcessId },
+}
+
+struct Ev<M> {
+    at: SimTime,
+    seq: u64,
+    target: ProcessId,
+    kind: EvKind<M>,
+}
+
+impl<M> PartialEq for Ev<M> {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl<M> Eq for Ev<M> {}
+impl<M> PartialOrd for Ev<M> {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<M> Ord for Ev<M> {
+    // Reversed so the max-heap pops the *earliest* event. Ties in virtual
+    // time are broken LIFO (largest insertion seq first): of two messages
+    // arriving at the same instant, the one that spent *less* time in
+    // flight is processed first. Simultaneous events are causally
+    // independent (link delays are positive), so any tie order is a legal
+    // asynchronous schedule; LIFO is chosen because it realizes the
+    // canonical runs of the paper's Theorems 4.1/5.1/5.2, where a group's
+    // local consensus pipeline completes before simultaneously-arriving
+    // remote messages are handled. Under symmetric constant latencies those
+    // two chains tie exactly, and FIFO would systematically pick the
+    // schedule with inflated Lamport stamps (Δ+1).
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.at.cmp(&self.at).then(self.seq.cmp(&o.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation hosting one [`Protocol`]
+/// instance per process of a [`Topology`].
+///
+/// The engine owns the modified Lamport clocks of §2.3 and stamps every
+/// send/delivery outside protocol code, producing a [`RunMetrics`] from
+/// which latency degrees and message complexities are computed exactly.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_sim::{Simulation, SimConfig};
+/// use wamcast_types::{Protocol, Context, Outbox, AppMessage, ProcessId, Topology, SimTime};
+///
+/// /// Deliver-to-self "protocol" used to smoke-test the engine.
+/// struct Loopback;
+/// impl Protocol for Loopback {
+///     type Msg = ();
+///     fn on_cast(&mut self, m: AppMessage, _ctx: &Context, out: &mut Outbox<()>) {
+///         out.deliver(m);
+///     }
+///     fn on_message(&mut self, _f: ProcessId, _m: (), _c: &Context, _o: &mut Outbox<()>) {}
+/// }
+///
+/// let topo = Topology::symmetric(1, 1);
+/// let mut sim = Simulation::new(topo, SimConfig::default(), |_, _| Loopback);
+/// let dest = sim.topology().all_groups();
+/// let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, bytes::Bytes::new());
+/// sim.run_to_quiescence();
+/// assert_eq!(sim.metrics().latency_degree(id), Some(0));
+/// ```
+pub struct Simulation<P: Protocol> {
+    topo: Arc<Topology>,
+    cfg: SimConfig,
+    procs: Vec<P>,
+    alive: Vec<bool>,
+    clocks: Vec<LatencyClock>,
+    queue: BinaryHeap<Ev<P::Msg>>,
+    now: SimTime,
+    seq: u64,
+    rng: SplitMix64,
+    metrics: RunMetrics,
+    next_app_seq: Vec<u64>,
+    started: bool,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Builds a simulation; `factory(p, topo)` constructs the protocol
+    /// instance for process `p`.
+    pub fn new(
+        topo: Topology,
+        cfg: SimConfig,
+        mut factory: impl FnMut(ProcessId, &Topology) -> P,
+    ) -> Self {
+        let topo = Arc::new(topo);
+        let n = topo.num_processes();
+        let procs = topo
+            .processes()
+            .map(|p| factory(p, &topo))
+            .collect::<Vec<_>>();
+        let rng = SplitMix64::new(cfg.seed);
+        Simulation {
+            procs,
+            alive: vec![true; n],
+            clocks: vec![LatencyClock::new(); n],
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng,
+            metrics: RunMetrics::new(n),
+            next_app_seq: vec![0; n],
+            started: false,
+            topo,
+            cfg,
+        }
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Collected metrics so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the simulation, returning its metrics.
+    pub fn into_metrics(mut self) -> RunMetrics {
+        self.metrics.end_time = self.now;
+        self.metrics
+    }
+
+    /// Read access to a process's protocol state (for tests/inspection).
+    pub fn protocol(&self, p: ProcessId) -> &P {
+        &self.procs[p.index()]
+    }
+
+    /// Whether `p` is still alive at the current instant.
+    pub fn is_alive(&self, p: ProcessId) -> bool {
+        self.alive[p.index()]
+    }
+
+    /// Processes alive at the current instant. If the run has ended this is
+    /// the *correct* process set of the run.
+    pub fn alive_processes(&self) -> Vec<ProcessId> {
+        self.topo
+            .processes()
+            .filter(|p| self.alive[p.index()])
+            .collect()
+    }
+
+    /// Schedules an `A-XCast` of a fresh message by `caster` at time `at`,
+    /// returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `dest` is empty.
+    pub fn cast_at(
+        &mut self,
+        at: SimTime,
+        caster: ProcessId,
+        dest: GroupSet,
+        payload: Payload,
+    ) -> MessageId {
+        assert!(at >= self.now, "cannot schedule a cast in the past");
+        assert!(!dest.is_empty(), "destination set must be non-empty");
+        let seq = self.next_app_seq[caster.index()];
+        self.next_app_seq[caster.index()] += 1;
+        let id = MessageId::new(caster, seq);
+        let msg = AppMessage::new(id, dest, payload);
+        self.push(at, caster, EvKind::Cast(msg));
+        id
+    }
+
+    /// Schedules a crash of `p` at time `at`. Surviving processes receive a
+    /// crash notification `detection_delay` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn crash_at(&mut self, at: SimTime, p: ProcessId) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.push(at, p, EvKind::Crash);
+    }
+
+    fn push(&mut self, at: SimTime, target: ProcessId, kind: EvKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Ev {
+            at,
+            seq,
+            target,
+            kind,
+        });
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for p in 0..self.procs.len() {
+            let pid = ProcessId(p as u32);
+            self.step(pid, |proto, ctx, out| proto.on_start(ctx, out));
+        }
+    }
+
+    /// Runs until the queue drains or virtual time would exceed `deadline`.
+    /// Returns `true` if the queue drained (the run became quiescent).
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        self.run_while(deadline, |_| true)
+    }
+
+    /// Runs until the queue drains, without a time bound. Suitable only for
+    /// quiescent protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` handler invocations are exceeded, which
+    /// indicates a non-quiescent protocol or a live-lock.
+    pub fn run_to_quiescence(&mut self) {
+        let drained = self.run_until(SimTime::MAX);
+        debug_assert!(drained);
+    }
+
+    /// Runs until every message in `msgs` has been delivered by every
+    /// *currently alive* process its destination addresses, the queue
+    /// drains, or `deadline` passes. Returns `true` iff the delivery
+    /// condition was met.
+    pub fn run_until_delivered(&mut self, msgs: &[MessageId], deadline: SimTime) -> bool {
+        let check = |sim: &Self| !sim.all_delivered(msgs);
+        self.run_while(deadline, check);
+        self.all_delivered(msgs)
+    }
+
+    /// Whether every alive process addressed by each message has delivered it.
+    pub fn all_delivered(&self, msgs: &[MessageId]) -> bool {
+        msgs.iter().all(|&m| {
+            let Some(cast) = self.metrics.casts.get(&m) else {
+                // Cast event not yet dispatched.
+                return false;
+            };
+            self.topo
+                .processes_in(cast.dest)
+                .filter(|p| self.alive[p.index()])
+                .all(|p| self.metrics.has_delivered(p, m))
+        })
+    }
+
+    /// Core loop: dispatch events while `keep_going(self)` holds and time is
+    /// within `deadline`. Returns `true` if the queue drained.
+    fn run_while(&mut self, deadline: SimTime, keep_going: impl Fn(&Self) -> bool) -> bool {
+        self.ensure_started();
+        while keep_going(self) {
+            let Some(ev) = self.queue.peek() else {
+                self.metrics.end_time = self.now;
+                return true;
+            };
+            if ev.at > deadline {
+                self.metrics.end_time = self.now;
+                return false;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            assert!(
+                self.metrics.steps < self.cfg.max_steps,
+                "simulation exceeded max_steps = {}; non-quiescent protocol or live-lock?",
+                self.cfg.max_steps
+            );
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        self.metrics.end_time = self.now;
+        self.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, ev: Ev<P::Msg>) {
+        let p = ev.target;
+        if !self.alive[p.index()] {
+            return; // crashed processes take no steps; in-flight copies vanish
+        }
+        match ev.kind {
+            EvKind::Crash => {
+                self.alive[p.index()] = false;
+                // The ◇P oracle: notify all other (currently alive) processes
+                // after the detection delay.
+                let at = self.now + self.cfg.net.detection_delay;
+                for q in 0..self.procs.len() {
+                    if q != p.index() && self.alive[q] {
+                        self.push(at, ProcessId(q as u32), EvKind::NotifyCrash { of: p });
+                    }
+                }
+            }
+            EvKind::Arrival { from, stamp, msg } => {
+                self.clocks[p.index()].observe_receive(stamp);
+                self.metrics.received_any[p.index()] = true;
+                self.step(p, |proto, ctx, out| proto.on_message(from, msg, ctx, out));
+            }
+            EvKind::Timer { kind } => {
+                self.step(p, |proto, ctx, out| proto.on_timer(kind, ctx, out));
+            }
+            EvKind::Cast(msg) => {
+                let stamp = self.clocks[p.index()].value(); // local event
+                self.metrics.casts.insert(
+                    msg.id,
+                    CastRecord {
+                        caster: p,
+                        dest: msg.dest,
+                        time: self.now,
+                        stamp,
+                    },
+                );
+                self.step(p, |proto, ctx, out| proto.on_cast(msg, ctx, out));
+            }
+            EvKind::NotifyCrash { of } => {
+                self.step(p, |proto, ctx, out| proto.on_crash_notification(of, ctx, out));
+            }
+        }
+    }
+
+    /// Executes one handler invocation atomically and applies its actions:
+    /// stamps sends per §2.3 (one logical send event per step), samples link
+    /// latencies, records deliveries.
+    fn step(&mut self, p: ProcessId, f: impl FnOnce(&mut P, &Context, &mut Outbox<P::Msg>)) {
+        let ctx = Context::new(p, Arc::clone(&self.topo), self.now);
+        let mut out = Outbox::new();
+        f(&mut self.procs[p.index()], &ctx, &mut out);
+        self.metrics.steps += 1;
+
+        let actions: Vec<Action<P::Msg>> = out.drain().collect();
+        let any_inter = actions.iter().any(
+            |a| matches!(a, Action::Send { to, .. } if !self.topo.same_group(p, *to)),
+        );
+        let deliver_stamp = self.clocks[p.index()].value();
+        let stamp = self.clocks[p.index()].finish_step(any_inter);
+
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let inter = !self.topo.same_group(p, to);
+                    let s = if inter { stamp.inter } else { stamp.intra };
+                    let model = if inter {
+                        self.cfg
+                            .net
+                            .link(self.topo.group_of(p).0, self.topo.group_of(to).0)
+                    } else {
+                        &self.cfg.net.intra
+                    };
+                    let delay = model.sample(&mut self.rng);
+                    if inter {
+                        self.metrics.inter_sends += 1;
+                    } else {
+                        self.metrics.intra_sends += 1;
+                    }
+                    self.metrics.sent_any[p.index()] = true;
+                    self.metrics.last_send_time = self.now;
+                    if self.cfg.record_send_log {
+                        self.metrics.send_log.push(SendRecord {
+                            time: self.now,
+                            from: p,
+                            to,
+                            inter_group: inter,
+                        });
+                    }
+                    let at = self.now + delay;
+                    self.push(
+                        at,
+                        to,
+                        EvKind::Arrival {
+                            from: p,
+                            stamp: s,
+                            msg,
+                        },
+                    );
+                }
+                Action::Deliver(m) => {
+                    self.metrics
+                        .deliveries
+                        .entry(m.id)
+                        .or_default()
+                        .insert(
+                            p,
+                            DeliveryRecord {
+                                time: self.now,
+                                stamp: deliver_stamp,
+                            },
+                        );
+                    self.metrics.delivered_seq[p.index()].push(m.id);
+                }
+                Action::Timer { after, kind } => {
+                    let at = self.now + after;
+                    self.push(at, p, EvKind::Timer { kind });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use wamcast_types::GroupId;
+
+    /// Unordered best-effort multicast: the caster sends the message to
+    /// every addressed process directly; everyone delivers on receipt (the
+    /// caster delivers immediately). Latency degree 1 for remote groups.
+    struct Flood;
+
+    impl Protocol for Flood {
+        type Msg = AppMessage;
+
+        fn on_cast(&mut self, m: AppMessage, ctx: &Context, out: &mut Outbox<AppMessage>) {
+            let me = ctx.id();
+            let tos: Vec<_> = ctx
+                .topology()
+                .processes_in(m.dest)
+                .filter(|&q| q != me)
+                .collect();
+            out.send_many(tos, m.clone());
+            if ctx.topology().addresses(m.dest, me) {
+                out.deliver(m);
+            }
+        }
+
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            m: AppMessage,
+            _ctx: &Context,
+            out: &mut Outbox<AppMessage>,
+        ) {
+            out.deliver(m);
+        }
+    }
+
+    fn flood_sim(k: usize, d: usize) -> Simulation<Flood> {
+        Simulation::new(Topology::symmetric(k, d), SimConfig::default(), |_, _| Flood)
+    }
+
+    #[test]
+    fn flood_latency_degree_is_one() {
+        let mut sim = flood_sim(2, 2);
+        let dest = sim.topology().all_groups();
+        let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().latency_degree(id), Some(1));
+        assert_eq!(sim.metrics().delivered_by(id).len(), 4);
+        // 1 intra copy (to p1), 2 inter copies (to g1).
+        assert_eq!(sim.metrics().intra_sends, 1);
+        assert_eq!(sim.metrics().inter_sends, 2);
+    }
+
+    #[test]
+    fn single_group_cast_has_degree_zero() {
+        let mut sim = flood_sim(2, 3);
+        let dest = GroupSet::singleton(GroupId(0));
+        let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().latency_degree(id), Some(0));
+        assert_eq!(sim.metrics().delivered_by(id).len(), 3);
+        assert_eq!(sim.metrics().inter_sends, 0);
+    }
+
+    #[test]
+    fn virtual_time_advances_by_link_latency() {
+        let mut sim = flood_sim(2, 1);
+        let dest = sim.topology().all_groups();
+        let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        sim.run_to_quiescence();
+        // Default inter-group latency is 100 ms.
+        let lat = sim.metrics().delivery_latency(id).unwrap();
+        assert_eq!(lat, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn crashed_processes_receive_nothing() {
+        let mut sim = flood_sim(2, 2);
+        let dest = sim.topology().all_groups();
+        sim.crash_at(SimTime::ZERO, ProcessId(3));
+        let id = sim.cast_at(SimTime::from_millis(1), ProcessId(0), dest, Payload::new());
+        sim.run_until(SimTime::from_millis(2_000));
+        assert!(!sim.metrics().has_delivered(ProcessId(3), id));
+        assert!(sim.metrics().has_delivered(ProcessId(2), id));
+        assert!(!sim.is_alive(ProcessId(3)));
+        assert_eq!(sim.alive_processes().len(), 3);
+    }
+
+    #[test]
+    fn crash_notifications_reach_survivors() {
+        struct CountCrash(u32);
+        impl Protocol for CountCrash {
+            type Msg = ();
+            fn on_cast(&mut self, _m: AppMessage, _c: &Context, _o: &mut Outbox<()>) {}
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &Context, _o: &mut Outbox<()>) {}
+            fn on_crash_notification(
+                &mut self,
+                _c: ProcessId,
+                _ctx: &Context,
+                _o: &mut Outbox<()>,
+            ) {
+                self.0 += 1;
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::symmetric(1, 3),
+            SimConfig::default(),
+            |_, _| CountCrash(0),
+        );
+        sim.crash_at(SimTime::from_millis(1), ProcessId(0));
+        sim.run_until(SimTime::from_millis(10_000));
+        assert_eq!(sim.protocol(ProcessId(1)).0, 1);
+        assert_eq!(sim.protocol(ProcessId(2)).0, 1);
+        assert_eq!(sim.protocol(ProcessId(0)).0, 0, "crashed process learns nothing");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::default().with_seed(seed).with_net(
+                NetConfig::default().with_inter(crate::LatencyModel::Uniform {
+                    min: Duration::from_millis(50),
+                    max: Duration::from_millis(150),
+                }),
+            );
+            let mut sim = Simulation::new(Topology::symmetric(3, 2), cfg, |_, _| Flood);
+            let dest = sim.topology().all_groups();
+            let mut ids = Vec::new();
+            for i in 0..5 {
+                ids.push(sim.cast_at(
+                    SimTime::from_millis(i * 3),
+                    ProcessId((i % 6) as u32),
+                    dest,
+                    Payload::new(),
+                ));
+            }
+            sim.run_to_quiescence();
+            (
+                ids.iter()
+                    .map(|&m| sim.metrics().delivery_latency(m).unwrap())
+                    .collect::<Vec<_>>(),
+                sim.metrics().delivered_seq.clone(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds give different jitter");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerChain {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerChain {
+            type Msg = ();
+            fn on_start(&mut self, _ctx: &Context, out: &mut Outbox<()>) {
+                out.set_timer(Duration::from_millis(5), 1);
+                out.set_timer(Duration::from_millis(2), 2);
+            }
+            fn on_cast(&mut self, _m: AppMessage, _c: &Context, _o: &mut Outbox<()>) {}
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &Context, _o: &mut Outbox<()>) {}
+            fn on_timer(&mut self, kind: u64, _ctx: &Context, out: &mut Outbox<()>) {
+                self.fired.push(kind);
+                if kind == 2 {
+                    out.set_timer(Duration::from_millis(1), 3);
+                }
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::symmetric(1, 1),
+            SimConfig::default(),
+            |_, _| TimerChain { fired: vec![] },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.protocol(ProcessId(0)).fired, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn run_until_delivered_stops_early() {
+        let mut sim = flood_sim(2, 2);
+        let dest = sim.topology().all_groups();
+        let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(10_000));
+        assert!(ok);
+        assert!(sim.now() <= SimTime::from_millis(101));
+    }
+
+    #[test]
+    fn cast_ids_are_sequential_per_origin() {
+        let mut sim = flood_sim(1, 1);
+        let dest = sim.topology().all_groups();
+        let a = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        let b = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,202 @@
+//! The modified Lamport clock of §2.3, used to measure **latency degree**.
+//!
+//! The paper captures the cost of a broadcast/multicast algorithm as the
+//! number of *inter-group* message delays on the causal path between the
+//! cast of a message and its last delivery. Events are timestamped with a
+//! variant of Lamport's logical clock where only inter-group sends tick:
+//!
+//! 1. a local event is stamped with the current clock `LCₚ`;
+//! 2. a send event is stamped `LCₚ + 1` when the destination is in a
+//!    different group, `LCₚ` otherwise;
+//! 3. a receive event is stamped `max(LCₚ, ts(send(m)))`.
+//!
+//! The latency degree of message `m` in run `R` is
+//! `Δ(m, R) = max_{q ∈ Π′(m)} (ts(A-Deliver(m)_q) − ts(A-XCast(m)_p))`.
+//!
+//! The simulator owns one [`LatencyClock`] per process and drives it; protocol
+//! code never sees these stamps, which is what makes the measurement honest.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured latency degree of a message: the Δ(m, R) of §2.3.
+pub type LatencyDegree = u64;
+
+/// Timestamps to apply to the copies of one send *event*.
+///
+/// The paper stamps one send event per logical message even when the message
+/// is sent to a set of destinations (e.g. A2's line 15 sends a round bundle
+/// to every process outside the sender's group). All intra-group copies of
+/// the event share [`intra`](Self::intra) and all inter-group copies share
+/// [`inter`](Self::inter) = `intra + 1`; counting each physical copy as its
+/// own tick would wrongly charge a k-destination multicast k inter-group
+/// delays instead of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventStamp {
+    /// Stamp for copies delivered inside the sender's group.
+    pub intra: u64,
+    /// Stamp for copies crossing a group boundary (`intra + 1`).
+    pub inter: u64,
+}
+
+/// Per-process modified Lamport clock (§2.3).
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::LatencyClock;
+///
+/// let mut clock = LatencyClock::new();
+/// assert_eq!(clock.value(), 0);
+///
+/// // Handler sends one logical message across groups: one tick.
+/// let stamp = clock.finish_step(true);
+/// assert_eq!(stamp.inter, 1);
+/// assert_eq!(clock.value(), 1);
+///
+/// // The receiving process merges the sender's stamp.
+/// let mut receiver = LatencyClock::new();
+/// receiver.observe_receive(stamp.inter);
+/// assert_eq!(receiver.value(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyClock {
+    lc: u64,
+}
+
+impl LatencyClock {
+    /// A clock at 0 (every `LCₚ` is initialized to 0; §2.3).
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current clock value; this is the stamp of a local event (rule 1),
+    /// including `A-XCast` and `A-Deliver` events.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.lc
+    }
+
+    /// Applies rule 3 for a received message whose send event was stamped
+    /// `stamp`: `LCₚ ← max(LCₚ, stamp)`.
+    #[inline]
+    pub fn observe_receive(&mut self, stamp: u64) {
+        self.lc = self.lc.max(stamp);
+    }
+
+    /// Closes one handler invocation ("step") that emitted send actions.
+    ///
+    /// Returns the [`EventStamp`] for the step's outgoing copies and, when
+    /// `any_inter_send` is true, advances the clock by one tick (rule 2). All
+    /// sends emitted by one step are treated as a single send event — see
+    /// [`EventStamp`] for why.
+    #[inline]
+    pub fn finish_step(&mut self, any_inter_send: bool) -> EventStamp {
+        let base = self.lc;
+        let stamp = EventStamp {
+            intra: base,
+            inter: base + 1,
+        };
+        if any_inter_send {
+            self.lc = stamp.inter;
+        }
+        stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(LatencyClock::new().value(), 0);
+        assert_eq!(LatencyClock::default().value(), 0);
+    }
+
+    #[test]
+    fn intra_group_sends_are_free() {
+        let mut c = LatencyClock::new();
+        let s = c.finish_step(false);
+        assert_eq!(s.intra, 0);
+        assert_eq!(c.value(), 0, "intra-group traffic must not tick");
+        // Many steps of pure local/intra activity never move the clock.
+        for _ in 0..100 {
+            c.finish_step(false);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn inter_group_send_ticks_once_per_step() {
+        let mut c = LatencyClock::new();
+        let s = c.finish_step(true);
+        assert_eq!(s.inter, 1);
+        assert_eq!(c.value(), 1);
+        // A second step with inter-group sends ticks again.
+        let s2 = c.finish_step(true);
+        assert_eq!(s2.inter, 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn receive_takes_max() {
+        let mut c = LatencyClock::new();
+        c.observe_receive(5);
+        assert_eq!(c.value(), 5);
+        c.observe_receive(3);
+        assert_eq!(c.value(), 5, "receive never rewinds the clock");
+        c.observe_receive(5);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn theorem_5_1_arithmetic() {
+        // Reproduce the clock arithmetic of Theorem 5.1's run: two groups
+        // exchange round bundles once; delivery lands exactly one tick after
+        // the cast.
+        let mut p = LatencyClock::new(); // p ∈ g1, the caster
+        let mut q = LatencyClock::new(); // q ∈ g2
+        let cast_ts = p.value(); // A-BCast is a local event
+        assert_eq!(cast_ts, 0);
+        // Both groups decide locally, then exchange bundles (one step each).
+        let p_bundle = p.finish_step(true);
+        let q_bundle = q.finish_step(true);
+        // Each side receives the other's bundle and A-Delivers.
+        p.observe_receive(q_bundle.inter);
+        q.observe_receive(p_bundle.inter);
+        assert_eq!(p.value() - cast_ts, 1);
+        assert_eq!(q.value() - cast_ts, 1);
+    }
+
+    #[test]
+    fn theorem_4_1_arithmetic() {
+        // Two groups g1, g2; p1 ∈ g1 multicasts to both. R-MCast crosses the
+        // boundary (tick 1); each group's TS exchange crosses back (tick 2).
+        let mut p1 = LatencyClock::new();
+        let cast_ts = p1.value();
+        let rmcast = p1.finish_step(true); // R-MCast reaches g2
+        assert_eq!(rmcast.inter, 1);
+        let mut q = LatencyClock::new(); // q ∈ g2
+        q.observe_receive(rmcast.inter); // q now at 1
+        let q_ts_msg = q.finish_step(true); // g2's (TS, m) to g1
+        assert_eq!(q_ts_msg.inter, 2);
+        // p1's own TS send (to g2) also ticks, then it receives g2's.
+        p1.finish_step(true);
+        p1.observe_receive(q_ts_msg.inter);
+        assert_eq!(p1.value() - cast_ts, 2);
+        assert_eq!(q.value(), 2, "g2 delivers at 2 after its own TS send");
+    }
+
+    #[test]
+    fn batched_sends_share_one_tick() {
+        // One handler sending to 10 remote processes must cost one delay,
+        // not ten.
+        let mut c = LatencyClock::new();
+        let stamp = c.finish_step(true);
+        for _copy in 0..10 {
+            assert_eq!(stamp.inter, 1);
+        }
+        assert_eq!(c.value(), 1);
+    }
+}

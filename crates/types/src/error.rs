@@ -1,0 +1,67 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building or validating a [`Topology`](crate::Topology).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A topology must contain at least one group.
+    NoGroups,
+    /// Groups must be non-empty (§2.1: disjoint, non-empty, covering Π).
+    EmptyGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// More groups than [`GroupSet::MAX_GROUPS`](crate::GroupSet::MAX_GROUPS)
+    /// were declared.
+    TooManyGroups {
+        /// Number of groups requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoGroups => write!(f, "topology has no groups"),
+            TopologyError::EmptyGroup { group } => {
+                write!(f, "group {group} is empty; groups must be non-empty")
+            }
+            TopologyError::TooManyGroups { requested } => write!(
+                f,
+                "{requested} groups requested but at most {} are supported",
+                crate::GroupSet::MAX_GROUPS
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            TopologyError::NoGroups.to_string(),
+            TopologyError::EmptyGroup { group: 2 }.to_string(),
+            TopologyError::TooManyGroups { requested: 100 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            let first_alpha = m.chars().find(|c| c.is_alphabetic()).unwrap();
+            assert!(first_alpha.is_lowercase(), "{m}");
+            assert!(!m.ends_with('.'), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(TopologyError::NoGroups);
+    }
+}

@@ -1,0 +1,380 @@
+//! Compact destination sets over groups.
+
+use crate::GroupId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
+
+/// A set of groups, `m.dest ⊆ Γ`, stored as a 64-bit mask.
+///
+/// Atomic multicast addresses messages to arbitrary subsets of the system's
+/// groups (§2.2). Destination sets are consulted on every protocol step, so
+/// they must be tiny and `Copy`; a bitmask over at most
+/// [`MAX_GROUPS`](Self::MAX_GROUPS) groups suffices for any realistic WAN
+/// deployment (the paper's experiments consider a handful of sites).
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::{GroupSet, GroupId};
+///
+/// let a = GroupSet::from_iter([GroupId(0), GroupId(1)]);
+/// let b = GroupSet::singleton(GroupId(1));
+/// assert_eq!((a & b).len(), 1);
+/// assert_eq!((a - b), GroupSet::singleton(GroupId(0)));
+/// assert!(a.contains(GroupId(0)));
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![GroupId(0), GroupId(1)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct GroupSet(u64);
+
+impl GroupSet {
+    /// Maximum number of distinct groups representable (bit width of the mask).
+    pub const MAX_GROUPS: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: GroupSet = GroupSet(0);
+
+    /// Creates an empty set.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use wamcast_types::GroupSet;
+    /// assert!(GroupSet::new().is_empty());
+    /// ```
+    #[inline]
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// The set containing exactly one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.index() >= MAX_GROUPS`.
+    #[inline]
+    pub fn singleton(g: GroupId) -> Self {
+        assert!(
+            g.index() < Self::MAX_GROUPS,
+            "group id {g} out of range for GroupSet"
+        );
+        GroupSet(1u64 << g.index())
+    }
+
+    /// The set {g₀, …, g_{k−1}} of the first `k` groups.
+    ///
+    /// Convenient for building broadcast destinations (`m.dest = Γ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > MAX_GROUPS`.
+    #[inline]
+    pub fn first_n(k: usize) -> Self {
+        assert!(k <= Self::MAX_GROUPS, "too many groups: {k}");
+        if k == Self::MAX_GROUPS {
+            GroupSet(u64::MAX)
+        } else {
+            GroupSet((1u64 << k) - 1)
+        }
+    }
+
+    /// Inserts a group; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.index() >= MAX_GROUPS`.
+    #[inline]
+    pub fn insert(&mut self, g: GroupId) -> bool {
+        let single = Self::singleton(g);
+        let fresh = self.0 & single.0 == 0;
+        self.0 |= single.0;
+        fresh
+    }
+
+    /// Removes a group; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, g: GroupId) -> bool {
+        if g.index() >= Self::MAX_GROUPS {
+            return false;
+        }
+        let bit = 1u64 << g.index();
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Whether `g` is a member.
+    #[inline]
+    pub fn contains(self, g: GroupId) -> bool {
+        g.index() < Self::MAX_GROUPS && self.0 & (1u64 << g.index()) != 0
+    }
+
+    /// Number of groups in the set (|m.dest|; the paper's stage-skipping
+    /// test is `|m.dest| > 1`).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: GroupSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the two sets share at least one group.
+    #[inline]
+    pub fn intersects(self, other: GroupSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterates over members in increasing [`GroupId`] order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The smallest group id in the set, if any. Used by ring-based
+    /// baselines that traverse destination groups in id order.
+    #[inline]
+    pub fn min(self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(GroupId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The raw bitmask. Exposed for hashing/serialization in traces.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw bitmask produced by [`bits`](Self::bits).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        GroupSet(bits)
+    }
+}
+
+/// Iterator over the members of a [`GroupSet`] in increasing id order.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = GroupId;
+
+    fn next(&mut self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(GroupId(idx as u16))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl FromIterator<GroupId> for GroupSet {
+    fn from_iter<T: IntoIterator<Item = GroupId>>(iter: T) -> Self {
+        let mut s = GroupSet::new();
+        for g in iter {
+            s.insert(g);
+        }
+        s
+    }
+}
+
+impl Extend<GroupId> for GroupSet {
+    fn extend<T: IntoIterator<Item = GroupId>>(&mut self, iter: T) {
+        for g in iter {
+            self.insert(g);
+        }
+    }
+}
+
+impl IntoIterator for GroupSet {
+    type Item = GroupId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl From<GroupId> for GroupSet {
+    fn from(g: GroupId) -> Self {
+        GroupSet::singleton(g)
+    }
+}
+
+impl BitOr for GroupSet {
+    type Output = GroupSet;
+    fn bitor(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for GroupSet {
+    fn bitor_assign(&mut self, rhs: GroupSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for GroupSet {
+    type Output = GroupSet;
+    fn bitand(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 & rhs.0)
+    }
+}
+
+impl Sub for GroupSet {
+    type Output = GroupSet;
+    fn sub(self, rhs: GroupSet) -> GroupSet {
+        GroupSet(self.0 & !rhs.0)
+    }
+}
+
+impl fmt::Debug for GroupSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        let mut first = true;
+        for g in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{g}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for GroupSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_set() {
+        let s = GroupSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = GroupSet::new();
+        assert!(s.insert(GroupId(3)));
+        assert!(!s.insert(GroupId(3)));
+        assert!(s.contains(GroupId(3)));
+        assert!(!s.contains(GroupId(2)));
+        assert!(s.remove(GroupId(3)));
+        assert!(!s.remove(GroupId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_n_matches_manual() {
+        let s = GroupSet::first_n(3);
+        assert_eq!(s.len(), 3);
+        for i in 0..3 {
+            assert!(s.contains(GroupId(i)));
+        }
+        assert!(!s.contains(GroupId(3)));
+        assert_eq!(GroupSet::first_n(0), GroupSet::EMPTY);
+        assert_eq!(GroupSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = GroupSet::from_iter([GroupId(0), GroupId(1), GroupId(2)]);
+        let b = GroupSet::from_iter([GroupId(1), GroupId(5)]);
+        assert_eq!((a | b).len(), 4);
+        assert_eq!((a & b), GroupSet::singleton(GroupId(1)));
+        assert_eq!((a - b), GroupSet::from_iter([GroupId(0), GroupId(2)]));
+        assert!(b.intersects(a));
+        assert!((a & b).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = GroupSet::from_iter([GroupId(9), GroupId(1), GroupId(4)]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![GroupId(1), GroupId(4), GroupId(9)]);
+        assert_eq!(s.min(), Some(GroupId(1)));
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_group_panics() {
+        GroupSet::singleton(GroupId(64));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let s = GroupSet::from_iter([GroupId(0), GroupId(63)]);
+        assert_eq!(GroupSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s = GroupSet::from_iter([GroupId(2), GroupId(0)]);
+        assert_eq!(format!("{s:?}"), "{g0,g2}");
+        assert_eq!(format!("{s}"), "{g0,g2}");
+    }
+
+    proptest! {
+        #[test]
+        fn insert_then_contains(ids in proptest::collection::vec(0u16..64, 0..20)) {
+            let mut s = GroupSet::new();
+            for &i in &ids {
+                s.insert(GroupId(i));
+            }
+            for &i in &ids {
+                prop_assert!(s.contains(GroupId(i)));
+            }
+            let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+            prop_assert_eq!(s.len(), unique.len());
+        }
+
+        #[test]
+        fn union_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (GroupSet::from_bits(a), GroupSet::from_bits(b));
+            prop_assert_eq!(x | y, y | x);
+            prop_assert_eq!(x & y, y & x);
+        }
+
+        #[test]
+        fn difference_disjoint_from_subtrahend(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (GroupSet::from_bits(a), GroupSet::from_bits(b));
+            prop_assert!(!(x - y).intersects(y));
+            prop_assert!((x - y).is_subset(x));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Process and group identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a process in the system Π = {p₁, …, pₙ}.
+///
+/// Process ids are dense indices assigned by the [`Topology`]: the first
+/// process of the first group is `ProcessId(0)`, and ids increase across
+/// groups in declaration order. They are `Copy`, cheap to hash, and totally
+/// ordered, which several protocols exploit (e.g. coordinator election picks
+/// the smallest non-suspected id).
+///
+/// [`Topology`]: crate::Topology
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The id as a dense `usize` index, suitable for indexing per-process
+    /// vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of a group in Γ = {g₁, …, gₘ}.
+///
+/// Groups model geographical sites: processes inside a group communicate over
+/// cheap local links, while inter-group links are orders of magnitude slower
+/// (§1 of the paper). Group ids are dense indices below [`GroupSet::MAX_GROUPS`].
+///
+/// [`GroupSet::MAX_GROUPS`]: crate::GroupSet::MAX_GROUPS
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::GroupId;
+/// let g = GroupId(1);
+/// assert_eq!(g.index(), 1);
+/// assert_eq!(format!("{g}"), "g1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct GroupId(pub u16);
+
+impl GroupId {
+    /// The id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u16> for GroupId {
+    fn from(v: u16) -> Self {
+        GroupId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn process_id_ordering_is_numeric() {
+        let mut set = BTreeSet::new();
+        set.insert(ProcessId(5));
+        set.insert(ProcessId(1));
+        set.insert(ProcessId(3));
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(v, vec![ProcessId(1), ProcessId(3), ProcessId(5)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(0).to_string(), "p0");
+        assert_eq!(GroupId(7).to_string(), "g7");
+        assert_eq!(format!("{:?}", ProcessId(2)), "p2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcessId::from(9u32), ProcessId(9));
+        assert_eq!(GroupId::from(4u16), GroupId(4));
+        assert_eq!(ProcessId(12).index(), 12usize);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", ProcessId::default()).is_empty());
+        assert!(!format!("{:?}", GroupId::default()).is_empty());
+    }
+}

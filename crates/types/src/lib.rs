@@ -1,0 +1,51 @@
+//! Core types shared by every crate in the `wamcast` workspace.
+//!
+//! This crate defines the vocabulary of the system model of Schiper & Pedone,
+//! *Optimal Atomic Broadcast and Multicast Algorithms for Wide Area Networks*
+//! (PODC 2007, §2):
+//!
+//! * [`ProcessId`] / [`GroupId`] — the system Π = {p₁, …, pₙ} partitioned
+//!   into disjoint groups Γ = {g₁, …, gₘ};
+//! * [`GroupSet`] — a destination set `m.dest ⊆ Γ` as a compact bitmask;
+//! * [`Topology`] — the static group membership (who belongs where);
+//! * [`MessageId`] and [`AppMessage`] — application messages with globally
+//!   unique, totally ordered identifiers (the paper breaks timestamp ties by
+//!   `m.id`);
+//! * [`LatencyClock`] — the *modified Lamport clock* of §2.3 used to define
+//!   the **latency degree** Δ(m, R): sends to a different group cost one
+//!   tick, intra-group sends are free;
+//! * [`SimTime`] — virtual time for the discrete-event simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use wamcast_types::{Topology, GroupSet, GroupId};
+//!
+//! // Three groups of two processes each.
+//! let topo = Topology::symmetric(3, 2);
+//! assert_eq!(topo.num_processes(), 6);
+//! let dest: GroupSet = [GroupId(0), GroupId(2)].into_iter().collect();
+//! assert_eq!(dest.len(), 2);
+//! assert!(dest.contains(GroupId(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod groupset;
+mod ids;
+mod message;
+pub mod proto;
+mod time;
+mod topology;
+
+pub use clock::{EventStamp, LatencyClock, LatencyDegree};
+pub use error::TopologyError;
+pub use groupset::GroupSet;
+pub use ids::{GroupId, ProcessId};
+pub use message::{AppMessage, MessageId, Payload};
+pub use proto::{Action, Context, Outbox, Protocol};
+pub use time::SimTime;
+pub use topology::{Topology, TopologyBuilder};

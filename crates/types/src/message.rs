@@ -1,0 +1,170 @@
+//! Application-level messages.
+
+use crate::{GroupSet, ProcessId};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque application payload carried by a cast message.
+pub type Payload = Bytes;
+
+/// Globally unique, totally ordered identifier of a cast message (`m.id`).
+///
+/// The paper's delivery rule breaks timestamp ties by message identifier:
+/// `(m₁.ts, m₁.id) < (m₂.ts, m₂.id)` (§4.2). Identifiers are the pair
+/// *(origin process, per-origin sequence number)* compared
+/// lexicographically, so they are unique without coordination and the order
+/// is total and agreed upon by everyone.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::{MessageId, ProcessId};
+/// let a = MessageId::new(ProcessId(1), 0);
+/// let b = MessageId::new(ProcessId(0), 9);
+/// assert!(b < a); // origin id dominates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId {
+    /// The process that cast the message.
+    pub origin: ProcessId,
+    /// Per-origin sequence number, starting at 0.
+    pub seq: u64,
+}
+
+impl MessageId {
+    /// Builds the identifier of the `seq`-th message cast by `origin`.
+    #[inline]
+    pub fn new(origin: ProcessId, seq: u64) -> Self {
+        MessageId { origin, seq }
+    }
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m({}#{})", self.origin, self.seq)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An application message as cast by `A-MCast` / `A-BCast`.
+///
+/// Carries its identifier, destination group set (`m.dest`) and payload.
+/// Protocol metadata (timestamp, stage, round, …) lives in the protocols'
+/// own message types; `AppMessage` is what the application hands in and what
+/// `A-Deliver` hands back.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, ProcessId};
+///
+/// let m = AppMessage::new(
+///     MessageId::new(ProcessId(0), 0),
+///     GroupSet::from_iter([GroupId(0), GroupId(1)]),
+///     bytes::Bytes::from_static(b"update"),
+/// );
+/// assert_eq!(m.dest.len(), 2);
+/// assert!(!m.is_single_group());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppMessage {
+    /// Unique identifier (`m.id`).
+    pub id: MessageId,
+    /// Destination groups (`m.dest`).
+    pub dest: GroupSet,
+    /// Opaque application payload.
+    #[serde(with = "serde_bytes_compat")]
+    pub payload: Payload,
+}
+
+impl AppMessage {
+    /// Creates a message.
+    #[inline]
+    pub fn new(id: MessageId, dest: GroupSet, payload: Payload) -> Self {
+        AppMessage { id, dest, payload }
+    }
+
+    /// Whether `|m.dest| = 1`. Single-group messages take A1's fast path,
+    /// skipping stages s1 and s2 entirely (§4.1).
+    #[inline]
+    pub fn is_single_group(&self) -> bool {
+        self.dest.len() == 1
+    }
+}
+
+impl fmt::Debug for AppMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AppMessage{{{} -> {:?}, {}B}}",
+            self.id,
+            self.dest,
+            self.payload.len()
+        )
+    }
+}
+
+/// Serde adapter: `bytes::Bytes` as a byte sequence.
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupId;
+
+    #[test]
+    fn id_lexicographic_order() {
+        let a = MessageId::new(ProcessId(0), 5);
+        let b = MessageId::new(ProcessId(0), 6);
+        let c = MessageId::new(ProcessId(1), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn single_group_detection() {
+        let one = AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::singleton(GroupId(2)),
+            Payload::new(),
+        );
+        assert!(one.is_single_group());
+        let two = AppMessage::new(
+            MessageId::new(ProcessId(0), 1),
+            GroupSet::from_iter([GroupId(0), GroupId(1)]),
+            Payload::new(),
+        );
+        assert!(!two.is_single_group());
+    }
+
+    #[test]
+    fn debug_renders() {
+        let m = AppMessage::new(
+            MessageId::new(ProcessId(3), 7),
+            GroupSet::singleton(GroupId(0)),
+            Payload::from_static(b"xy"),
+        );
+        let s = format!("{m:?}");
+        assert!(s.contains("p3"), "{s}");
+        assert!(s.contains("2B"), "{s}");
+        assert_eq!(format!("{}", m.id), "m(p3#7)");
+    }
+}

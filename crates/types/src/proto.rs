@@ -1,0 +1,292 @@
+//! The sans-io protocol abstraction.
+//!
+//! Every algorithm in this workspace — the paper's A1 and A2, their
+//! substrates (consensus, reliable multicast) and all baselines — is written
+//! as a pure state machine implementing [`Protocol`]. A host runtime (the
+//! deterministic simulator in `wamcast-sim`, or the threaded in-process
+//! cluster in `wamcast-net`) feeds it events and executes the [`Actions`] it
+//! emits. Protocol code contains no I/O, no clocks, no threads and no
+//! randomness, which gives us:
+//!
+//! * deterministic, replayable runs (property tests explore thousands of
+//!   schedules);
+//! * exact latency-degree measurement — the host stamps every send with the
+//!   modified Lamport clock of §2.3 *outside* the protocol, so an algorithm
+//!   cannot cheat;
+//! * runtime independence (the same `Protocol` value runs under virtual or
+//!   real time).
+//!
+//! Determinism contract: handlers must iterate internal collections in a
+//! deterministic order (use `BTreeMap`/`BTreeSet` or sorted vectors, never
+//! `HashMap` iteration) so that identical event sequences produce identical
+//! action sequences.
+
+use crate::{AppMessage, GroupId, ProcessId, SimTime, Topology};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A buffered side effect emitted by a protocol handler.
+#[derive(Clone, Debug)]
+pub enum Action<M> {
+    /// Send `msg` to process `to`. All sends emitted by one handler
+    /// invocation form a single *send event* for latency-degree stamping.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Protocol message.
+        msg: M,
+    },
+    /// A-Deliver `msg` to the application (a local event).
+    Deliver(AppMessage),
+    /// Arm a one-shot timer that fires `after` the current instant, carrying
+    /// the protocol-chosen token `kind`.
+    Timer {
+        /// Delay until the timer fires.
+        after: Duration,
+        /// Opaque token returned to [`Protocol::on_timer`].
+        kind: u64,
+    },
+}
+
+/// Handler context: identity, environment, and an action buffer.
+///
+/// A fresh `Context` is passed to every handler invocation; the host drains
+/// the buffered [`Action`]s when the handler returns.
+#[derive(Debug)]
+pub struct Context {
+    id: ProcessId,
+    group: GroupId,
+    topology: Arc<Topology>,
+    now: SimTime,
+}
+
+impl Context {
+    /// Creates a context for process `id` at instant `now`. Called by host
+    /// runtimes; protocol code only consumes contexts.
+    pub fn new(id: ProcessId, topology: Arc<Topology>, now: SimTime) -> Self {
+        let group = topology.group_of(id);
+        Context {
+            id,
+            group,
+            topology,
+            now,
+        }
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// This process's group (`group(p)`).
+    #[inline]
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The static topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current instant (virtual in the simulator, wall-clock offset in the
+    /// threaded runtime). Protocols may log it but must not branch on it for
+    /// correctness.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Action buffer filled by handlers.
+///
+/// Separated from [`Context`] so a handler can borrow the context immutably
+/// (topology lookups) while pushing actions.
+pub struct Outbox<M> {
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox {
+            actions: Vec::new(),
+        }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends `msg` to `to`.
+    #[inline]
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// A-Delivers `msg` to the application.
+    #[inline]
+    pub fn deliver(&mut self, msg: AppMessage) {
+        self.actions.push(Action::Deliver(msg));
+    }
+
+    /// Arms a one-shot timer.
+    #[inline]
+    pub fn set_timer(&mut self, after: Duration, kind: u64) {
+        self.actions.push(Action::Timer { after, kind });
+    }
+
+    /// Drains the buffered actions in emission order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action<M>> {
+        self.actions.drain(..)
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether no actions are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl<M: Clone> Outbox<M> {
+    /// Sends a copy of `msg` to every process in `tos`.
+    pub fn send_many<I: IntoIterator<Item = ProcessId>>(&mut self, tos: I, msg: M) {
+        for to in tos {
+            self.send(to, msg.clone());
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Outbox<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Outbox")
+            .field("actions", &self.actions)
+            .finish()
+    }
+}
+
+/// A sans-io protocol state machine.
+///
+/// One value of the implementing type runs per process. The host invokes the
+/// handlers below; each invocation is one atomic step (the paper's "each
+/// line of the algorithm is executed atomically" maps to handler atomicity).
+pub trait Protocol {
+    /// Wire message type exchanged between replicas of this protocol.
+    type Msg: Clone + fmt::Debug + Send + 'static;
+
+    /// Invoked once before any other handler, at time 0.
+    fn on_start(&mut self, ctx: &Context, out: &mut Outbox<Self::Msg>) {
+        let _ = (ctx, out);
+    }
+
+    /// The application A-XCasts `msg` (A-MCast or A-BCast) at this process.
+    /// Hosts guarantee `msg.id.origin == ctx.id()`.
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<Self::Msg>);
+
+    /// A protocol message from `from` arrives (quasi-reliable links: no
+    /// corruption, no duplication; delivered unless an endpoint crashed).
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &Context,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// A timer armed via [`Outbox::set_timer`] fires.
+    fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<Self::Msg>) {
+        let _ = (kind, ctx, out);
+    }
+
+    /// The host's failure-detector oracle reports that `crashed` has
+    /// crashed. In the simulator this models an eventually perfect detector
+    /// with configurable detection delay; `wamcast-net` drives it from
+    /// heartbeat timeouts. Only ever invoked for processes that really
+    /// crashed (accuracy), eventually invoked at every correct process for
+    /// every crashed one (completeness).
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<Self::Msg>,
+    ) {
+        let _ = (crashed, ctx, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupSet, MessageId, Payload};
+
+    struct Echo;
+
+    impl Protocol for Echo {
+        type Msg = u32;
+
+        fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<u32>) {
+            // Echo protocols: deliver own casts immediately, ping group peers.
+            let peers: Vec<_> = ctx
+                .topology()
+                .members(ctx.group())
+                .iter()
+                .copied()
+                .filter(|&q| q != ctx.id())
+                .collect();
+            out.send_many(peers, 7);
+            out.deliver(msg);
+        }
+
+        fn on_message(&mut self, _f: ProcessId, _m: u32, _ctx: &Context, _out: &mut Outbox<u32>) {}
+    }
+
+    #[test]
+    fn context_accessors() {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let ctx = Context::new(ProcessId(2), topo, SimTime::from_millis(5));
+        assert_eq!(ctx.id(), ProcessId(2));
+        assert_eq!(ctx.group(), GroupId(1));
+        assert_eq!(ctx.now().as_millis(), 5);
+        assert_eq!(ctx.topology().num_processes(), 4);
+    }
+
+    #[test]
+    fn outbox_buffers_in_order() {
+        let topo = Arc::new(Topology::symmetric(1, 3));
+        let ctx = Context::new(ProcessId(0), topo, SimTime::ZERO);
+        let mut out = Outbox::new();
+        let m = AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::singleton(GroupId(0)),
+            Payload::new(),
+        );
+        Echo.on_cast(m.clone(), &ctx, &mut out);
+        assert_eq!(out.len(), 3); // two sends + one deliver
+        let acts: Vec<_> = out.drain().collect();
+        assert!(matches!(acts[0], Action::Send { to, msg: 7 } if to == ProcessId(1)));
+        assert!(matches!(acts[1], Action::Send { to, msg: 7 } if to == ProcessId(2)));
+        assert!(matches!(&acts[2], Action::Deliver(d) if d.id == m.id));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_handlers_are_noops() {
+        let topo = Arc::new(Topology::symmetric(1, 1));
+        let ctx = Context::new(ProcessId(0), topo, SimTime::ZERO);
+        let mut out = Outbox::<u32>::new();
+        let mut e = Echo;
+        e.on_start(&ctx, &mut out);
+        e.on_timer(9, &ctx, &mut out);
+        e.on_crash_notification(ProcessId(0), &ctx, &mut out);
+        assert!(out.is_empty());
+    }
+}

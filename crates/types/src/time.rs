@@ -1,0 +1,171 @@
+//! Virtual time for the discrete-event simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since the start of a run.
+///
+/// The simulator advances `SimTime` only when it pops events off its queue,
+/// so two runs with the same seed observe identical timelines. `SimTime` is
+/// deliberately distinct from [`std::time::Instant`]: protocol code never
+/// reads a clock, it only receives events stamped with virtual time.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(100);
+/// assert_eq!(t.as_millis(), 100);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(100));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time that compares greater than every reachable time; useful as a
+    /// sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time from whole nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds a time from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us.saturating_mul(1_000))
+    }
+
+    /// Builds a time from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms.saturating_mul(1_000_000))
+    }
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the origin (truncating).
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the origin (truncating).
+    #[inline]
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the origin as a float; handy for reports.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier` as a [`Duration`].
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`saturating_since`](SimTime::saturating_since) when the ordering is
+    /// not statically known.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction underflow");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.as_micros())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_nanos(7).as_nanos(), 7);
+        assert_eq!(SimTime::from_millis(1500).as_millis(), 1500);
+        assert!((SimTime::from_millis(500).as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_millis(10);
+        let u = t + Duration::from_millis(5);
+        assert_eq!(u - t, Duration::from_millis(5));
+        assert_eq!(u.saturating_since(t), Duration::from_millis(5));
+        assert_eq!(t.saturating_since(u), Duration::ZERO);
+        let mut v = t;
+        v += Duration::from_millis(1);
+        assert_eq!(v.as_millis(), 11);
+    }
+
+    #[test]
+    fn ordering_and_sentinels() {
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let t = SimTime::MAX + Duration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn display_debug() {
+        let t = SimTime::from_millis(12);
+        assert_eq!(format!("{t}"), "12.000ms");
+        assert_eq!(format!("{t:?}"), "t+12000us");
+    }
+}

@@ -1,0 +1,104 @@
+//! The §1 trade-off: genuine multicast (A1) vs. broadcast-and-filter (A2).
+//!
+//! Run with: `cargo run --example latency_tradeoff`
+//!
+//! "If latency is the main concern, then every operation should be
+//! broadcast to all groups … this solution, however, has a high message
+//! complexity. … To reduce the message complexity, genuine multicast can
+//! be used. However, any genuine multicast algorithm will have a latency
+//! degree of at least two." (§1)
+//!
+//! We run the same partial-replication workload both ways and print the
+//! latency/bandwidth frontier the paper describes.
+
+use wamcast::sim::{invariants, SimConfig, Simulation};
+use wamcast::types::{GroupId, GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
+use wamcast::{GenuineMulticast, MulticastConfig, NonGenuineMulticast};
+
+/// 40 operations, each touching 2 of 5 sites.
+fn workload<P: Protocol>(sim: &mut Simulation<P>) -> Vec<wamcast::types::MessageId> {
+    let mut ids = Vec::new();
+    for i in 0..40u64 {
+        let a = (i % 5) as u16;
+        let b = ((i + 2) % 5) as u16;
+        let dest = GroupSet::from_iter([GroupId(a), GroupId(b)]);
+        let caster = ProcessId(a as u32 * 2);
+        ids.push(sim.cast_at(
+            SimTime::from_millis(60 * i),
+            caster,
+            dest,
+            Payload::from_static(b"op"),
+        ));
+    }
+    ids
+}
+
+struct Outcome {
+    max_degree: u64,
+    mean_wall_ms: f64,
+    inter_msgs: u64,
+    bystander_msgs: bool,
+}
+
+fn report(name: &str, o: &Outcome) {
+    println!(
+        "{name:<28} max degree {}   mean latency {:>6.1} ms   inter-group msgs {:>5}   bystander traffic: {}",
+        o.max_degree,
+        o.mean_wall_ms,
+        o.inter_msgs,
+        if o.bystander_msgs { "yes" } else { "no" }
+    );
+}
+
+fn run<P: Protocol>(
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+) -> Outcome {
+    let topo = Topology::symmetric(5, 2);
+    let mut sim = Simulation::new(topo, SimConfig::default(), factory);
+    let ids = workload(&mut sim);
+    assert!(sim.run_until_delivered(&ids, SimTime::from_millis(600_000)));
+    sim.run_to_quiescence();
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    let m = sim.metrics();
+    let max_degree = ids.iter().filter_map(|&i| m.latency_degree(i)).max().unwrap();
+    let mean_wall_ms = ids
+        .iter()
+        .filter_map(|&i| m.delivery_latency(i))
+        .map(|d| d.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / ids.len() as f64;
+    // Did any process outside a message's destination carry traffic? For
+    // the genuine protocol the checker proves not; for broadcast-and-filter
+    // every process participates in every round.
+    let bystander_msgs = invariants::check_genuineness(sim.topology(), m).is_ok()
+        && m.sent_any.iter().all(|&s| s); // everyone sent => bystanders too
+    Outcome {
+        max_degree,
+        mean_wall_ms,
+        inter_msgs: m.inter_sends,
+        bystander_msgs,
+    }
+}
+
+fn main() {
+    println!("same workload (40 ops, each to 2 of 5 sites, 100 ms WAN), two strategies:\n");
+
+    let genuine = run(|p, t| GenuineMulticast::new(p, t, MulticastConfig::default()));
+    report("A1 genuine multicast", &genuine);
+
+    let broadcast = run(|p, t| {
+        let mut inner = NonGenuineMulticast::new(p, t);
+        let _ = &mut inner;
+        inner
+    });
+    report("A2 broadcast + filter", &broadcast);
+
+    println!();
+    println!("the frontier of §1: broadcast-and-filter can beat the 2-delay bound");
+    println!("(degree 1 in steady state) because it is not genuine — it taxes every");
+    println!("site with O(n^2) messages per operation; the genuine A1 touches only the");
+    println!("addressed sites but pays the provably minimal 2 inter-group delays.");
+    assert!(genuine.inter_msgs < broadcast.inter_msgs);
+    assert_eq!(genuine.max_degree, 2);
+}

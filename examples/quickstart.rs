@@ -1,0 +1,57 @@
+//! Quickstart: atomic broadcast across three WAN sites with Algorithm A2.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Spins up 3 groups × 2 processes under the deterministic simulator,
+//! broadcasts a handful of messages and shows that (a) everyone delivers
+//! the same total order, (b) steady-state broadcasts cost one inter-group
+//! delay — the paper's headline result — and (c) the protocol quiesces.
+
+use std::time::Duration;
+use wamcast::sim::{invariants, SimConfig, Simulation};
+use wamcast::types::{Payload, ProcessId, SimTime};
+use wamcast::{RoundBroadcast, Topology};
+
+fn main() {
+    // Three geographical sites, two replicas each, 100 ms apart.
+    let topo = Topology::symmetric(3, 2);
+    let mut sim = Simulation::new(topo, SimConfig::default(), |p, t| {
+        // A 25 ms batching window per round (see RoundBroadcast docs).
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(25))
+    });
+    let everyone = sim.topology().all_groups();
+
+    // A stream of broadcasts from different processes and sites.
+    let mut ids = Vec::new();
+    for i in 0..10u64 {
+        let caster = ProcessId((i % 6) as u32);
+        let at = SimTime::from_millis(i * 60);
+        ids.push(sim.cast_at(at, caster, everyone, Payload::from_static(b"op")));
+    }
+    sim.run_to_quiescence(); // A2 is quiescent: the event queue drains
+
+    // 1. Total order: every process delivered the same sequence.
+    let reference = sim.metrics().delivered_seq[0].clone();
+    for p in sim.topology().processes() {
+        assert_eq!(sim.metrics().delivered_seq[p.index()], reference);
+    }
+    println!("total order across all 6 processes:");
+    for (i, m) in reference.iter().enumerate() {
+        println!("  {i:2}. {m}");
+    }
+
+    // 2. Latency degrees: the first broadcast wakes the system (degree 2,
+    //    Theorem 5.2); the steady state hits the optimal degree 1
+    //    (Theorem 5.1).
+    println!("\nlatency degrees (inter-group delays per message):");
+    for (i, &m) in ids.iter().enumerate() {
+        let deg = sim.metrics().latency_degree(m).unwrap();
+        let wall = sim.metrics().delivery_latency(m).unwrap();
+        println!("  msg {i:2}: degree {deg} ({:.1} ms)", wall.as_secs_f64() * 1e3);
+    }
+
+    // 3. The run satisfied every property of the paper's §2.2 spec.
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    println!("\nall §2.2 properties verified (integrity, agreement, validity, prefix order)");
+}
