@@ -1,5 +1,5 @@
 //! Aguilera & Strom, *Efficient atomic broadcast using deterministic merge*
-//! (PODC 2000 — reference [1]).
+//! (PODC 2000 — reference \[1\]).
 //!
 //! Total order without any agreement protocol: every publisher stamps its
 //! messages with its (synchronized) clock and streams them FIFO to every
@@ -19,15 +19,14 @@
 //! messages per cast.
 //!
 //! Clock synchronization: the simulator's virtual time doubles as the
-//! synchronized publisher clock ([1] assumes one; see DESIGN.md).
+//! synchronized publisher clock (\[1\] assumes one; see DESIGN.md).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};
 
 /// Wire messages of the deterministic merge.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MergeMsg {
     /// A published message with its publisher timestamp.
     Pub {
@@ -53,7 +52,7 @@ pub struct DeterministicMerge {
     /// Delay before the first heartbeat (phase). Staggering phases across
     /// processes avoids a publisher's own heartbeat landing between one of
     /// its casts and the corresponding delivery, which would inflate the
-    /// measured latency degree past [1]'s bound.
+    /// measured latency degree past \[1\]'s bound.
     phase: Duration,
     /// Latest timestamp heard from each publisher (stream horizon).
     horizon: BTreeMap<ProcessId, u64>,

@@ -1,5 +1,5 @@
 //! Fritzke, Ingels, Mostéfaoui & Raynal, *Fault-tolerant total order
-//! multicast to asynchronous groups* (SRDS 1998 — reference [5]).
+//! multicast to asynchronous groups* (SRDS 1998 — reference \[5\]).
 //!
 //! The direct ancestor of the paper's A1: the same four-stage, group-clock,
 //! consensus-maintained design, **without** the paper's two stage-skipping
@@ -17,16 +17,16 @@
 //! ablation bench `ablation_skip` and the harness measure exactly that
 //! delta.
 //!
-//! One further difference the paper notes — [5] uses a *uniform* reliable
+//! One further difference the paper notes — \[5\] uses a *uniform* reliable
 //! multicast for initial dissemination — is deliberately **not** modelled:
 //! Figure 1 accounts both algorithms with the same latency-degree-1
-//! dissemination primitive ([6]), so changing it would alter numbers the
+//! dissemination primitive (\[6\]), so changing it would alter numbers the
 //! paper holds fixed. Only stage skipping differs here.
 
 use wamcast_core::{GenuineMulticast, MulticastConfig};
 use wamcast_types::{ProcessId, Topology};
 
-/// Builds the Fritzke et al. [5] baseline for process `me`: Algorithm A1's
+/// Builds the Fritzke et al. \[5\] baseline for process `me`: Algorithm A1's
 /// engine with `skip_stages = false`.
 ///
 /// # Example

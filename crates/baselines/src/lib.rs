@@ -9,13 +9,13 @@
 //!
 //! | Module | Algorithm | Kind | Latency degree | Inter-group msgs |
 //! |---|---|---|---|---|
-//! | [`skeen`] | Skeen (Birman & Joseph [2]) | multicast, failure-free | 2 | O(k²d²) |
-//! | [`fritzke`] | Fritzke et al. [5] | genuine multicast | 2 | O(k²d²) |
-//! | [`ring`] | Delporte-Gallet & Fauconnier [4] | genuine multicast | k+1 | O(kd²) |
-//! | [`rodrigues`] | Rodrigues et al. [10] | genuine multicast | 4 | O(k²d²) |
-//! | [`optimistic`] | Sousa et al. [12] | broadcast, non-uniform | 2 | O(n) |
-//! | [`sequencer`] | Vicente & Rodrigues [13] | broadcast, uniform | 2 | O(n²) |
-//! | [`detmerge`] | Aguilera & Strom [1] | broadcast/multicast, streams | 1 | O(kd) |
+//! | [`skeen`] | Skeen (Birman & Joseph \[2\]) | multicast, failure-free | 2 | O(k²d²) |
+//! | [`fritzke`] | Fritzke et al. \[5\] | genuine multicast | 2 | O(k²d²) |
+//! | [`ring`] | Delporte-Gallet & Fauconnier \[4\] | genuine multicast | k+1 | O(kd²) |
+//! | [`rodrigues`] | Rodrigues et al. \[10\] | genuine multicast | 4 | O(k²d²) |
+//! | [`optimistic`] | Sousa et al. \[12\] | broadcast, non-uniform | 2 | O(n) |
+//! | [`sequencer`] | Vicente & Rodrigues \[13\] | broadcast, uniform | 2 | O(n²) |
+//! | [`detmerge`] | Aguilera & Strom \[1\] | broadcast/multicast, streams | 1 | O(kd) |
 //!
 //! (k = destination groups, d = processes per group, n = kd.)
 

@@ -1,5 +1,5 @@
 //! Sousa, Pereira, Moura & Oliveira, *Optimistic total order in wide area
-//! networks* (SRDS 2002 — reference [12]).
+//! networks* (SRDS 2002 — reference \[12\]).
 //!
 //! A **non-uniform** sequencer-based total order with *optimistic
 //! delivery*: receivers artificially delay incoming messages so that the
@@ -13,20 +13,19 @@
 //! guaranteed agreement (no acknowledgement quorum protects a delivery).
 //!
 //! Simplification (documented in DESIGN.md): a fixed sequencer (the lowest
-//! process id) rather than [12]'s failure-handled one, since Figure 1's
+//! process id) rather than \[12\]'s failure-handled one, since Figure 1's
 //! failure-free accounting never exercises sequencer failover. The
 //! characteristic artificial delay is kept (configurable) and the
 //! optimistic delivery sequence is exposed via
 //! [`optimistic_order`](OptimisticBroadcast::optimistic_order) together
 //! with mismatch statistics.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};
 
 /// Wire messages of the optimistic broadcast.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum OptimisticMsg {
     /// Direct dissemination to all processes.
     Data(AppMessage),
@@ -86,7 +85,7 @@ impl OptimisticBroadcast {
     }
 
     /// Number of positions where the optimistic sequence disagreed with the
-    /// final sequence delivered so far (the quantity [12] minimizes).
+    /// final sequence delivered so far (the quantity \[12\] minimizes).
     pub fn mismatches(&self, final_order: &[MessageId]) -> usize {
         self.optimistic
             .iter()

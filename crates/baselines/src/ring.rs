@@ -1,5 +1,5 @@
 //! Delporte-Gallet & Fauconnier, *Fault-tolerant genuine atomic multicast
-//! to multiple groups* (OPODIS 2000 — reference [4]).
+//! to multiple groups* (OPODIS 2000 — reference \[4\]).
 //!
 //! A genuine multicast that trades latency for bandwidth: the destination
 //! groups of `m` are visited **sequentially** in ascending group-id order.
@@ -18,7 +18,6 @@
 //! algorithm is best … depends on factors such as the network topology"
 //! (§6).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_types::{AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol};
@@ -33,7 +32,7 @@ use wamcast_types::{AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, 
 /// necessarily unblocked, i.e. it has processed the final timestamp of the
 /// previous message this group ordered, so its clock exceeds that final and
 /// the serialization invariant holds.)
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RingStep {
     /// The message to order.
     pub msg: AppMessage,
@@ -42,7 +41,7 @@ pub struct RingStep {
 }
 
 /// Wire messages of the ring multicast.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RingMsg {
     /// Hand-off of `msg` to the members of the next destination group.
     Enter {

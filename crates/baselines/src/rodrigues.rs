@@ -1,5 +1,5 @@
 //! Rodrigues, Guerraoui & Schiper, *Scalable atomic multicast* (IC3N 1998 —
-//! reference [10]).
+//! reference \[10\]).
 //!
 //! Skeen-style timestamps made fault-tolerant by running **consensus among
 //! the addressees of each message** on its final timestamp: "the addresses
@@ -11,7 +11,7 @@
 //! wide area networks" (§6).
 //!
 //! Figure 1(a) accounting: latency degree 4 — dissemination (1) + proposal
-//! exchange (1) + cross-group consensus (2, the good case of [11]) — and
+//! exchange (1) + cross-group consensus (2, the good case of \[11\]) — and
 //! O(k²d²) inter-group messages.
 //!
 //! Simplification (documented in DESIGN.md): proposals are collected from
@@ -22,13 +22,12 @@
 //! and message complexity — the quantities Figure 1 compares — are
 //! unchanged (the exchange is one inter-group delay either way).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};
 
 /// Wire messages of the Rodrigues et al. multicast.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RodriguesMsg {
     /// Initial dissemination.
     Data(AppMessage),

@@ -1,5 +1,5 @@
 //! Vicente & Rodrigues, *An indulgent uniform total order algorithm with
-//! optimistic delivery* (SRDS 2002 — reference [13]).
+//! optimistic delivery* (SRDS 2002 — reference \[13\]).
 //!
 //! A **uniform** sequencer-based total order: processes optimistically
 //! deliver a message when its sequence number arrives, and finally deliver
@@ -12,17 +12,16 @@
 //! validation votes cross in parallel (2) — and O(n²) inter-group messages
 //! (every process votes to every process).
 //!
-//! Simplification (documented in DESIGN.md): [13] assigns one sequencer per
+//! Simplification (documented in DESIGN.md): \[13\] assigns one sequencer per
 //! broadcaster; we use a single fixed sequencer, which fixes the total
 //! order trivially and leaves the measured quantities (latency degree,
 //! message count, uniformity mechanism) unchanged in failure-free runs.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};
 
 /// Wire messages of the uniform sequencer broadcast.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SequencerMsg {
     /// Direct dissemination to all processes.
     Data(AppMessage),

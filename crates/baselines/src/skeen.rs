@@ -1,4 +1,4 @@
-//! Skeen's atomic multicast (Birman & Joseph, TOCS 1987 — reference [2]).
+//! Skeen's atomic multicast (Birman & Joseph, TOCS 1987 — reference \[2\]).
 //!
 //! The grandfather of timestamp-based multicast, designed for **failure-free
 //! systems**: no consensus, every *process* keeps a logical clock.
@@ -19,12 +19,11 @@
 //! Not fault-tolerant: one crashed destination blocks every message
 //! addressed to it (tested below).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};
 
 /// Wire messages of Skeen's algorithm.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SkeenMsg {
     /// Initial dissemination of the multicast message.
     Data(AppMessage),

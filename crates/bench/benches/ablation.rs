@@ -1,6 +1,6 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
-//! * **Stage skipping (A1 vs Fritzke [5])** — the paper: "our algorithm
+//! * **Stage skipping (A1 vs Fritzke \[5\])** — the paper: "our algorithm
 //!   allows messages to skip stages, therefore sparing the execution of
 //!   consensus instances … our algorithm sends fewer intra-group messages"
 //!   (§6). The two variants run the same workload; the timing difference
@@ -10,7 +10,8 @@
 //!   batching window is what realizes Theorem 5.1's Δ=1 schedule; the
 //!   bench quantifies the simulation cost across pacing values.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wamcast_bench::harness::{BenchmarkId, Criterion};
+use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_bench::run_a1_once;

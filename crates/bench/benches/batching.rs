@@ -1,0 +1,43 @@
+//! Bench: the consensus-amortization sweep (E9).
+//!
+//! Times the same Poisson-loaded A1 simulation with batching off and at
+//! batch sizes 16 and 64, so regressions in the batching layer's hot paths
+//! (the `(ts, id)` delivery index, the unproposed pool, the `Arc`-shared
+//! consensus batches) show up as timing changes. The asserted amortization
+//! ratio keeps the bench honest: if batching stops cutting per-message
+//! protocol cost by ≥5× at size 64, the bench fails rather than silently
+//! timing a broken configuration.
+
+use std::hint::black_box;
+use std::time::Duration;
+use wamcast_bench::harness::{BenchmarkId, Criterion};
+use wamcast_bench::{criterion_group, criterion_main};
+use wamcast_harness::throughput_once;
+
+fn bench(c: &mut Criterion) {
+    // Honesty check, once outside the timing loop (the deterministic ≥5×
+    // acceptance bound of throughput_sweep / ISSUE 1).
+    let eager = throughput_once(3, 2, 2000.0, Duration::from_secs(1), 1, 0xB47C);
+    let batched = throughput_once(3, 2, 2000.0, Duration::from_secs(1), 64, 0xB47C);
+    let gain = batched.modeled_msgs_per_sec / eager.modeled_msgs_per_sec;
+    assert!(
+        gain >= 5.0,
+        "batch 64 must amortize >=5x, got {gain:.2}x"
+    );
+
+    let mut g = c.benchmark_group("batching_poisson_3x2");
+    g.sample_size(10);
+    for batch in [1usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let cell =
+                    throughput_once(3, 2, 1000.0, Duration::from_millis(500), batch, 0xB47C);
+                black_box(cell.sends_per_msg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! Each benchmark runs the full single-multicast simulation of one Figure
 //! 1(a) row; the asserted latency degrees keep the benches honest.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_baselines::{fritzke_multicast, RingMulticast, RodriguesMulticast, SkeenMulticast};

@@ -1,6 +1,7 @@
 //! Bench: regenerate Figure 1(b) (atomic broadcast comparison).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_baselines::{OptimisticBroadcast, SequencerBroadcast};

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the substrates: the deterministic RNG, group-set
 //! algebra, simulator event throughput and intra-group consensus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_sim::SplitMix64;

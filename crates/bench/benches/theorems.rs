@@ -1,6 +1,7 @@
 //! Bench: the Theorem 4.1 / 5.1 / 5.2 witness runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};

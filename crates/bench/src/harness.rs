@@ -1,0 +1,223 @@
+//! A minimal, dependency-free timing harness with a Criterion-shaped API.
+//!
+//! Covers exactly the surface the `benches/` files use: `Criterion` with
+//! `bench_function` and `benchmark_group`, groups with `sample_size`,
+//! `bench_function`, `bench_with_input` and `finish`, `Bencher::iter`,
+//! `BenchmarkId::from_parameter`, and the `criterion_group!` /
+//! `criterion_main!` macros (exported at the crate root). Measurement
+//! model: each sample runs the closure enough times to cover a minimum
+//! window, and the reported per-iteration time is the median over samples
+//! (median is robust to scheduler noise; these benches run full simulations
+//! per iteration, so sub-nanosecond resolution is not the point —
+//! regressions of tens of percent are).
+
+use std::time::{Duration, Instant};
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+/// Minimum wall-clock span of one sample; fast closures iterate until the
+/// window is covered so per-iteration division stays meaningful.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(5);
+
+/// Entry point object passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Benchmarks `f` under `name` with the default sample count.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let est = run_bench(f, DEFAULT_SAMPLES);
+        report(name, est);
+        self.results.push((name.to_string(), est));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Prints a closing summary of every benchmark that ran.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let est = run_bench(f, self.samples);
+        report(&label, est);
+        self.parent.results.push((label, est));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through (Criterion's
+    /// parameterized-benchmark shape).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        let est = run_bench(|b| f(b, input), self.samples);
+        report(&label, est);
+        self.parent.results.push((label, est));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the benchmark's parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Self::iter) runs the
+/// measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured per-iteration time of this sample, set by `iter`.
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until the sample window is covered, and
+    /// records the mean per-iteration duration for this sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= SAMPLE_WINDOW || iters == u32::MAX {
+                break;
+            }
+        }
+        self.sample = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_bench(mut f: impl FnMut(&mut Bencher), samples: usize) -> Duration {
+    // Warm-up run (untimed) to populate caches and lazy statics.
+    let mut b = Bencher { sample: None };
+    f(&mut b);
+    let mut measured: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { sample: None };
+            f(&mut b);
+            b.sample.expect("benchmark closure must call Bencher::iter")
+        })
+        .collect();
+    measured.sort();
+    measured[measured.len() / 2]
+}
+
+fn report(label: &str, est: Duration) {
+    println!("  {label:<48} {}", fmt_duration(est));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Groups benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::new();
+            $($g(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero() {
+        let est = run_bench(
+            |b| b.iter(|| std::hint::black_box((0..100u64).sum::<u64>())),
+            3,
+        );
+        assert!(est > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("fast", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+    }
+}

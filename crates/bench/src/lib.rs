@@ -1,4 +1,4 @@
-//! Shared helpers for the `wamcast` Criterion benches (see `benches/`).
+//! Shared helpers for the `wamcast` benches (see `benches/`).
 //!
 //! Each bench regenerates one of the paper's evaluation artifacts and
 //! measures how long the simulation takes, so regressions in either the
@@ -10,13 +10,24 @@
 //! * `micro` — substrate microbenchmarks (RNG, group sets, event loop,
 //!   intra-group consensus);
 //! * `ablation` — the design choices DESIGN.md calls out: A1 stage
-//!   skipping vs. Fritzke [5], and A2 round pacing.
+//!   skipping vs. Fritzke \[5\], and A2 round pacing;
+//! * `batching` — consensus amortization: the same Poisson load with
+//!   batching disabled vs. batch sizes 16 and 64.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! benches run on the [`harness`] module below — a small, self-contained
+//! timing harness exposing the slice of the Criterion API the bench files
+//! use (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `Bencher::iter`). Swap the imports back to `criterion`
+//! if the real crate is available and statistical rigor is needed.
 
 #![forbid(unsafe_code)]
 
 use wamcast_core::{GenuineMulticast, MulticastConfig};
 use wamcast_sim::{SimConfig, Simulation};
 use wamcast_types::{GroupSet, Payload, ProcessId, SimTime, Topology};
+
+pub mod harness;
 
 /// Runs one A1 multicast to `k` groups of `d` and returns the inter-group
 /// message count (used by benches to prevent dead-code elimination).

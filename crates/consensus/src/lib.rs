@@ -14,7 +14,13 @@
 //!   ballot 0 and may skip the prepare phase, deciding in two intra-group
 //!   delays in the common case. Instance numbers are arbitrary `u64`s
 //!   because A1 uses its group clock as the instance counter and that clock
-//!   *skips* values (line 31 of Algorithm A1).
+//!   *skips* values (line 31 of Algorithm A1). The engine is *batch-aware*:
+//!   [`GroupConsensus::with_merge`] installs a [`MergeFn`] that folds
+//!   proposals forwarded by other members into the coordinator's ballot-0
+//!   `Accept`, so one instance decides the union of everything the group
+//!   has to order — the decided-value half of the batching layer described
+//!   in `DESIGN.md` (the accumulation half lives in `wamcast-core`,
+//!   governed by `wamcast_types::BatchConfig`).
 //! * [`HeartbeatFd`] — an eventually-perfect failure detector built from
 //!   heartbeats, used by the threaded runtime (`wamcast-net`). Under the
 //!   simulator, protocols instead receive crash notifications from the
@@ -31,4 +37,4 @@ mod fd;
 mod paxos;
 
 pub use fd::{FdConfig, FdEvent, HeartbeatFd};
-pub use paxos::{Ballot, ConsensusMsg, GroupConsensus, MsgSink, Value};
+pub use paxos::{Ballot, ConsensusMsg, GroupConsensus, MergeFn, MsgSink, Value};

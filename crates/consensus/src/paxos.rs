@@ -28,7 +28,6 @@
 //! is the only value acceptable at higher ballots); termination holds with a
 //! majority of correct members and an eventually accurate suspicion source.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use wamcast_types::ProcessId;
@@ -40,11 +39,28 @@ use wamcast_types::ProcessId;
 pub trait Value: Clone + fmt::Debug + PartialEq + Send + 'static {}
 impl<T: Clone + fmt::Debug + PartialEq + Send + 'static> Value for T {}
 
+/// Combiner folding a second proposal into an accumulated one, installed
+/// with [`GroupConsensus::with_merge`].
+///
+/// Called by the ballot-0 coordinator — and only **before** its `Accept`
+/// goes out — to fold values forwarded by other members into the value it
+/// is about to propose. Protocols deciding *batches* of messages install a
+/// union-by-message-id combiner so that one consensus instance carries
+/// every message any group member has disseminated, instead of the
+/// coordinator's view only; messages the coordinator has not yet received
+/// would otherwise wait a full extra instance. This is safe because merging
+/// happens strictly at proposal time: Paxos chooses the merged value (or
+/// not) through the normal ballot machinery, so uniform agreement is
+/// untouched, and validity weakens only from "some member proposed the
+/// decision" to "every element of the decision was proposed by some
+/// member" — exactly the validity atomic multicast needs.
+pub type MergeFn<V> = fn(&mut V, V);
+
 /// A Paxos ballot, totally ordered by `(round, owner)`.
 ///
 /// Round 0 is reserved for the group's lowest-id member, which lets it skip
 /// the prepare phase.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ballot {
     /// Monotone round counter.
     pub round: u64,
@@ -60,7 +76,7 @@ impl Ballot {
 }
 
 /// Wire messages of the engine. `V` is the consensus value type.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ConsensusMsg<V> {
     /// A non-coordinator proposer hands its value to the coordinator.
     Forward {
@@ -164,8 +180,10 @@ struct Instance<V> {
     decided: bool,
     /// This member's own proposal (kept for forward/recovery).
     my_value: Option<V>,
-    /// Values forwarded to us while we are (or become) coordinator.
-    forwarded: Option<V>,
+    /// Values forwarded to us while we are (or become) coordinator. With a
+    /// merge combiner installed all of them fold into the proposed value;
+    /// without one only the first is used (first-wins, the classic shape).
+    forwarded: Vec<V>,
     /// Fast-path guard: ballot-0 Accept already sent.
     sent_accept0: bool,
     prepare: Option<PrepareState<V>>,
@@ -179,16 +197,33 @@ impl<V> Instance<V> {
             accepted: None,
             decided: false,
             my_value: None,
-            forwarded: None,
+            forwarded: Vec::new(),
             sent_accept0: false,
             prepare: None,
             accepted_votes: BTreeMap::new(),
         }
     }
 
-    fn candidate(&self) -> Option<&V> {
-        self.my_value.as_ref().or(self.forwarded.as_ref())
+    fn has_candidate(&self) -> bool {
+        self.my_value.is_some() || !self.forwarded.is_empty()
     }
+}
+
+/// The value a coordinator should propose for `inst`: its own proposal or
+/// the first forwarded one, with every further forwarded value folded in
+/// when a [`MergeFn`] is installed.
+fn merged_candidate<V: Value>(merge: Option<MergeFn<V>>, inst: &Instance<V>) -> Option<V> {
+    let mut rest = inst.forwarded.iter();
+    let mut base = match &inst.my_value {
+        Some(v) => v.clone(),
+        None => rest.next()?.clone(),
+    };
+    if let Some(merge) = merge {
+        for v in rest {
+            merge(&mut base, v.clone());
+        }
+    }
+    Some(base)
 }
 
 /// A multi-instance uniform consensus engine for one group member.
@@ -217,13 +252,15 @@ impl<V> Instance<V> {
 #[derive(Clone, Debug)]
 pub struct GroupConsensus<V> {
     me: ProcessId,
-    /// Group members, ascending. `members[0]` owns ballot 0.
+    /// Group members, ascending. `members\[0\]` owns ballot 0.
     members: Vec<ProcessId>,
     majority: usize,
     suspected: BTreeSet<ProcessId>,
     instances: BTreeMap<u64, Instance<V>>,
     decisions: BTreeMap<u64, V>,
     undrained: Vec<(u64, V)>,
+    /// Batch combiner for forwarded proposals; see [`MergeFn`].
+    merge: Option<MergeFn<V>>,
 }
 
 impl<V: Value> GroupConsensus<V> {
@@ -247,7 +284,53 @@ impl<V: Value> GroupConsensus<V> {
             instances: BTreeMap::new(),
             decisions: BTreeMap::new(),
             undrained: Vec::new(),
+            merge: None,
         }
+    }
+
+    /// Installs a [`MergeFn`] making this engine *batch-aware*: before the
+    /// ballot-0 coordinator sends its `Accept`, every value forwarded by
+    /// other members is folded into its proposal. Protocols deciding
+    /// batches of application messages (A1's `msgSet`, A2's round bundles)
+    /// install a union-by-id combiner so one instance decides every message
+    /// any member disseminated.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wamcast_consensus::{GroupConsensus, MsgSink};
+    /// use wamcast_types::ProcessId;
+    ///
+    /// fn union(acc: &mut Vec<u32>, more: Vec<u32>) {
+    ///     for v in more {
+    ///         if !acc.contains(&v) {
+    ///             acc.push(v);
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// let members = vec![ProcessId(0), ProcessId(1)];
+    /// let mut coord: GroupConsensus<Vec<u32>> =
+    ///     GroupConsensus::new(ProcessId(0), members).with_merge(union);
+    /// let mut sink = MsgSink::new();
+    /// // A forwarded batch arrives before the coordinator's own proposal…
+    /// coord.on_message(
+    ///     ProcessId(1),
+    ///     wamcast_consensus::ConsensusMsg::Forward { instance: 1, value: vec![7] },
+    ///     &mut sink,
+    /// );
+    /// sink.msgs.clear();
+    /// coord.propose(1, vec![3], &mut sink);
+    /// // …and the Accept carries the union of both batches.
+    /// assert!(sink.msgs.iter().any(|(_, m)| matches!(
+    ///     m,
+    ///     wamcast_consensus::ConsensusMsg::Accept { value, .. } if value == &vec![3, 7]
+    /// )));
+    /// ```
+    #[must_use]
+    pub fn with_merge(mut self, merge: MergeFn<V>) -> Self {
+        self.merge = Some(merge);
+        self
     }
 
     /// The current coordinator: lowest-id non-suspected member.
@@ -308,7 +391,7 @@ impl<V: Value> GroupConsensus<V> {
             .instances
             .iter()
             .filter(|(k, i)| !i.decided && !self.decisions.contains_key(k))
-            .filter(|(_, i)| i.candidate().is_some() || i.accepted.is_some())
+            .filter(|(_, i)| i.has_candidate() || i.accepted.is_some())
             .map(|(&k, _)| k)
             .collect();
         for k in pending {
@@ -329,14 +412,35 @@ impl<V: Value> GroupConsensus<V> {
                     sink.push(from, ConsensusMsg::Decide { instance, value: v });
                     return;
                 }
-                self.instance_mut(instance).forwarded.get_or_insert(value);
+                {
+                    let inst = self.instance_mut(instance);
+                    if !inst.forwarded.contains(&value) {
+                        inst.forwarded.push(value);
+                    }
+                }
                 if self.coordinator() == self.me {
-                    self.drive_as_coordinator(instance, sink);
+                    // Batch-aware mode defers the fast-path Accept to this
+                    // member's own propose() call so that concurrently
+                    // forwarded batches fold into one decided value. Safe
+                    // for liveness: dissemination reaches every group
+                    // member, so whatever made `from` propose makes this
+                    // member propose too; recovery ballots (coordinator
+                    // takeover) are never deferred.
+                    let inst = &self.instances[&instance];
+                    let defer = self.merge.is_some()
+                        && self.members[0] == self.me
+                        && inst.my_value.is_none()
+                        && !inst.sent_accept0
+                        && inst.prepare.is_none()
+                        && inst.promised == Ballot::zero(self.me);
+                    if !defer {
+                        self.drive_as_coordinator(instance, sink);
+                    }
                 } else if self.coordinator() != from {
                     // We are not coordinator; route onwards (suspicion views
                     // may differ transiently).
                     let coord = self.coordinator();
-                    if let Some(v) = self.instances[&instance].forwarded.clone() {
+                    if let Some(v) = self.instances[&instance].forwarded.first().cloned() {
                         sink.push(coord, ConsensusMsg::Forward { instance, value: v });
                     }
                 }
@@ -371,6 +475,7 @@ impl<V: Value> GroupConsensus<V> {
                 }
                 let majority = self.majority;
                 let members = self.members.clone();
+                let merge = self.merge;
                 let inst = self.instance_mut(instance);
                 let Some(ps) = inst.prepare.as_mut() else { return };
                 if ps.ballot != ballot || ps.sent_accept {
@@ -388,9 +493,7 @@ impl<V: Value> GroupConsensus<V> {
                         .max_by_key(|(b, _)| *b)
                         .map(|(_, v)| v.clone());
                     let ballot = ps.ballot;
-                    let local = inst
-                        .candidate()
-                        .cloned()
+                    let local = merged_candidate(merge, inst)
                         .or_else(|| inst.accepted.as_ref().map(|(_, v)| v.clone()));
                     if let Some(value) = adopted.or(local) {
                         inst.prepare.as_mut().expect("checked above").sent_accept = true;
@@ -460,12 +563,13 @@ impl<V: Value> GroupConsensus<V> {
         let members = self.members.clone();
         let majority = self.majority;
         let is_b0_owner = members[0] == me;
+        let merge = self.merge;
         let inst = self.instance_mut(instance);
         // A takeover coordinator may hold no proposal of its own but an
         // accepted (possibly chosen) value; re-driving with that value is
         // safe and required for liveness.
         let fallback = inst.accepted.as_ref().map(|(_, v)| v.clone());
-        let Some(value) = inst.candidate().cloned().or(fallback) else {
+        let Some(value) = merged_candidate(merge, inst).or(fallback) else {
             return;
         };
         if is_b0_owner && inst.promised == Ballot::zero(me) {

@@ -1,11 +1,17 @@
-//! Property-based tests of the Paxos engine: random delivery orders,
-//! random crash subsets (minority), random suspicion timing. The engine is
-//! driven directly (no simulator) so the schedule space is explored at the
-//! message level.
+//! Randomized tests of the Paxos engine: random delivery orders, random
+//! crash subsets (minority), random suspicion timing. The engine is driven
+//! directly (no simulator) so the schedule space is explored at the message
+//! level.
+//!
+//! The workspace builds offline without a property-testing dependency, so
+//! these tests draw their inputs from the simulator's deterministic
+//! [`SplitMix64`] generator: every case is reproducible from its printed
+//! seed, and the loop covers the same input space a `proptest` strategy
+//! would.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
+use wamcast_sim::SplitMix64;
 use wamcast_types::ProcessId;
 
 /// A deterministic scheduler over engine messages: `picks` selects, at each
@@ -97,46 +103,65 @@ impl Fuzzer {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn picks(rng: &mut SplitMix64, max_len: u64) -> Vec<u8> {
+    let len = rng.next_below(max_len + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// Uniform agreement + integrity under arbitrary message interleavings:
-    /// all correct members decide the same proposed value.
-    #[test]
-    fn agreement_under_random_interleavings(
-        n in 1usize..6,
-        proposals in proptest::collection::vec((0u64..4, 0usize..8, 1u32..100), 1..10),
-        picks in proptest::collection::vec(any::<u8>(), 0..4096),
-    ) {
+/// Uniform agreement + integrity under arbitrary message interleavings:
+/// all correct members decide the same proposed value.
+#[test]
+fn agreement_under_random_interleavings() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xA11CE ^ case);
+        let n = rng.next_range(1, 5) as usize;
+        let num_proposals = rng.next_range(1, 9);
         let mut fz = Fuzzer::new(n);
         let mut proposed: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
-        for &(inst, p, v) in &proposals {
+        for _ in 0..num_proposals {
+            let inst = rng.next_below(4);
+            let p = rng.next_below(8) as usize;
+            let v = rng.next_range(1, 99) as u32;
             fz.propose(ProcessId((p % n) as u32), inst, v);
             proposed.entry(inst).or_default().push(v);
         }
+        let picks = picks(&mut rng, 4096);
         fz.run(&picks);
         for (&inst, values) in &proposed {
             let ds = fz.decisions(inst);
             let decided: Vec<u32> = ds.iter().flatten().copied().collect();
             // Termination: every member decided (no crashes here).
-            prop_assert_eq!(decided.len(), n, "instance {} not decided everywhere", inst);
+            assert_eq!(decided.len(), n, "case {case}: instance {inst} not decided everywhere");
             // Uniform agreement.
-            prop_assert!(decided.windows(2).all(|w| w[0] == w[1]), "disagreement: {:?}", ds);
+            assert!(
+                decided.windows(2).all(|w| w[0] == w[1]),
+                "case {case}: disagreement: {ds:?}"
+            );
             // Uniform integrity: the decision was proposed.
-            prop_assert!(values.contains(&decided[0]), "{} not in {:?}", decided[0], values);
+            assert!(
+                values.contains(&decided[0]),
+                "case {case}: {} not in {values:?}",
+                decided[0]
+            );
         }
     }
+}
 
-    /// Crashing a minority (including coordinators) never blocks decisions
-    /// or breaks agreement.
-    #[test]
-    fn minority_crash_liveness(
-        crash_pick in 0usize..5,
-        crash_when in 0usize..3,
-        proposals in proptest::collection::vec((0usize..8, 1u32..100), 1..6),
-        picks in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) {
+/// Crashing a minority (including coordinators) never blocks decisions
+/// or breaks agreement.
+#[test]
+fn minority_crash_liveness() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xC4A54 ^ case);
         let n = 5; // majority 3; crash exactly one
+        let crash_pick = rng.next_below(5) as usize;
+        let crash_when = rng.next_below(3);
+        let num_proposals = rng.next_range(1, 5);
+        let proposals: Vec<(usize, u32)> = (0..num_proposals)
+            .map(|_| (rng.next_below(8) as usize, rng.next_range(1, 99) as u32))
+            .collect();
+        let picks = picks(&mut rng, 2048);
+
         let mut fz = Fuzzer::new(n);
         let victim = ProcessId((crash_pick % n) as u32);
         if crash_when == 0 {
@@ -161,17 +186,24 @@ proptest! {
         fz.run(&picks);
         let ds = fz.decisions(0);
         let decided: Vec<u32> = ds.iter().flatten().copied().collect();
-        prop_assert_eq!(decided.len(), n - 1, "survivors must decide: {:?}", ds);
-        prop_assert!(decided.windows(2).all(|w| w[0] == w[1]), "disagreement: {:?}", ds);
+        assert_eq!(decided.len(), n - 1, "case {case}: survivors must decide: {ds:?}");
+        assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "case {case}: disagreement: {ds:?}"
+        );
     }
+}
 
-    /// Decisions are emitted exactly once per instance by take_decisions.
-    #[test]
-    fn decisions_emitted_once(
-        n in 1usize..5,
-        instances in proptest::collection::vec(0u64..6, 1..8),
-        picks in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) {
+/// Decisions are emitted exactly once per instance by take_decisions.
+#[test]
+fn decisions_emitted_once() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xD0_5E ^ case);
+        let n = rng.next_range(1, 4) as usize;
+        let num_instances = rng.next_range(1, 7);
+        let instances: Vec<u64> = (0..num_instances).map(|_| rng.next_below(6)).collect();
+        let picks = picks(&mut rng, 2048);
+
         let mut fz = Fuzzer::new(n);
         for (i, &inst) in instances.iter().enumerate() {
             fz.propose(ProcessId((i % n) as u32), inst, inst as u32 + 1);
@@ -181,9 +213,9 @@ proptest! {
             let emitted = e.take_decisions();
             let mut seen = std::collections::BTreeSet::new();
             for (inst, _) in &emitted {
-                prop_assert!(seen.insert(*inst), "instance {} emitted twice", inst);
+                assert!(seen.insert(*inst), "case {case}: instance {inst} emitted twice");
             }
-            prop_assert!(e.take_decisions().is_empty(), "second drain must be empty");
+            assert!(e.take_decisions().is_empty(), "case {case}: second drain must be empty");
         }
     }
 }

@@ -27,16 +27,26 @@
 //! raises `Barrier` at the other groups, waking them — at the cost of a
 //! second inter-group delay (Theorem 5.2, provably unavoidable).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_types::{
-    AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+    AppMessage, BatchConfig, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
 };
 
+/// Union-by-id combiner installed on the consensus engine: bundles
+/// forwarded by other members fold into the coordinator's round proposal,
+/// so one round carries every message any group member has R-Delivered.
+fn merge_bundles(acc: &mut Vec<AppMessage>, more: Vec<AppMessage>) {
+    for m in more {
+        if !acc.iter().any(|x| x.id == m.id) {
+            acc.push(m);
+        }
+    }
+}
+
 /// Wire messages of Algorithm A2.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BroadcastMsg {
     /// Intra-group dissemination of a freshly broadcast message (line 5's
     /// R-MCast restricted to the caster's group).
@@ -54,7 +64,7 @@ pub enum BroadcastMsg {
 
 /// Algorithm A2 — atomic broadcast (code of process p, §5.2).
 ///
-/// # Round pacing
+/// # Round pacing and batching
 ///
 /// Algorithm A2's line-11 `When` clause only says a round *may* start once
 /// its guard holds; the scheduler is free to delay it. [`new`](Self::new)
@@ -64,6 +74,18 @@ pub enum BroadcastMsg {
 /// the schedule used by Theorem 5.1's latency-degree-1 run, and standard
 /// batching practice in group communication systems. Pacing does not affect
 /// quiescence: the window timer is armed only while the guard holds.
+///
+/// [`with_batch`](Self::with_batch) generalizes pacing to the full
+/// [`BatchConfig`] policy of the batching layer (`DESIGN.md` §"Batching
+/// layer"): the window still closes after `max_delay`, but a backlog of
+/// `max_msgs` messages (or `max_bytes` payload bytes) flushes the round
+/// immediately, so heavy traffic amortizes consensus without waiting out
+/// the window. The batch policy only regroups rounds — bundle delivery
+/// stays sorted and deduplicated per round — so every §2.2 ordering
+/// invariant (identical delivery sequences at all processes) and the
+/// Δ = 1 steady-state result hold under any batch policy, though round
+/// composition (and hence the specific sequence) may differ from the
+/// eager schedule's.
 #[derive(Debug)]
 pub struct RoundBroadcast {
     me: ProcessId,
@@ -76,6 +98,9 @@ pub struct RoundBroadcast {
     barrier: u64,
     /// `RDELIVERED \ ADELIVERED`, with payloads.
     rdelivered: BTreeMap<MessageId, AppMessage>,
+    /// Payload bytes pooled in `rdelivered` (incremental, so the byte
+    /// trigger costs O(1) per arrival).
+    rdelivered_bytes: usize,
     adelivered: BTreeSet<MessageId>,
     /// `Msgs`: received bundles, round → group → bundle.
     bundles: BTreeMap<u64, BTreeMap<GroupId, Vec<AppMessage>>>,
@@ -86,8 +111,9 @@ pub struct RoundBroadcast {
     /// R-Delivered messages by origin, for crash-triggered intra-group relay.
     by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
     relayed: BTreeSet<MessageId>,
-    /// Batching window before proposing the next round (see type docs).
-    pacing: Duration,
+    /// Batch policy gating round starts (see type docs); `max_delay` is the
+    /// pacing window, `max_msgs`/`max_bytes` flush a backlog early.
+    batch: BatchConfig,
     /// Whether a pacing timer is currently armed.
     timer_armed: bool,
     /// Prediction strategy: how many *consecutive empty* rounds to run
@@ -115,14 +141,15 @@ impl RoundBroadcast {
             prop_k: 1,
             barrier: 0,
             rdelivered: BTreeMap::new(),
+            rdelivered_bytes: 0,
             adelivered: BTreeSet::new(),
             bundles: BTreeMap::new(),
             waiting_bundles: None,
-            cons: GroupConsensus::new(me, members),
+            cons: GroupConsensus::new(me, members).with_merge(merge_bundles),
             buffered_decisions: BTreeMap::new(),
             by_origin: BTreeMap::new(),
             relayed: BTreeSet::new(),
-            pacing: Duration::ZERO,
+            batch: BatchConfig::disabled(),
             timer_armed: false,
             idle_rounds: 1,
             empty_streak: 0,
@@ -131,10 +158,26 @@ impl RoundBroadcast {
 
     /// Creates an instance that waits `pacing` after a round completes (or
     /// after going idle) before proposing the next round. See the type-level
-    /// docs.
+    /// docs. Equivalent to [`with_batch`](Self::with_batch) with only a
+    /// `max_delay` bound.
     pub fn with_pacing(me: ProcessId, topo: &wamcast_types::Topology, pacing: Duration) -> Self {
+        Self::with_batch(
+            me,
+            topo,
+            BatchConfig::new(usize::MAX).with_max_delay(pacing),
+        )
+    }
+
+    /// Creates an instance gating round starts with the full batch policy:
+    /// rounds wait out `batch.max_delay` as with
+    /// [`with_pacing`](Self::with_pacing), but a backlog hitting
+    /// `batch.max_msgs` messages or `batch.max_bytes` payload bytes starts
+    /// the round immediately. A zero `max_delay` means no window at all —
+    /// rounds start eagerly and the size/byte triggers are moot (see
+    /// [`BatchConfig::max_delay`]); set a non-zero window to batch.
+    pub fn with_batch(me: ProcessId, topo: &wamcast_types::Topology, batch: BatchConfig) -> Self {
         let mut rb = Self::new(me, topo);
-        rb.pacing = pacing;
+        rb.batch = batch;
         rb
     }
 
@@ -196,6 +239,7 @@ impl RoundBroadcast {
             return;
         }
         self.by_origin.entry(m.id.origin).or_default().push(m.clone());
+        self.rdelivered_bytes += m.payload.len();
         self.rdelivered.insert(m.id, m);
         self.schedule_round(ctx, out);
     }
@@ -216,20 +260,31 @@ impl RoundBroadcast {
         self.flush_cons(sink, ctx, out);
     }
 
-    /// Entry point for the line-11 guard: either propose now (eager mode)
-    /// or arm the batching window (paced mode).
+    /// Entry point for the line-11 guard: either propose now (eager mode or
+    /// a size/byte trigger) or arm the batching window (paced mode).
     fn schedule_round(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
-        if self.pacing.is_zero() {
+        if self.batch.max_delay.is_zero() {
             self.try_start_round(ctx, out);
             return;
         }
         if self.timer_armed || self.prop_k > self.k {
             return;
         }
-        if self.has_undelivered() || self.k <= self.barrier {
-            self.timer_armed = true;
-            out.set_timer(self.pacing, 0);
+        if !(self.has_undelivered() || self.k <= self.barrier) {
+            return;
         }
+        // Early flush: a backlog at the size or byte trigger does not wait
+        // out the window.
+        if !self.rdelivered.is_empty()
+            && self
+                .batch
+                .should_flush(self.rdelivered.len(), self.rdelivered_bytes)
+        {
+            self.try_start_round(ctx, out);
+            return;
+        }
+        self.timer_armed = true;
+        out.set_timer(self.batch.max_delay, 0);
     }
 
     fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
@@ -301,7 +356,9 @@ impl RoundBroadcast {
         let useful = !to_deliver.is_empty();
         for m in to_deliver {
             self.adelivered.insert(m.id);
-            self.rdelivered.remove(&m.id);
+            if self.rdelivered.remove(&m.id).is_some() {
+                self.rdelivered_bytes -= m.payload.len();
+            }
             out.deliver(m);
         }
         self.waiting_bundles = None;

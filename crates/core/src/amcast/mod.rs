@@ -15,7 +15,7 @@
 //! * **s3** — `m` is A-Deliverable; it is A-Delivered once it has the
 //!   smallest `(ts, id)` among all pending messages.
 //!
-//! The paper's optimizations over Fritzke et al. [5] (both controlled by
+//! The paper's optimizations over Fritzke et al. \[5\] (both controlled by
 //! [`MulticastConfig::skip_stages`]):
 //!
 //! * a message addressed to a **single group** jumps from s0 directly to s3
@@ -27,19 +27,42 @@
 //! proposal exchange), matching the lower bound of Proposition 3.1; 0 or 1
 //! for single-group messages (0 when the caster is in the destination
 //! group).
+//!
+//! # Batching (consensus amortization)
+//!
+//! The algorithm's `msgSet` proposals already decide *sets* of messages;
+//! [`MulticastConfig::batch`] controls how large those sets are allowed to
+//! grow before a consensus instance is spent on them. With batching
+//! disabled (the default, the paper's schedule) every R-Delivery proposes
+//! immediately; with a [`BatchConfig`] installed, messages entering stage
+//! s0 (fresh) or s2 (clock catch-up) pool until a size/byte trigger fires
+//! or the flush timer closes the window — consensus instances are *paced*
+//! — and the `(TS, m)` exchange of line 24 ships one message per remote
+//! process carrying the whole decided batch instead of one per entry. The
+//! per-message machinery (`ts` = deciding instance, per-entry stages, the
+//! `(ts, id)` delivery rule and the single-group s0→s3 skip) is untouched,
+//! so every §2.2 ordering invariant and latency-degree result holds under
+//! any batch policy (timers are local events, free under the §2.3 clock).
+//! Note that batching regroups consensus instances, so timestamps — and
+//! hence the specific total order among concurrent messages — may differ
+//! from the eager schedule's, as with any scheduling change; the price is
+//! wall-clock queueing delay, bounded by one batch window per consensus
+//! stage. See `DESIGN.md` §"Batching layer".
 
 pub mod nongenuine;
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
 use wamcast_types::{
-    AppMessage, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+    AppMessage, BatchConfig, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
 };
 
+/// Timer token of the batch flush timer (see [`MulticastConfig::batch`]).
+const FLUSH_TIMER: u64 = 1;
+
 /// The stage of a pending message (§4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
     /// Waiting for this group's timestamp proposal (consensus pending).
     S0,
@@ -51,9 +74,14 @@ pub enum Stage {
     S3,
 }
 
+/// A shared, immutable `msgSet` batch — what one consensus instance
+/// decides. Cloning is a refcount bump, which keeps large batches cheap on
+/// the intra-group `Accept`/`Accepted` fan-out.
+pub type MsgBatch = std::sync::Arc<Vec<MsgEntry>>;
+
 /// One message together with its protocol fields — the unit that consensus
 /// decides on (`msgSet` entries carry `dest`, `id`, `ts` and `stage`; §4.2).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MsgEntry {
     /// The application message (id, destination groups, payload).
     pub msg: AppMessage,
@@ -64,15 +92,21 @@ pub struct MsgEntry {
 }
 
 /// Wire messages of Algorithm A1.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MulticastMsg {
     /// Reliable-multicast dissemination of the application message.
     Rm(RmcastMsg),
-    /// Intra-group consensus traffic.
-    Cons(ConsensusMsg<Vec<MsgEntry>>),
-    /// `(TS, m)`: the sender's group proposes `entry.ts` as `m`'s timestamp
-    /// (line 24). Also serves to propagate `m` itself (footnote 4).
-    Ts(MsgEntry),
+    /// Intra-group consensus traffic. The decided value is a shared
+    /// (`Arc`) batch of entries so fanning an `Accept`/`Accepted` carrying
+    /// a large batch to every member costs a refcount, not a deep copy.
+    Cons(ConsensusMsg<MsgBatch>),
+    /// `(TS, m)` for every entry in the batch: the sender's group proposes
+    /// `entry.ts` as each `m`'s timestamp (line 24). Also serves to
+    /// propagate the messages themselves (footnote 4). Entries decided by
+    /// one consensus instance share one wire message per remote process —
+    /// the inter-group half of the batching layer — and the batch itself is
+    /// `Arc`-shared across the destination group's members.
+    Ts(MsgBatch),
 }
 
 /// Configuration of [`GenuineMulticast`].
@@ -80,15 +114,20 @@ pub enum MulticastMsg {
 pub struct MulticastConfig {
     /// `true` — the paper's A1 (single-group messages jump s0→s3; groups
     /// whose proposal is the maximum skip s2). `false` — the Fritzke et
-    /// al. [5] baseline: every message runs both consensus stages.
+    /// al. \[5\] baseline: every message runs both consensus stages.
     pub skip_stages: bool,
     /// `false` (the paper's A1) — disseminate with the **non-uniform**
     /// reliable multicast (deliver on first receipt, latency degree 1).
     /// `true` — use the uniform primitive instead (majority relay, latency
-    /// degree 2), as Fritzke et al. [5] originally did. §4.1 presents the
+    /// degree 2), as Fritzke et al. \[5\] originally did. §4.1 presents the
     /// non-uniform choice as one of A1's optimizations; flipping this flag
     /// measures its cost — the overall latency degree grows from 2 to 3.
     pub uniform_dissemination: bool,
+    /// Consensus-amortization policy: how many fresh messages may pool
+    /// before a consensus instance is spent proposing them (see the
+    /// module-level *Batching* section). [`BatchConfig::disabled`] (the
+    /// default) reproduces the paper's eager schedule.
+    pub batch: BatchConfig,
 }
 
 impl Default for MulticastConfig {
@@ -96,7 +135,17 @@ impl Default for MulticastConfig {
         MulticastConfig {
             skip_stages: true,
             uniform_dissemination: false,
+            batch: BatchConfig::disabled(),
         }
+    }
+}
+
+impl MulticastConfig {
+    /// Replaces the batching policy.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
     }
 }
 
@@ -125,14 +174,40 @@ pub struct GenuineMulticast {
     /// `propK`: at most one proposal per instance (line 17).
     prop_k: u64,
     pending: BTreeMap<MessageId, Pending>,
+    /// Delivery-order index over `pending`: the `(ts, id)` pairs of every
+    /// pending message. Makes the line-3 minimality test O(log n) per
+    /// delivery instead of a full scan (the hot path under load).
+    by_ts: BTreeSet<(u64, MessageId)>,
+    /// Pending stage-s0/s2 messages — the unproposed batch, and exactly the
+    /// `msgSet` the next consensus proposal carries.
+    unproposed: BTreeSet<MessageId>,
+    /// Payload bytes of the unproposed batch.
+    unproposed_bytes: usize,
     adelivered: BTreeSet<MessageId>,
     rmcast: RmcastEngine,
     /// Used instead of `rmcast` when `cfg.uniform_dissemination` is set.
     urmcast: UniformRmcastEngine,
-    cons: GroupConsensus<Vec<MsgEntry>>,
+    cons: GroupConsensus<MsgBatch>,
     /// Decisions whose instance number is ahead of `K` (link jitter can
     /// reorder consensus learning across instances).
-    buffered_decisions: BTreeMap<u64, Vec<MsgEntry>>,
+    buffered_decisions: BTreeMap<u64, MsgBatch>,
+    /// Whether a batch flush timer is currently armed.
+    flush_armed: bool,
+}
+
+/// Union-by-id combiner installed on the consensus engine: forwarded
+/// `msgSet` batches fold into the coordinator's proposal, so one instance
+/// decides every message any group member has disseminated.
+fn merge_msg_sets(acc: &mut MsgBatch, more: MsgBatch) {
+    let have: BTreeSet<MessageId> = acc.iter().map(|e| e.msg.id).collect();
+    let fresh: Vec<MsgEntry> = more
+        .iter()
+        .filter(|e| !have.contains(&e.msg.id))
+        .cloned()
+        .collect();
+    if !fresh.is_empty() {
+        std::sync::Arc::make_mut(acc).extend(fresh);
+    }
 }
 
 impl GenuineMulticast {
@@ -147,11 +222,15 @@ impl GenuineMulticast {
             k: 1,
             prop_k: 1,
             pending: BTreeMap::new(),
+            by_ts: BTreeSet::new(),
+            unproposed: BTreeSet::new(),
+            unproposed_bytes: 0,
             adelivered: BTreeSet::new(),
             rmcast: RmcastEngine::new(me),
             urmcast: UniformRmcastEngine::new(me),
-            cons: GroupConsensus::new(me, members),
+            cons: GroupConsensus::new(me, members).with_merge(merge_msg_sets),
             buffered_decisions: BTreeMap::new(),
+            flush_armed: false,
         }
     }
 
@@ -178,7 +257,7 @@ impl GenuineMulticast {
         }
     }
 
-    fn flush_cons(&mut self, sink: MsgSink<Vec<MsgEntry>>, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+    fn flush_cons(&mut self, sink: MsgSink<MsgBatch>, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
         for (to, m) in sink.msgs {
             out.send(to, MulticastMsg::Cons(m));
         }
@@ -195,6 +274,9 @@ impl GenuineMulticast {
         if self.pending.contains_key(&m.id) || self.adelivered.contains(&m.id) {
             return;
         }
+        self.by_ts.insert((self.k, m.id));
+        self.unproposed.insert(m.id);
+        self.unproposed_bytes += m.payload.len();
         self.pending.insert(
             m.id,
             Pending {
@@ -204,7 +286,33 @@ impl GenuineMulticast {
                 msg: m,
             },
         );
-        self.maybe_propose(ctx, out);
+        self.schedule_propose(ctx, out);
+    }
+
+    /// The batching gate in front of [`maybe_propose`](Self::maybe_propose):
+    /// propose now if batching is off or a size/byte trigger fired;
+    /// otherwise arm the flush timer so the pooled batch is proposed at the
+    /// latest `batch.max_delay` from now.
+    fn schedule_propose(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        if self.prop_k > self.k {
+            // An instance is in flight; `process_decision` re-evaluates the
+            // gate as soon as it completes.
+            return;
+        }
+        let batch = self.cfg.batch;
+        let (msgs, bytes) = (self.unproposed.len(), self.unproposed_bytes);
+        if msgs == 0 {
+            return;
+        }
+        if batch.is_disabled() || batch.should_flush(msgs, bytes) {
+            self.maybe_propose(ctx, out);
+        } else if !self.flush_armed {
+            // Sub-threshold pool: wait, bounded by the flush window
+            // (is_disabled() above guarantees max_delay > 0 here, so the
+            // pool can never wait forever).
+            self.flush_armed = true;
+            out.set_timer(batch.max_delay, FLUSH_TIMER);
+        }
     }
 
     /// Lines 14–17: propose every stage-s0/s2 message to the next consensus
@@ -214,20 +322,23 @@ impl GenuineMulticast {
             return;
         }
         let msg_set: Vec<MsgEntry> = self
-            .pending
-            .values()
-            .filter(|p| matches!(p.stage, Stage::S0 | Stage::S2))
-            .map(|p| MsgEntry {
-                msg: p.msg.clone(),
-                ts: p.ts,
-                stage: p.stage,
+            .unproposed
+            .iter()
+            .map(|id| {
+                let p = &self.pending[id];
+                debug_assert!(matches!(p.stage, Stage::S0 | Stage::S2));
+                MsgEntry {
+                    msg: p.msg.clone(),
+                    ts: p.ts,
+                    stage: p.stage,
+                }
             })
             .collect();
         if msg_set.is_empty() {
             return;
         }
         let mut sink = MsgSink::new();
-        self.cons.propose(self.k, msg_set, &mut sink);
+        self.cons.propose(self.k, MsgBatch::new(msg_set), &mut sink);
         self.prop_k = self.k + 1;
         self.flush_cons(sink, ctx, out);
     }
@@ -247,14 +358,29 @@ impl GenuineMulticast {
     /// Lines 18–32: handle the decision of instance `K`.
     fn process_decision(
         &mut self,
-        mut msg_set: Vec<MsgEntry>,
+        msg_set: MsgBatch,
         ctx: &Context,
         out: &mut Outbox<MulticastMsg>,
     ) {
         let k = self.k;
-        msg_set.sort_by_key(|e| e.msg.id); // deterministic processing order
+        // The consensus engine keeps its own handle on the decided batch
+        // (for Decide catch-up replies), so iterate the shared batch via a
+        // sorted index instead of deep-copying it; each entry is cloned
+        // exactly once, where its fields are rewritten below.
+        let mut order: Vec<usize> = (0..msg_set.len()).collect();
+        order.sort_by_key(|&i| msg_set[i].msg.id); // deterministic processing order
         let mut max_ts = 0u64;
-        for mut entry in msg_set {
+        // One (TS, batch) per remote destination group, carrying this
+        // decision's stage-s1 entries addressed to it (the batched form of
+        // line 24); each member of the group gets an `Arc` handle to the
+        // same batch.
+        let mut ts_batches: BTreeMap<GroupId, Vec<MsgEntry>> = BTreeMap::new();
+        // Messages this decision moved into s1; only these can need the
+        // post-decision resolution check below (older s1 messages were
+        // checked when their TS messages arrived).
+        let mut entered_s1: Vec<MessageId> = Vec::new();
+        for i in order {
+            let mut entry = msg_set[i].clone();
             let id = entry.msg.id;
             if self.adelivered.contains(&id) {
                 // Already A-Delivered here (decision learned late); its
@@ -272,12 +398,9 @@ impl GenuineMulticast {
                 // instance number; exchange it with the other groups.
                 entry.ts = k;
                 entry.stage = Stage::S1;
-                let remote: Vec<ProcessId> = ctx
-                    .topology()
-                    .processes_in(entry.msg.dest)
-                    .filter(|&q| ctx.topology().group_of(q) != self.group)
-                    .collect();
-                out.send_many(remote, MulticastMsg::Ts(entry.clone()));
+                for g in entry.msg.dest.iter().filter(|&g| g != self.group) {
+                    ts_batches.entry(g).or_default().push(entry.clone());
+                }
             } else {
                 // Lines 28–29: single destination group — the proposal *is*
                 // the final timestamp; no exchange needed, stage s1/s2
@@ -292,13 +415,25 @@ impl GenuineMulticast {
                 };
             }
             max_ts = max_ts.max(entry.ts);
-            // Line 30: add the message or update its fields. The decision
+            // Line 30: add the message or update its fields (keeping the
+            // delivery-order index and batch counters in sync). The decision
             // value may teach us a message we never R-Delivered.
-            let remote_proposals = self
-                .pending
-                .get(&id)
-                .map(|p| p.remote_proposals.clone())
-                .unwrap_or_default();
+            let remote_proposals = match self.pending.get(&id) {
+                Some(old) => {
+                    self.by_ts.remove(&(old.ts, id));
+                    if matches!(old.stage, Stage::S0 | Stage::S2)
+                        && self.unproposed.remove(&id)
+                    {
+                        self.unproposed_bytes -= old.msg.payload.len();
+                    }
+                    old.remote_proposals.clone()
+                }
+                None => BTreeMap::new(),
+            };
+            self.by_ts.insert((entry.ts, id));
+            if entry.stage == Stage::S1 {
+                entered_s1.push(id);
+            }
             self.pending.insert(
                 id,
                 Pending {
@@ -315,22 +450,25 @@ impl GenuineMulticast {
                 self.rmcast.accept(entry.msg.clone(), ctx.topology(), &mut rm_out);
             }
         }
+        for (g, entries) in ts_batches {
+            let batch = MsgBatch::new(entries);
+            for &q in ctx.topology().members(g) {
+                out.send(q, MulticastMsg::Ts(MsgBatch::clone(&batch)));
+            }
+        }
         // Line 31: K ← max(max decided ts, K) + 1.
         self.k = self.k.max(max_ts) + 1;
-        // Stage-s1 messages whose remote proposals already all arrived can
-        // now be resolved (the TS messages may have beaten our decision).
-        let ready: Vec<MessageId> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.stage == Stage::S1)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in ready {
+        // Freshly-s1 messages whose remote proposals already all arrived
+        // can be resolved at once (the TS messages may have beaten our
+        // decision, parking their proposals in `remote_proposals`).
+        for id in entered_s1 {
             self.try_resolve_s1(id, ctx, out);
         }
-        // Line 32 + re-evaluation of the line-14 guard.
+        // Line 32 + re-evaluation of the line-14 guard, through the batch
+        // gate: the next instance starts when the pool hits a size/byte
+        // trigger or the flush timer closes the window.
         self.adelivery_test(out);
-        self.maybe_propose(ctx, out);
+        self.schedule_propose(ctx, out);
         self.drain_decisions(ctx, out);
     }
 
@@ -360,32 +498,41 @@ impl GenuineMulticast {
         let own = p.ts;
         let p = self.pending.get_mut(&id).expect("checked above");
         if self.cfg.skip_stages && own >= max_remote {
-            // Line 35–36: our clock is already past the final timestamp.
+            // Line 35–36: our clock is already past the final timestamp
+            // (`ts` is unchanged, so the delivery-order index is too).
             p.stage = Stage::S3;
             self.adelivery_test(out);
         } else {
             // Lines 39–40 (or Fritzke mode: always run the second
-            // consensus, even when own == max).
+            // consensus, even when own == max). The fresh s2 entry joins
+            // the unproposed pool; under a batch policy it rides the open
+            // window (bounded by `max_delay`) like any other entry.
             p.ts = own.max(max_remote);
             p.stage = Stage::S2;
-            self.maybe_propose(ctx, out);
+            let (new_ts, bytes) = (p.ts, p.msg.payload.len());
+            self.by_ts.remove(&(own, id));
+            self.by_ts.insert((new_ts, id));
+            self.unproposed.insert(id);
+            self.unproposed_bytes += bytes;
+            self.schedule_propose(ctx, out);
         }
     }
 
     /// Lines 3–7: A-Deliver every stage-s3 message that is minimal in
-    /// `(ts, id)` among *all* pending messages.
+    /// `(ts, id)` among *all* pending messages. The `(ts, id)` index makes
+    /// each minimality test a tree lookup rather than a scan of the whole
+    /// pending set.
     fn adelivery_test(&mut self, out: &mut Outbox<MulticastMsg>) {
         loop {
-            let Some((&min_id, min_p)) = self
-                .pending
-                .iter()
-                .min_by_key(|(id, p)| (p.ts, **id))
-            else {
+            let Some(&(min_ts, min_id)) = self.by_ts.iter().next() else {
                 return;
             };
+            let min_p = self.pending.get(&min_id).expect("index mirrors pending");
+            debug_assert_eq!(min_p.ts, min_ts, "index out of sync");
             if min_p.stage != Stage::S3 {
                 return;
             }
+            self.by_ts.remove(&(min_ts, min_id));
             let p = self.pending.remove(&min_id).expect("present");
             self.adelivered.insert(min_id);
             out.deliver(p.msg);
@@ -430,16 +577,27 @@ impl Protocol for GenuineMulticast {
                 self.cons.on_message(from, c, &mut sink);
                 self.flush_cons(sink, ctx, out);
             }
-            MulticastMsg::Ts(entry) => {
-                let id = entry.msg.id;
+            MulticastMsg::Ts(entries) => {
                 let sender_group = ctx.topology().group_of(from);
-                // Line 10: a (TS, m) message also discloses m itself.
-                self.on_rdeliver(entry.msg.clone(), ctx, out);
-                if let Some(p) = self.pending.get_mut(&id) {
-                    p.remote_proposals.insert(sender_group, entry.ts);
+                for entry in entries.iter() {
+                    let id = entry.msg.id;
+                    // Line 10: a (TS, m) message also discloses m itself.
+                    self.on_rdeliver(entry.msg.clone(), ctx, out);
+                    if let Some(p) = self.pending.get_mut(&id) {
+                        p.remote_proposals.insert(sender_group, entry.ts);
+                    }
+                    self.try_resolve_s1(id, ctx, out);
                 }
-                self.try_resolve_s1(id, ctx, out);
             }
+        }
+    }
+
+    /// The batch flush timer fired: propose whatever pooled, even below the
+    /// size/byte triggers (the `max_delay` bound of the batching policy).
+    fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        if kind == FLUSH_TIMER {
+            self.flush_armed = false;
+            self.maybe_propose(ctx, out);
         }
     }
 
@@ -522,10 +680,11 @@ mod tests {
             guard += 1;
             assert!(guard < 100);
             if to != ProcessId(0) {
-                if let MulticastMsg::Ts(e) = &m {
+                if let MulticastMsg::Ts(es) = &m {
                     ts_seen = true;
-                    assert_eq!(e.stage, Stage::S1);
-                    assert_eq!(e.ts, 1, "proposal = deciding instance number");
+                    assert_eq!(es.len(), 1);
+                    assert_eq!(es[0].stage, Stage::S1);
+                    assert_eq!(es[0].ts, 1, "proposal = deciding instance number");
                 }
                 continue; // remote copies not simulated here
             }
@@ -551,7 +710,7 @@ mod tests {
             stage: Stage::S1,
         };
         let mut out = Outbox::new();
-        p0.on_message(ProcessId(1), MulticastMsg::Ts(entry), &ctx(0, &topo), &mut out);
+        p0.on_message(ProcessId(1), MulticastMsg::Ts(MsgBatch::new(vec![entry])), &ctx(0, &topo), &mut out);
         // m is now pending in s0 and proposed to consensus.
         assert_eq!(p0.pending_len(), 1);
         let mut queue = sends(&mut out);

@@ -10,7 +10,7 @@
 //!   latency degree is 2 for messages addressed to multiple groups, which
 //!   is **optimal** by the paper's Proposition 3.1; single-group messages
 //!   skip straight to delivery (latency degree 0/1). Stage skipping — the
-//!   paper's improvement over Fritzke et al. [5] — is configurable via
+//!   paper's improvement over Fritzke et al. \[5\] — is configurable via
 //!   [`MulticastConfig`], which is also how the Fritzke baseline is built.
 //! * [`RoundBroadcast`] — **Algorithm A2** (§5): the first fault-tolerant
 //!   atomic broadcast with latency degree 1. Processes proactively run

@@ -21,6 +21,7 @@ fn a1_degree(uniform: bool) -> (u64, u64) {
             MulticastConfig {
                 skip_stages: true,
                 uniform_dissemination: uniform,
+                ..MulticastConfig::default()
             },
         )
     });
@@ -61,6 +62,7 @@ fn uniform_dissemination_still_satisfies_spec_under_crash() {
             MulticastConfig {
                 skip_stages: true,
                 uniform_dissemination: true,
+                ..MulticastConfig::default()
             },
         )
     });

@@ -1,7 +1,7 @@
 //! E10 — Quiescence cost: messages sent after the last cast.
 //!
 //! A2 is quiescent (Proposition A.9): after a finite burst it eventually
-//! stops sending. The deterministic merge [1] achieves latency degree 1
+//! stops sending. The deterministic merge \[1\] achieves latency degree 1
 //! precisely by *never* stopping. This experiment counts post-burst traffic
 //! for both, quantifying the §3 trade-off between quiescence and latency.
 

@@ -1,0 +1,59 @@
+//! E9 — Throughput vs. batch size: the consensus-amortization sweep.
+//!
+//! Drives Algorithm A1 with a Poisson open load on the symmetric 3×2
+//! topology (the ISSUE's acceptance configuration) and sweeps the batch
+//! size. See `wamcast_harness::throughput` for what each column means and
+//! `EXPERIMENTS.md` §E9 for recorded results.
+
+use std::time::Duration;
+use wamcast_harness::{throughput::PER_PROC_MSG_BUDGET, throughput_sweep, Table};
+
+fn main() {
+    let (k, d) = (3usize, 2usize);
+    let rate = 2000.0;
+    let horizon = Duration::from_secs(2);
+    let sizes = [1usize, 4, 16, 64, 256];
+
+    println!("Throughput vs. batch size — A1 on the symmetric {k}x{d} topology");
+    println!(
+        "(Poisson open load, {rate} msgs/s offered for {}s, destinations uniform over group pairs;\n\
+         modeled msgs/s assumes each process handles {} protocol copies/s)\n",
+        horizon.as_secs(),
+        PER_PROC_MSG_BUDGET,
+    );
+
+    let cells = throughput_sweep(k, d, rate, horizon, &sizes, 0xE9);
+    let mut t = Table::new(vec![
+        "batch",
+        "msgs/s (modeled)",
+        "vs unbatched",
+        "sends/msg",
+        "steps/msg",
+        "msgs/s (cpu)",
+        "mean latency",
+    ]);
+    let base = cells[0].modeled_msgs_per_sec;
+    for c in &cells {
+        t.row(vec![
+            if c.batch_msgs <= 1 {
+                "off".into()
+            } else {
+                c.batch_msgs.to_string()
+            },
+            format!("{:.0}", c.modeled_msgs_per_sec),
+            format!("{:.1}x", c.modeled_msgs_per_sec / base),
+            format!("{:.1}", c.sends_per_msg),
+            format!("{:.1}", c.steps_per_msg),
+            format!("{:.0}", c.msgs_per_cpu_sec),
+            format!("{:.1} ms", c.mean_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "modeled msgs/s = budget x n / (2 x sends/msg): protocol-message cost is the paper's\n\
+         own cost measure (Figure 1) and the deterministic bound batching relaxes. msgs/s (cpu)\n\
+         is the host-dependent simulation rate (every cell also passes the full §2.2 invariant\n\
+         checks before being reported). Latency grows by at most one batch window per consensus\n\
+         stage — the throughput/latency trade the batching layer makes explicit."
+    );
+}

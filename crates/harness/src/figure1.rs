@@ -161,7 +161,7 @@ pub fn figure1a_rows(k: usize, d: usize) -> Vec<Figure1Row> {
     rows
 }
 
-/// The *marginal* inter-group cost of one [1] cast: its standing heartbeat
+/// The *marginal* inter-group cost of one \[1\] cast: its standing heartbeat
 /// traffic is independent of casts, so we run the same scenario with and
 /// without the cast and subtract. (The paper's O(kd) is the per-message
 /// stream cost in a model where data messages themselves are the stream.)

@@ -4,8 +4,8 @@
 //! The paper is a protocol paper; its quantitative artifacts are:
 //!
 //! * **Figure 1(a)** — atomic multicast comparison: latency degree and
-//!   inter-group message count for [4], [10], [5], A1 and [1];
-//! * **Figure 1(b)** — atomic broadcast comparison: [12], [13], A2, [1];
+//!   inter-group message count for \[4\], \[10\], \[5\], A1 and \[1\];
+//! * **Figure 1(b)** — atomic broadcast comparison: \[12\], \[13\], A2, \[1\];
 //! * **Theorems 4.1 / 5.1 / 5.2** — witness runs with Δ = 2, 1, 2;
 //! * **Propositions 3.1–3.3** — lower bounds, corroborated empirically;
 //! * the **§5.3 remark** — broadcast frequency vs. round duration governs
@@ -25,8 +25,10 @@ pub mod figure1;
 pub mod measure;
 pub mod sweeps;
 pub mod table;
+pub mod throughput;
 pub mod workload;
 
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
 pub use table::Table;
+pub use throughput::{throughput_once, throughput_sweep, ThroughputCell};

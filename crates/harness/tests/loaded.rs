@@ -120,7 +120,7 @@ fn geo_broadcast_waits_for_slowest_site() {
     // *slowest* inter-site link even when rounds are warm.
     let topo = Topology::symmetric(3, 1);
     let cfg = SimConfig::default().with_seed(80).with_net(NetConfig::geo());
-    let mut sim = Simulation::new(topo, cfg, |p, t| RoundBroadcast::new(p, t));
+    let mut sim = Simulation::new(topo, cfg, RoundBroadcast::new);
     let dest = sim.topology().all_groups();
     let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
     sim.run_to_quiescence();

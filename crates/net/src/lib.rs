@@ -4,7 +4,7 @@
 //! `wamcast_types::proto`); the deterministic simulator (`wamcast-sim`) is
 //! where experiments run. This crate demonstrates that the *same* protocol
 //! values are runtime-agnostic by hosting them on real OS threads connected
-//! by crossbeam channels, with real timers (`recv_timeout`) and wall-clock
+//! by `std::sync::mpsc` channels, with real timers (`recv_timeout`) and wall-clock
 //! [`Context::now`].
 //!
 //! Scope: functional execution (deliveries, ordering), not measurement —
@@ -12,7 +12,7 @@
 //! threaded runtime has no honest way to observe them. Crash *injection* is
 //! supported ([`Cluster::crash`]), and crash *notifications* are fanned out
 //! to survivors so consensus re-coordination works; in a real deployment
-//! they would come from [`wamcast_consensus::HeartbeatFd`].
+//! they would come from `wamcast_consensus::HeartbeatFd`.
 //!
 //! [`Context::now`]: wamcast_types::Context::now
 //!
@@ -27,7 +27,7 @@
 //! let topo = Topology::symmetric(2, 2);
 //! let cluster = Cluster::spawn(topo, |p, t| RoundBroadcast::new(p, t));
 //! let dest = cluster.topology().all_groups();
-//! let id = cluster.cast(wamcast_types::ProcessId(0), dest, bytes::Bytes::from_static(b"hi"));
+//! let id = cluster.cast(wamcast_types::ProcessId(0), dest, wamcast_types::Payload::from_static(b"hi"));
 //! cluster.await_delivery_everywhere(id, Duration::from_secs(5)).expect("delivered");
 //! let order = cluster.delivered(wamcast_types::ProcessId(3));
 //! assert_eq!(order[0].id, id);
@@ -37,8 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -98,7 +98,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -164,7 +164,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
 
     /// Snapshot of the messages A-Delivered by `p`, in delivery order.
     pub fn delivered(&self, p: ProcessId) -> Vec<AppMessage> {
-        self.delivered[p.index()].lock().clone()
+        self.delivered[p.index()].lock().expect("delivery log poisoned").clone()
     }
 
     /// Blocks until every live process addressed by `id`'s destination has
@@ -185,6 +185,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 self.topo.processes().find_map(|p| {
                     self.delivered[p.index()]
                         .lock()
+                        .expect("delivery log poisoned")
                         .iter()
                         .find(|m| m.id == id)
                         .map(|m| m.dest)
@@ -195,7 +196,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                     .topo
                     .processes_in(dest)
                     .filter(|p| self.alive[p.index()].load(Ordering::SeqCst))
-                    .all(|p| self.delivered[p.index()].lock().iter().any(|m| m.id == id));
+                    .all(|p| self.delivered[p.index()].lock().expect("delivery log poisoned").iter().any(|m| m.id == id));
                 if all {
                     return Ok(());
                 }
@@ -258,7 +259,7 @@ fn run_process<P: Protocol + Send + 'static>(
                         let _ = senders[to.index()].send(Ev::Msg { from: pid, msg });
                     }
                 }
-                Action::Deliver(m) => delivered[pid.index()].lock().push(m),
+                Action::Deliver(m) => delivered[pid.index()].lock().expect("delivery log poisoned").push(m),
                 Action::Timer { after, kind } => timers.push(TimerEntry {
                     at: Instant::now() + after,
                     kind,
@@ -286,8 +287,8 @@ fn run_process<P: Protocol + Send + 'static>(
             .unwrap_or(Duration::from_millis(50));
         let ev = match rx.recv_timeout(wait) {
             Ok(ev) => ev,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
         };
         match ev {
             Ev::Msg { from, msg } => {

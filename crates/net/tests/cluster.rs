@@ -83,3 +83,35 @@ fn shutdown_is_clean_with_pending_timers() {
     std::thread::sleep(Duration::from_millis(30));
     cluster.shutdown(); // must return promptly
 }
+
+#[test]
+fn batched_a1_delivers_in_order_on_threads() {
+    // The batching layer runs unchanged on the threaded runtime: the flush
+    // timer is a real timer here, so a pooled batch below the size trigger
+    // still proposes within max_delay. Two concurrent casters, batch size
+    // large enough that the delay trigger does the flushing.
+    use wamcast_types::BatchConfig;
+
+    let batch = BatchConfig::new(16).with_max_delay(Duration::from_millis(10));
+    let cluster = Cluster::spawn(Topology::symmetric(2, 2), move |p, t| {
+        GenuineMulticast::new(p, t, MulticastConfig::default().with_batch(batch))
+    });
+    let dest = cluster.topology().all_groups();
+    let mut ids = Vec::new();
+    for i in 0..8u32 {
+        ids.push(cluster.cast(ProcessId(i % 4), dest, Payload::new()));
+    }
+    for &id in &ids {
+        cluster
+            .await_delivery_everywhere(id, Duration::from_secs(10))
+            .expect("batched delivery");
+    }
+    // Total order across all processes (broadcast destinations).
+    let reference: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    assert_eq!(reference.len(), 8);
+    for p in cluster.topology().processes() {
+        let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
+        assert_eq!(seq, reference, "{p} diverged under batching");
+    }
+    cluster.shutdown();
+}

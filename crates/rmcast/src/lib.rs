@@ -1,11 +1,11 @@
-//! Reliable multicast primitives (§2.2, cf. [6] Frolund & Pedone).
+//! Reliable multicast primitives (§2.2, cf. \[6\] Frolund & Pedone).
 //!
 //! Both of the paper's algorithms disseminate application messages with a
 //! reliable multicast before ordering them:
 //!
 //! * **A1** (atomic multicast) R-MCasts `m` to all processes in `m.dest`
 //!   using a **non-uniform** primitive — the paper's stated optimization
-//!   over Fritzke et al. [5]. Non-uniformity is safe there because A1's
+//!   over Fritzke et al. \[5\]. Non-uniformity is safe there because A1's
 //!   `(TS, m)` messages re-propagate `m` across groups (footnote 4).
 //! * **A2** (atomic broadcast) R-MCasts `m` to the caster's *own group
 //!   only*; the round bundles spread it system-wide.
@@ -30,11 +30,10 @@ mod uniform;
 pub use nonuniform::RmcastEngine;
 pub use uniform::UniformRmcastEngine;
 
-use serde::{Deserialize, Serialize};
 use wamcast_types::{AppMessage, ProcessId};
 
 /// Wire messages of the reliable multicast engines.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RmcastMsg {
     /// A copy of the multicast message (initial dissemination or relay).
     Data(AppMessage),

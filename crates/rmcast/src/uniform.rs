@@ -20,7 +20,7 @@ use wamcast_types::{AppMessage, MessageId, ProcessId, Topology};
 /// the non-uniform engine — precisely the trade the paper exploits by
 /// choosing the non-uniform primitive in A1 (§4.1: "instead of using a
 /// uniform reliable multicast primitive, we use a non-uniform version …
-/// while still ensuring properties as strong as in [5]").
+/// while still ensuring properties as strong as in \[5\]").
 ///
 /// # Example
 ///

@@ -1,9 +1,13 @@
-//! Property-based tests of both reliable multicast engines under random
+//! Randomized tests of both reliable multicast engines under random
 //! delivery interleavings, duplications-by-relay and origin crashes.
+//!
+//! Inputs come from the simulator's deterministic [`SplitMix64`] generator
+//! (the workspace builds offline without a property-testing dependency);
+//! every case is reproducible from its loop index.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
+use wamcast_sim::SplitMix64;
 use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, Payload, ProcessId, Topology};
 
 fn msg(origin: u32, seq: u64, dest_bits: u8, k: usize) -> AppMessage {
@@ -17,6 +21,11 @@ fn msg(origin: u32, seq: u64, dest_bits: u8, k: usize) -> AppMessage {
         dest.insert(GroupId(0));
     }
     AppMessage::new(MessageId::new(ProcessId(origin), seq), dest, Payload::new())
+}
+
+fn picks(rng: &mut SplitMix64, max_len: u64) -> Vec<u8> {
+    let len = rng.next_below(max_len + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
 /// Drives non-uniform engines with a permuted schedule; `crash_origin`
@@ -82,25 +91,25 @@ fn run_nonuniform(
     delivered
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Non-uniform engine: integrity (once, addressed only) and validity
-    /// (correct origin => all addressed deliver) under any interleaving.
-    #[test]
-    fn nonuniform_integrity_and_validity(
-        k in 1usize..4,
-        d in 1usize..4,
-        specs in proptest::collection::vec((0usize..16, 0u8..8), 1..8),
-        picks in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
+/// Non-uniform engine: integrity (once, addressed only) and validity
+/// (correct origin => all addressed deliver) under any interleaving.
+#[test]
+fn nonuniform_integrity_and_validity() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x4A11D ^ case);
+        let k = rng.next_range(1, 3) as usize;
+        let d = rng.next_range(1, 3) as usize;
         let topo = Topology::symmetric(k, d);
         let n = topo.num_processes();
-        let messages: Vec<AppMessage> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &(origin, bits))| msg((origin % n) as u32, i as u64, bits, k))
+        let num_msgs = rng.next_range(1, 7);
+        let messages: Vec<AppMessage> = (0..num_msgs)
+            .map(|i| {
+                let origin = rng.next_below(16) as usize;
+                let bits = rng.next_below(8) as u8;
+                msg((origin % n) as u32, i, bits, k)
+            })
             .collect();
+        let picks = picks(&mut rng, 1024);
         let delivered = run_nonuniform(&topo, &messages, &picks, false);
         for (p_idx, seq) in delivered.iter().enumerate() {
             let p = ProcessId(p_idx as u32);
@@ -108,56 +117,63 @@ proptest! {
             let mut sorted = seq.clone();
             sorted.sort();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), seq.len(), "{} delivered duplicates", p);
+            assert_eq!(sorted.len(), seq.len(), "case {case}: {p} delivered duplicates");
             // Addressed only.
             for id in seq {
                 let m = messages.iter().find(|m| m.id == *id).unwrap();
-                prop_assert!(topo.addresses(m.dest, p));
+                assert!(topo.addresses(m.dest, p), "case {case}");
             }
         }
         // Validity: every addressed process delivered every message.
         for m in &messages {
             for q in topo.processes_in(m.dest) {
-                prop_assert!(
+                assert!(
                     delivered[q.index()].contains(&m.id),
-                    "{} missing at {}", m.id, q
+                    "case {case}: {} missing at {q}",
+                    m.id
                 );
             }
         }
     }
+}
 
-    /// Non-uniform engine with a crashing origin: the crash-relay keeps
-    /// agreement among the survivors.
-    #[test]
-    fn nonuniform_agreement_despite_origin_crash(
-        picks in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
+/// Non-uniform engine with a crashing origin: the crash-relay keeps
+/// agreement among the survivors.
+#[test]
+fn nonuniform_agreement_despite_origin_crash() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xC4A5 ^ case);
         let topo = Topology::symmetric(2, 2);
         let messages = vec![msg(0, 0, 0b11, 2)];
+        let picks = picks(&mut rng, 1024);
         let delivered = run_nonuniform(&topo, &messages, &picks, true);
         // All survivors (p1, p2, p3) deliver.
         for (q, seq) in delivered.iter().enumerate().skip(1) {
-            prop_assert!(seq.contains(&messages[0].id), "missing at p{}", q);
+            assert!(seq.contains(&messages[0].id), "case {case}: missing at p{q}");
         }
     }
+}
 
-    /// Uniform engine: delivery at any process implies eventual delivery at
-    /// every addressed process (quiescent runs, no crashes), plus
-    /// integrity.
-    #[test]
-    fn uniform_agreement_and_integrity(
-        k in 1usize..3,
-        d in 1usize..4,
-        specs in proptest::collection::vec((0usize..16, 0u8..4), 1..6),
-        picks in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
+/// Uniform engine: delivery at any process implies eventual delivery at
+/// every addressed process (quiescent runs, no crashes), plus integrity.
+#[test]
+fn uniform_agreement_and_integrity() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x5EED ^ case);
+        let k = rng.next_range(1, 2) as usize;
+        let d = rng.next_range(1, 3) as usize;
         let topo = Topology::symmetric(k, d);
         let n = topo.num_processes();
-        let messages: Vec<AppMessage> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &(origin, bits))| msg((origin % n) as u32, i as u64, bits, k))
+        let num_msgs = rng.next_range(1, 5);
+        let messages: Vec<AppMessage> = (0..num_msgs)
+            .map(|i| {
+                let origin = rng.next_below(16) as usize;
+                let bits = rng.next_below(4) as u8;
+                msg((origin % n) as u32, i, bits, k)
+            })
             .collect();
+        let picks = picks(&mut rng, 1024);
+
         let mut engines: Vec<_> =
             (0..n as u32).map(|i| UniformRmcastEngine::new(ProcessId(i))).collect();
         let mut delivered = vec![Vec::new(); n];
@@ -175,7 +191,7 @@ proptest! {
         let mut steps = 0;
         while !queue.is_empty() {
             steps += 1;
-            prop_assert!(steps < 100_000);
+            assert!(steps < 100_000, "case {case}");
             let raw = picks.get(pick_i).copied().unwrap_or(0) as usize;
             pick_i += 1;
             let pos = raw % queue.len();
@@ -193,17 +209,18 @@ proptest! {
                 .filter(|q| delivered[q.index()].contains(&m.id))
                 .collect();
             // With no crashes every addressed process ends up delivering.
-            prop_assert_eq!(
+            assert_eq!(
                 holders.len(),
                 topo.processes_in(m.dest).count(),
-                "incomplete uniform delivery of {}", m.id
+                "case {case}: incomplete uniform delivery of {}",
+                m.id
             );
         }
         for (p_idx, seq) in delivered.iter().enumerate() {
             let mut sorted = seq.clone();
             sorted.sort();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), seq.len(), "p{} delivered duplicates", p_idx);
+            assert_eq!(sorted.len(), seq.len(), "case {case}: p{p_idx} delivered duplicates");
         }
     }
 }

@@ -6,11 +6,10 @@
 //! [`LatencyModel`] chosen by link class.
 
 use crate::SplitMix64;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Distribution of one link's message delay.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum LatencyModel {
     /// Every message takes exactly this long.
@@ -79,7 +78,7 @@ impl LatencyModel {
 ///     .with_inter(LatencyModel::Constant(Duration::from_millis(50)));
 /// assert_eq!(cfg.inter.min_delay(), Duration::from_millis(50));
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetConfig {
     /// Delay model for intra-group links (including self-sends).
     pub intra: LatencyModel,

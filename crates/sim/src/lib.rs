@@ -2,7 +2,7 @@
 //!
 //! This crate is the experimental substrate for reproducing Schiper &
 //! Pedone, *Optimal Atomic Broadcast and Multicast Algorithms for Wide Area
-//! Networks* (PODC 2007). It hosts sans-io [`Protocol`] state machines (see
+//! Networks* (PODC 2007). It hosts sans-io [`Protocol`](wamcast_types::Protocol) state machines (see
 //! `wamcast_types::proto`) on a virtual-time event loop and measures exactly
 //! the quantities the paper evaluates:
 //!
@@ -49,7 +49,7 @@
 //!
 //! let mut sim = Simulation::new(Topology::symmetric(2, 2), SimConfig::default(), |_, _| Direct);
 //! let dest = sim.topology().all_groups();
-//! let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, bytes::Bytes::new());
+//! let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, wamcast_types::Payload::new());
 //! sim.run_to_quiescence();
 //! assert_eq!(sim.metrics().latency_degree(id), Some(1));
 //! invariants::check_uniform_integrity(sim.topology(), sim.metrics()).assert_ok();

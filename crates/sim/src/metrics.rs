@@ -5,12 +5,11 @@
 //! derives every number in Figure 1 (latency degree, inter-group message
 //! counts) and the quiescence measurements of §5.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use wamcast_types::{GroupSet, LatencyDegree, MessageId, ProcessId, SimTime};
 
 /// Record of one `A-XCast` event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CastRecord {
     /// The casting process.
     pub caster: ProcessId,
@@ -23,7 +22,7 @@ pub struct CastRecord {
 }
 
 /// Record of one `A-Deliver` event at one process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeliveryRecord {
     /// Virtual time of the delivery.
     pub time: SimTime,
@@ -32,7 +31,7 @@ pub struct DeliveryRecord {
 }
 
 /// One entry of the send log.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendRecord {
     /// When the send event happened.
     pub time: SimTime,
@@ -45,7 +44,7 @@ pub struct SendRecord {
 }
 
 /// Aggregated observations of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Casts by message id.
     pub casts: BTreeMap<MessageId, CastRecord>,

@@ -1,0 +1,168 @@
+//! Consensus-amortizing batching configuration.
+//!
+//! Both of the paper's algorithms pay one intra-group consensus instance per
+//! ordering step. Under heavy traffic the per-instance cost (two intra-group
+//! delays, `O(d²)` messages) dominates, so the standard scaling lever is to
+//! decide *batches* of application messages per instance — the Multi-Paxos
+//! batching argument, applied to A1's `msgSet` proposals and A2's round
+//! bundles. [`BatchConfig`] is the knob shared by `wamcast-core`'s protocol
+//! implementations; see `DESIGN.md` §"Batching layer" for how each algorithm
+//! interprets it and why ordering invariants and latency degrees are
+//! unaffected.
+
+use std::time::Duration;
+
+/// Batch-accumulation policy for consensus-amortized protocols.
+///
+/// A protocol accumulates freshly disseminated messages instead of proposing
+/// each one to consensus immediately, and flushes the accumulated batch when
+/// the **first** of three triggers fires:
+///
+/// * [`max_msgs`](Self::max_msgs) messages are waiting,
+/// * their payloads total at least [`max_bytes`](Self::max_bytes), or
+/// * [`max_delay`](Self::max_delay) has elapsed since the batch started
+///   (enforced with a one-shot flush timer, so a batch never waits forever).
+///
+/// Batching is a scheduling choice: it changes *when* messages are
+/// proposed to consensus, and therefore which instance timestamps them —
+/// so a batched run may order two concurrent messages differently than an
+/// unbatched run would have, exactly as any other scheduling change may.
+/// What it preserves is every guarantee the §2.2 specification actually
+/// makes: within a run, all destinations deliver common messages in the
+/// same order (uniform agreement, pairwise total order, genuineness), and
+/// the paper's latency-degree results are unchanged (timers are local
+/// events and cost zero latency degree).
+/// Wall-clock latency, however, trades against throughput: larger batches
+/// amortize consensus over more messages at the cost of up to `max_delay`
+/// extra queueing delay.
+///
+/// The [`Default`] value is [`BatchConfig::disabled`], which reproduces the
+/// paper's eager per-arrival proposals exactly.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use wamcast_types::BatchConfig;
+///
+/// // Eager (the paper's schedule): every trigger fires immediately.
+/// let eager = BatchConfig::default();
+/// assert!(eager.is_disabled());
+/// assert!(eager.should_flush(1, 0));
+///
+/// // Amortized: up to 64 messages or 64 KiB per consensus instance, and a
+/// // 20 ms cap on the extra queueing delay.
+/// let batch = BatchConfig::new(64)
+///     .with_max_bytes(64 * 1024)
+///     .with_max_delay(Duration::from_millis(20));
+/// assert!(!batch.is_disabled());
+/// assert!(!batch.should_flush(63, 100));   // keep accumulating
+/// assert!(batch.should_flush(64, 100));    // size trigger
+/// assert!(batch.should_flush(2, 70_000));  // byte trigger
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many messages are accumulated. `1` disables
+    /// accumulation (every message flushes its own batch).
+    pub max_msgs: usize,
+    /// Flush as soon as the accumulated payload bytes reach this bound.
+    pub max_bytes: usize,
+    /// Flush at the latest this long after the first message of the batch
+    /// arrived. The window is what makes pooling safe to wait on, so
+    /// [`Duration::ZERO`] means *no window*: protocols flush eagerly (a
+    /// size-only policy with no time bound could hold a sub-threshold pool
+    /// forever, blocking delivery). Set a non-zero delay to batch.
+    pub max_delay: Duration,
+}
+
+impl BatchConfig {
+    /// No batching: propose every message immediately, exactly as the
+    /// paper's Algorithms A1/A2 are written.
+    pub const fn disabled() -> Self {
+        BatchConfig {
+            max_msgs: 1,
+            max_bytes: usize::MAX,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Batch up to `max_msgs` messages per consensus instance, with no byte
+    /// bound and no delay bound (callers almost always want to add
+    /// [`with_max_delay`](Self::with_max_delay) so low-rate traffic is not
+    /// stalled waiting for a full batch).
+    pub const fn new(max_msgs: usize) -> Self {
+        BatchConfig {
+            max_msgs,
+            max_bytes: usize::MAX,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Replaces the byte bound.
+    #[must_use]
+    pub const fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Replaces the delay bound.
+    #[must_use]
+    pub const fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Whether this configuration reproduces the eager (unbatched)
+    /// schedule: either every message is its own batch, or there is no
+    /// flush window to wait on (see [`max_delay`](Self::max_delay)).
+    pub fn is_disabled(&self) -> bool {
+        self.max_msgs <= 1 || self.max_delay.is_zero()
+    }
+
+    /// Whether a batch of `msgs` messages totalling `bytes` payload bytes
+    /// must flush *now* (size or byte trigger). The delay trigger is the
+    /// host timer's job: protocols arm a one-shot timer for
+    /// [`max_delay`](Self::max_delay) when a batch opens.
+    pub fn should_flush(&self, msgs: usize, bytes: usize) -> bool {
+        msgs >= self.max_msgs || bytes >= self.max_bytes
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_flushes_every_message() {
+        let b = BatchConfig::disabled();
+        assert!(b.is_disabled());
+        assert!(b.should_flush(1, 0));
+        assert_eq!(BatchConfig::default(), b);
+    }
+
+    #[test]
+    fn triggers_are_first_wins() {
+        let b = BatchConfig::new(4).with_max_bytes(100);
+        assert!(!b.should_flush(3, 99));
+        assert!(b.should_flush(4, 0), "size trigger");
+        assert!(b.should_flush(1, 100), "byte trigger");
+    }
+
+    #[test]
+    fn degenerate_policies_are_disabled() {
+        // max_msgs = 1: every message flushes its own batch.
+        let b = BatchConfig::new(1).with_max_delay(Duration::from_millis(5));
+        assert!(b.is_disabled());
+        // No flush window: a sub-threshold pool could wait forever, so
+        // size-only policies degrade to eager.
+        let b = BatchConfig::new(64);
+        assert!(b.is_disabled());
+        assert!(!BatchConfig::new(64).with_max_delay(Duration::from_millis(5)).is_disabled());
+    }
+}

@@ -16,7 +16,6 @@
 //! The simulator owns one [`LatencyClock`] per process and drives it; protocol
 //! code never sees these stamps, which is what makes the measurement honest.
 
-use serde::{Deserialize, Serialize};
 
 /// Measured latency degree of a message: the Δ(m, R) of §2.3.
 pub type LatencyDegree = u64;
@@ -30,7 +29,7 @@ pub type LatencyDegree = u64;
 /// [`inter`](Self::inter) = `intra + 1`; counting each physical copy as its
 /// own tick would wrongly charge a k-destination multicast k inter-group
 /// delays instead of one.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EventStamp {
     /// Stamp for copies delivered inside the sender's group.
     pub intra: u64,
@@ -58,7 +57,7 @@ pub struct EventStamp {
 /// receiver.observe_receive(stamp.inter);
 /// assert_eq!(receiver.value(), 1);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatencyClock {
     lc: u64,
 }

@@ -1,7 +1,6 @@
 //! Compact destination sets over groups.
 
 use crate::GroupId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
 
@@ -25,7 +24,7 @@ use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
 /// assert!(a.contains(GroupId(0)));
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![GroupId(0), GroupId(1)]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GroupSet(u64);
 
 impl GroupSet {
@@ -273,7 +272,7 @@ impl fmt::Display for GroupSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrng::TestRng;
 
     #[test]
     fn empty_set() {
@@ -349,32 +348,46 @@ mod tests {
         assert_eq!(format!("{s}"), "{g0,g2}");
     }
 
-    proptest! {
-        #[test]
-        fn insert_then_contains(ids in proptest::collection::vec(0u16..64, 0..20)) {
+    #[test]
+    fn insert_then_contains() {
+        let mut rng = TestRng::new(0x6517);
+        for case in 0..256 {
+            let ids: Vec<u16> = (0..rng.below(20)).map(|_| rng.below(64) as u16).collect();
             let mut s = GroupSet::new();
             for &i in &ids {
                 s.insert(GroupId(i));
             }
             for &i in &ids {
-                prop_assert!(s.contains(GroupId(i)));
+                assert!(s.contains(GroupId(i)), "case {case}");
             }
             let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
-            prop_assert_eq!(s.len(), unique.len());
+            assert_eq!(s.len(), unique.len(), "case {case}");
         }
+    }
 
-        #[test]
-        fn union_is_commutative(a in any::<u64>(), b in any::<u64>()) {
-            let (x, y) = (GroupSet::from_bits(a), GroupSet::from_bits(b));
-            prop_assert_eq!(x | y, y | x);
-            prop_assert_eq!(x & y, y & x);
+    #[test]
+    fn union_is_commutative() {
+        let mut rng = TestRng::new(0xC0117);
+        for case in 0..256 {
+            let (x, y) = (
+                GroupSet::from_bits(rng.next_u64()),
+                GroupSet::from_bits(rng.next_u64()),
+            );
+            assert_eq!(x | y, y | x, "case {case}");
+            assert_eq!(x & y, y & x, "case {case}");
         }
+    }
 
-        #[test]
-        fn difference_disjoint_from_subtrahend(a in any::<u64>(), b in any::<u64>()) {
-            let (x, y) = (GroupSet::from_bits(a), GroupSet::from_bits(b));
-            prop_assert!(!(x - y).intersects(y));
-            prop_assert!((x - y).is_subset(x));
+    #[test]
+    fn difference_disjoint_from_subtrahend() {
+        let mut rng = TestRng::new(0xD1FF);
+        for case in 0..256 {
+            let (x, y) = (
+                GroupSet::from_bits(rng.next_u64()),
+                GroupSet::from_bits(rng.next_u64()),
+            );
+            assert!(!(x - y).intersects(y), "case {case}");
+            assert!((x - y).is_subset(x), "case {case}");
         }
     }
 }

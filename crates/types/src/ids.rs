@@ -1,6 +1,5 @@
 //! Process and group identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a process in the system Π = {p₁, …, pₙ}.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(format!("{p}"), "p3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {
@@ -67,7 +66,7 @@ impl From<u32> for ProcessId {
 /// assert_eq!(g.index(), 1);
 /// assert_eq!(format!("{g}"), "g1");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GroupId(pub u16);
 
 impl GroupId {

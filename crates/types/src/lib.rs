@@ -14,7 +14,10 @@
 //! * [`LatencyClock`] — the *modified Lamport clock* of §2.3 used to define
 //!   the **latency degree** Δ(m, R): sends to a different group cost one
 //!   tick, intra-group sends are free;
-//! * [`SimTime`] — virtual time for the discrete-event simulator.
+//! * [`SimTime`] — virtual time for the discrete-event simulator;
+//! * [`BatchConfig`] — the consensus-amortization policy of the batching
+//!   layer (how many messages pool before a consensus instance is spent on
+//!   them); interpreted by the protocol cores in `wamcast-core`.
 //!
 //! # Example
 //!
@@ -32,15 +35,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod clock;
 mod error;
 mod groupset;
 mod ids;
 mod message;
 pub mod proto;
+#[cfg(test)]
+pub(crate) mod testrng;
 mod time;
 mod topology;
 
+pub use batch::BatchConfig;
 pub use clock::{EventStamp, LatencyClock, LatencyDegree};
 pub use error::TopologyError;
 pub use groupset::GroupSet;

@@ -1,12 +1,117 @@
 //! Application-level messages.
 
 use crate::{GroupSet, ProcessId};
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Opaque application payload carried by a cast message.
-pub type Payload = Bytes;
+///
+/// A cheaply clonable, immutable byte buffer (reference-counted when owned),
+/// so fanning one message out to many processes never copies the bytes. The
+/// workspace builds offline with no external dependencies; this type covers
+/// the slice of the `bytes::Bytes` API the protocols need.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::Payload;
+///
+/// let p = Payload::from_static(b"x=1");
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(&p[..], b"x=1");
+/// assert_eq!(p.clone(), Payload::from(b"x=1".to_vec()));
+/// assert!(Payload::new().is_empty());
+/// ```
+#[derive(Clone)]
+pub struct Payload(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Owned(Arc<[u8]>),
+}
+
+impl Payload {
+    /// An empty payload.
+    #[inline]
+    pub const fn new() -> Self {
+        Payload(Repr::Static(&[]))
+    }
+
+    /// A payload borrowing a `'static` byte string — zero allocation.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Payload(Repr::Static(bytes))
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Owned(a) => a,
+        }
+    }
+
+    /// Number of payload bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Repr::Owned(v.into()))
+    }
+}
+
+impl From<&'static [u8]> for Payload {
+    fn from(s: &'static [u8]) -> Self {
+        Payload::from_static(s)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({}B)", self.len())
+    }
+}
 
 /// Globally unique, totally ordered identifier of a cast message (`m.id`).
 ///
@@ -24,7 +129,7 @@ pub type Payload = Bytes;
 /// let b = MessageId::new(ProcessId(0), 9);
 /// assert!(b < a); // origin id dominates
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId {
     /// The process that cast the message.
     pub origin: ProcessId,
@@ -62,24 +167,23 @@ impl fmt::Display for MessageId {
 /// # Example
 ///
 /// ```
-/// use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, ProcessId};
+/// use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, Payload, ProcessId};
 ///
 /// let m = AppMessage::new(
 ///     MessageId::new(ProcessId(0), 0),
 ///     GroupSet::from_iter([GroupId(0), GroupId(1)]),
-///     bytes::Bytes::from_static(b"update"),
+///     Payload::from_static(b"update"),
 /// );
 /// assert_eq!(m.dest.len(), 2);
 /// assert!(!m.is_single_group());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct AppMessage {
     /// Unique identifier (`m.id`).
     pub id: MessageId,
     /// Destination groups (`m.dest`).
     pub dest: GroupSet,
     /// Opaque application payload.
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Payload,
 }
 
@@ -96,6 +200,15 @@ impl AppMessage {
     pub fn is_single_group(&self) -> bool {
         self.dest.len() == 1
     }
+
+    /// Payload size in bytes, the quantity [`BatchConfig::max_bytes`]
+    /// accounts against when sizing consensus batches.
+    ///
+    /// [`BatchConfig::max_bytes`]: crate::BatchConfig::max_bytes
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
 }
 
 impl fmt::Debug for AppMessage {
@@ -107,21 +220,6 @@ impl fmt::Debug for AppMessage {
             self.dest,
             self.payload.len()
         )
-    }
-}
-
-/// Serde adapter: `bytes::Bytes` as a byte sequence.
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
     }
 }
 
@@ -166,5 +264,15 @@ mod tests {
         assert!(s.contains("p3"), "{s}");
         assert!(s.contains("2B"), "{s}");
         assert_eq!(format!("{}", m.id), "m(p3#7)");
+    }
+
+    #[test]
+    fn payload_equality_spans_representations() {
+        let a = Payload::from_static(b"abc");
+        let b = Payload::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(&b[1..], b"bc");
     }
 }

@@ -4,7 +4,7 @@
 //! substrates (consensus, reliable multicast) and all baselines — is written
 //! as a pure state machine implementing [`Protocol`]. A host runtime (the
 //! deterministic simulator in `wamcast-sim`, or the threaded in-process
-//! cluster in `wamcast-net`) feeds it events and executes the [`Actions`] it
+//! cluster in `wamcast-net`) feeds it events and executes the [`Action`]s it
 //! emits. Protocol code contains no I/O, no clocks, no threads and no
 //! randomness, which gives us:
 //!

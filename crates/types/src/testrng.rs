@@ -1,0 +1,28 @@
+//! Tiny deterministic generator for in-crate randomized unit tests.
+//!
+//! `wamcast-types` sits below `wamcast-sim` (which owns the workspace's
+//! public [SplitMix64] generator), so its unit tests carry this minimal
+//! copy of the same algorithm rather than depending upward.
+//!
+//! [SplitMix64]: https://doi.org/10.1145/2714064.2660195
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}

@@ -1,6 +1,5 @@
 //! Virtual time for the discrete-event simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::time::Duration;
@@ -24,7 +23,7 @@ use std::time::Duration;
 /// assert_eq!(t - SimTime::ZERO, Duration::from_millis(100));
 /// ```
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 

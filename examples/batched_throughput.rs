@@ -1,0 +1,70 @@
+//! The batching layer end-to-end: the same Poisson load ordered by A1
+//! with batching off and on, comparing per-message protocol cost.
+//!
+//! ```bash
+//! cargo run --release --example batched_throughput
+//! ```
+
+use std::time::Duration;
+use wamcast::sim::{invariants, SimConfig, Simulation};
+use wamcast::types::{BatchConfig, GroupId, GroupSet, Payload, ProcessId, SimTime};
+use wamcast::{GenuineMulticast, MulticastConfig, Topology};
+
+fn run(batch: BatchConfig) -> (u64, u64, Duration) {
+    let mut sim = Simulation::new(
+        Topology::symmetric(3, 2),
+        SimConfig::default().with_seed(42).with_send_log(false),
+        move |p, t| GenuineMulticast::new(p, t, MulticastConfig::default().with_batch(batch)),
+    );
+    // 600 messages over one virtual second, each to two of the three sites.
+    let ids: Vec<_> = (0..600u64)
+        .map(|i| {
+            let caster = ProcessId((i % 6) as u32);
+            let dest = GroupSet::from_iter([
+                GroupId((i % 3) as u16),
+                GroupId(((i + 1) % 3) as u16),
+            ]);
+            sim.cast_at(
+                SimTime::from_nanos(i * 1_666_667),
+                caster,
+                dest,
+                Payload::from_static(b"tx"),
+            )
+        })
+        .collect();
+    sim.run_to_quiescence();
+    assert!(sim.all_delivered(&ids), "every message must be ordered");
+    invariants::check_all(sim.topology(), sim.metrics(), &sim.alive_processes()).assert_ok();
+    let mean = ids
+        .iter()
+        .filter_map(|&id| sim.metrics().delivery_latency(id))
+        .sum::<Duration>()
+        / ids.len() as u32;
+    let m = sim.metrics();
+    (m.intra_sends + m.inter_sends, m.steps, mean)
+}
+
+fn main() {
+    let eager = run(BatchConfig::disabled());
+    let batched = run(BatchConfig::new(64).with_max_delay(Duration::from_millis(50)));
+
+    println!("600 messages, A1 on 3 sites x 2 replicas, 100 ms WAN:\n");
+    println!("                 protocol msgs   handler steps   mean latency");
+    println!(
+        "batching off     {:>13}   {:>13}   {:>9.1} ms",
+        eager.0,
+        eager.1,
+        eager.2.as_secs_f64() * 1e3
+    );
+    println!(
+        "batch 64/50ms    {:>13}   {:>13}   {:>9.1} ms",
+        batched.0,
+        batched.1,
+        batched.2.as_secs_f64() * 1e3
+    );
+    println!(
+        "\n{:.1}x fewer protocol messages per ordered message; same total order,",
+        eager.0 as f64 / batched.0 as f64
+    );
+    println!("same latency degrees, one bounded batch window of extra queueing.");
+}

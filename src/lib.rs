@@ -17,14 +17,29 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`types`] | ids, group sets, topologies, messages, the §2.3 latency-degree clock, the sans-io [`Protocol`] abstraction |
+//! | [`types`] | ids, group sets, topologies, messages, the §2.3 latency-degree clock, the sans-io [`Protocol`] abstraction, the [`BatchConfig`] batching policy |
 //! | [`sim`] | deterministic discrete-event WAN simulator + invariant checkers |
-//! | [`consensus`] | intra-group multi-instance Paxos + heartbeat failure detector |
+//! | [`consensus`] | intra-group multi-instance Paxos (batch-aware: forwarded proposals merge into the coordinator's `Accept`) + heartbeat failure detector |
 //! | [`rmcast`] | non-uniform and uniform reliable multicast |
-//! | [`core`] | **the paper's algorithms**: A1, A2, and the non-genuine reduction |
-//! | [`baselines`] | Skeen, Fritzke [5], ring [4], Rodrigues [10], optimistic [12], sequencer [13], deterministic merge [1] |
-//! | [`net`] | threaded in-process runtime (same protocol cores, real threads) |
-//! | [`harness`] | the experiment harness regenerating Figure 1 and the theorem runs |
+//! | [`core`] | **the paper's algorithms**: A1, A2, and the non-genuine reduction — each with the consensus-amortizing batching layer (`DESIGN.md` §"Batching layer") |
+//! | [`baselines`] | Skeen, Fritzke \[5\], ring \[4\], Rodrigues \[10\], optimistic \[12\], sequencer \[13\], deterministic merge \[1\] |
+//! | [`net`] | threaded in-process runtime (same protocol cores, real threads, real flush timers) |
+//! | [`harness`] | the experiment harness regenerating Figure 1, the theorem runs, and the E9 batching throughput sweep |
+//!
+//! # Batching
+//!
+//! Both algorithms pay one intra-group consensus instance per ordering
+//! step; under heavy traffic that per-instance cost dominates. The batching
+//! layer (ISSUE 1) amortizes it: a [`BatchConfig`] pools messages until a
+//! size/byte trigger or a flush timer fires, consensus decides the pooled
+//! *batch*, the Paxos coordinator merges batches forwarded by other
+//! members into its proposal, and A1's `(TS, m)` exchange carries whole
+//! batches. Every §2.2 ordering invariant and latency-degree result holds
+//! under any batch policy (the specific order among concurrent messages
+//! may differ from the eager schedule's, as with any scheduling change) —
+//! only wall-clock queueing delay (bounded by the window) trades against
+//! throughput. `cargo run --release --bin throughput_sweep` prints the
+//! msgs/sec vs. batch-size table; see `DESIGN.md` and `EXPERIMENTS.md` §E9.
 //!
 //! # Quickstart
 //!
@@ -66,4 +81,4 @@ pub use wamcast_sim as sim;
 pub use wamcast_types as types;
 
 pub use wamcast_core::{GenuineMulticast, MulticastConfig, NonGenuineMulticast, RoundBroadcast};
-pub use wamcast_types::{Protocol, Topology};
+pub use wamcast_types::{BatchConfig, Protocol, Topology};
