@@ -165,8 +165,7 @@ impl Protocol for DeterministicMerge {
         match msg {
             MergeMsg::Pub { msg, ts } => {
                 self.advance(from, ts);
-                if ctx.topology().addresses(msg.dest, self.me)
-                    && !self.delivered.contains(&msg.id)
+                if ctx.topology().addresses(msg.dest, self.me) && !self.delivered.contains(&msg.id)
                 {
                     self.queues.entry(from).or_default().push_back((ts, msg));
                 }

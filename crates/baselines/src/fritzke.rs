@@ -40,5 +40,12 @@ use wamcast_types::{ProcessId, Topology};
 /// assert_eq!(proto.clock(), 1);
 /// ```
 pub fn fritzke_multicast(me: ProcessId, topo: &Topology) -> GenuineMulticast {
-    GenuineMulticast::new(me, topo, MulticastConfig { skip_stages: false, ..MulticastConfig::default() })
+    GenuineMulticast::new(
+        me,
+        topo,
+        MulticastConfig {
+            skip_stages: false,
+            ..MulticastConfig::default()
+        },
+    )
 }

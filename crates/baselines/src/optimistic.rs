@@ -122,7 +122,9 @@ impl OptimisticBroadcast {
 
     fn try_deliver(&mut self, out: &mut Outbox<OptimisticMsg>) {
         while let Some(&id) = self.positions.get(&self.next_deliver) {
-            let Some(m) = self.data.remove(&id) else { return };
+            let Some(m) = self.data.remove(&id) else {
+                return;
+            };
             self.positions.remove(&self.next_deliver);
             self.next_deliver += 1;
             self.delivered.insert(id);

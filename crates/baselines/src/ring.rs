@@ -151,7 +151,9 @@ impl RingMulticast {
         if self.blocked_on.is_some() || self.prop_inst > self.inst {
             return;
         }
-        let Some((_, step)) = self.queue.iter().next() else { return };
+        let Some((_, step)) = self.queue.iter().next() else {
+            return;
+        };
         let mut step = step.clone();
         // The proposal carries this group's timestamp assignment (see
         // RingStep docs): accumulated ts maxed with the proposer's clock.
@@ -244,10 +246,7 @@ impl RingMulticast {
 
     fn delivery_test(&mut self, out: &mut Outbox<RingMsg>) {
         loop {
-            let Some((&min_id, min_p)) = self
-                .pending
-                .iter()
-                .min_by_key(|(id, p)| (p.ts, **id))
+            let Some((&min_id, min_p)) = self.pending.iter().min_by_key(|(id, p)| (p.ts, **id))
             else {
                 return;
             };

@@ -86,17 +86,14 @@ impl RodriguesMulticast {
         }
     }
 
-    fn flush_engine(
-        &mut self,
-        id: MessageId,
-        sink: MsgSink<u64>,
-        out: &mut Outbox<RodriguesMsg>,
-    ) {
+    fn flush_engine(&mut self, id: MessageId, sink: MsgSink<u64>, out: &mut Outbox<RodriguesMsg>) {
         for (to, m) in sink.msgs {
             out.send(to, RodriguesMsg::Cons { id, msg: m });
         }
         // Collect any decision.
-        let Some(engine) = self.engines.get_mut(&id) else { return };
+        let Some(engine) = self.engines.get_mut(&id) else {
+            return;
+        };
         for (_, final_ts) in engine.take_decisions() {
             if let Some(p) = self.pending.get_mut(&id) {
                 if !p.is_final {
@@ -120,7 +117,11 @@ impl RodriguesMulticast {
         self.lc += 1;
         let ts = self.lc;
         let addressees: Vec<ProcessId> = ctx.topology().processes_in(m.dest).collect();
-        let others: Vec<ProcessId> = addressees.iter().copied().filter(|&q| q != self.me).collect();
+        let others: Vec<ProcessId> = addressees
+            .iter()
+            .copied()
+            .filter(|&q| q != self.me)
+            .collect();
         let mut pending = Pending {
             msg: m,
             ts,
@@ -149,7 +150,14 @@ impl RodriguesMulticast {
         self.maybe_propose(id, ctx, out);
     }
 
-    fn on_ts(&mut self, from: ProcessId, id: MessageId, ts: u64, ctx: &Context, out: &mut Outbox<RodriguesMsg>) {
+    fn on_ts(
+        &mut self,
+        from: ProcessId,
+        id: MessageId,
+        ts: u64,
+        ctx: &Context,
+        out: &mut Outbox<RodriguesMsg>,
+    ) {
         if self.delivered.contains(&id) {
             return;
         }
@@ -164,7 +172,9 @@ impl RodriguesMulticast {
     /// Once every addressee's proposal is in, propose the maximum to the
     /// per-message cross-group consensus.
     fn maybe_propose(&mut self, id: MessageId, ctx: &Context, out: &mut Outbox<RodriguesMsg>) {
-        let Some(p) = self.pending.get_mut(&id) else { return };
+        let Some(p) = self.pending.get_mut(&id) else {
+            return;
+        };
         if p.proposed_to_consensus || p.is_final {
             return;
         }
@@ -182,7 +192,13 @@ impl RodriguesMulticast {
         self.flush_engine(id, sink, out);
     }
 
-    fn on_cons(&mut self, from: ProcessId, id: MessageId, msg: ConsensusMsg<u64>, out: &mut Outbox<RodriguesMsg>) {
+    fn on_cons(
+        &mut self,
+        from: ProcessId,
+        id: MessageId,
+        msg: ConsensusMsg<u64>,
+        out: &mut Outbox<RodriguesMsg>,
+    ) {
         if self.delivered.contains(&id) {
             return;
         }
@@ -200,10 +216,7 @@ impl RodriguesMulticast {
 
     fn delivery_test(&mut self, out: &mut Outbox<RodriguesMsg>) {
         loop {
-            let Some((&min_id, min_p)) = self
-                .pending
-                .iter()
-                .min_by_key(|(id, p)| (p.ts, **id))
+            let Some((&min_id, min_p)) = self.pending.iter().min_by_key(|(id, p)| (p.ts, **id))
             else {
                 return;
             };

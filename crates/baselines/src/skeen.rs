@@ -96,7 +96,14 @@ impl SkeenMulticast {
         out.send_many(everyone, SkeenMsg::Propose { id, ts });
     }
 
-    fn on_propose(&mut self, from: ProcessId, id: MessageId, ts: u64, ctx: &Context, out: &mut Outbox<SkeenMsg>) {
+    fn on_propose(
+        &mut self,
+        from: ProcessId,
+        id: MessageId,
+        ts: u64,
+        ctx: &Context,
+        out: &mut Outbox<SkeenMsg>,
+    ) {
         let Some(p) = self.pending.get_mut(&id) else {
             // Proposal raced ahead of the Data copy; remember nothing —
             // Data will arrive (reliable links) and proposals are re-counted
@@ -122,10 +129,7 @@ impl SkeenMulticast {
 
     fn delivery_test(&mut self, out: &mut Outbox<SkeenMsg>) {
         loop {
-            let Some((&min_id, min_p)) = self
-                .pending
-                .iter()
-                .min_by_key(|(id, p)| (p.ts, **id))
+            let Some((&min_id, min_p)) = self.pending.iter().min_by_key(|(id, p)| (p.ts, **id))
             else {
                 return;
             };

@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 use wamcast_baselines::{
-    fritzke_multicast, DeterministicMerge, OptimisticBroadcast, RingMulticast,
-    RodriguesMulticast, SequencerBroadcast, SkeenMulticast,
+    fritzke_multicast, DeterministicMerge, OptimisticBroadcast, RingMulticast, RodriguesMulticast,
+    SequencerBroadcast, SkeenMulticast,
 };
 use wamcast_sim::{invariants, SimConfig, Simulation};
 use wamcast_types::{
@@ -38,7 +38,10 @@ fn one_shot<P: Protocol>(
 fn skeen_two_groups_degree_two() {
     let dest = GroupSet::first_n(2);
     let (deg, mut sim) = one_shot(2, 3, dest, |p, _| SkeenMulticast::new(p));
-    assert_eq!(deg, 2, "Skeen is latency-degree optimal (paper §1 corollary)");
+    assert_eq!(
+        deg, 2,
+        "Skeen is latency-degree optimal (paper §1 corollary)"
+    );
     sim.run_to_quiescence();
     check_ordering(&sim);
     invariants::check_genuineness(sim.topology(), sim.metrics()).assert_ok();
@@ -47,7 +50,9 @@ fn skeen_two_groups_degree_two() {
 #[test]
 fn skeen_orders_concurrent_multicasts() {
     let cfg = SimConfig::default().with_seed(5);
-    let mut sim = Simulation::new(Topology::symmetric(3, 2), cfg, |p, _| SkeenMulticast::new(p));
+    let mut sim = Simulation::new(Topology::symmetric(3, 2), cfg, |p, _| {
+        SkeenMulticast::new(p)
+    });
     let g01 = GroupSet::from_iter([GroupId(0), GroupId(1)]);
     let g12 = GroupSet::from_iter([GroupId(1), GroupId(2)]);
     let mut ids = Vec::new();
@@ -70,7 +75,9 @@ fn skeen_blocks_on_crash() {
     // Skeen is failure-free by design: a crashed destination process means
     // its proposal never arrives and nothing addressed to it delivers.
     let cfg = SimConfig::default().with_seed(6);
-    let mut sim = Simulation::new(Topology::symmetric(2, 2), cfg, |p, _| SkeenMulticast::new(p));
+    let mut sim = Simulation::new(Topology::symmetric(2, 2), cfg, |p, _| {
+        SkeenMulticast::new(p)
+    });
     sim.crash_at(SimTime::ZERO, ProcessId(3));
     let id = sim.cast_at(
         SimTime::from_millis(1),
@@ -314,7 +321,12 @@ fn detmerge_broadcast_degree_one() {
     // [1]'s infinitely-many-messages model. Cast just before the other
     // publishers' heartbeats (at t = 2000 ms) so their nulls are emitted
     // after the cast instant but before m's copies reach them.
-    let id = sim.cast_at(SimTime::from_millis(1950), ProcessId(0), dest, Payload::new());
+    let id = sim.cast_at(
+        SimTime::from_millis(1950),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
     assert!(sim.run_until_delivered(&[id], SimTime::from_millis(60_000)));
     assert_eq!(sim.metrics().latency_degree(id), Some(1));
     check_ordering(&sim);
@@ -327,7 +339,12 @@ fn detmerge_multicast_filters_destinations() {
         DeterministicMerge::new(p, Duration::from_millis(500))
     });
     let dest = GroupSet::from_iter([GroupId(0), GroupId(1)]);
-    let id = sim.cast_at(SimTime::from_millis(700), ProcessId(0), dest, Payload::new());
+    let id = sim.cast_at(
+        SimTime::from_millis(700),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
     assert!(sim.run_until_delivered(&[id], SimTime::from_millis(60_000)));
     assert!(!sim.metrics().has_delivered(ProcessId(2), id));
     assert!(sim.metrics().has_delivered(ProcessId(1), id));

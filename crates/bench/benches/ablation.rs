@@ -10,11 +10,11 @@
 //!   batching window is what realizes Theorem 5.1's Δ=1 schedule; the
 //!   bench quantifies the simulation cost across pacing values.
 
-use wamcast_bench::harness::{BenchmarkId, Criterion};
-use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
+use wamcast_bench::harness::{BenchmarkId, Criterion};
 use wamcast_bench::run_a1_once;
+use wamcast_bench::{criterion_group, criterion_main};
 use wamcast_core::RoundBroadcast;
 use wamcast_harness::measure_broadcast_steady;
 use wamcast_sim::NetConfig;
@@ -52,9 +52,7 @@ fn ablation_pacing(c: &mut Criterion) {
                     let r = measure_broadcast_steady(
                         2,
                         2,
-                        |p, t| {
-                            RoundBroadcast::with_pacing(p, t, Duration::from_millis(pacing_ms))
-                        },
+                        |p, t| RoundBroadcast::with_pacing(p, t, Duration::from_millis(pacing_ms)),
                         8,
                         Duration::from_millis(50),
                         true,

@@ -20,18 +20,14 @@ fn bench(c: &mut Criterion) {
     let eager = throughput_once(3, 2, 2000.0, Duration::from_secs(1), 1, 0xB47C);
     let batched = throughput_once(3, 2, 2000.0, Duration::from_secs(1), 64, 0xB47C);
     let gain = batched.modeled_msgs_per_sec / eager.modeled_msgs_per_sec;
-    assert!(
-        gain >= 5.0,
-        "batch 64 must amortize >=5x, got {gain:.2}x"
-    );
+    assert!(gain >= 5.0, "batch 64 must amortize >=5x, got {gain:.2}x");
 
     let mut g = c.benchmark_group("batching_poisson_3x2");
     g.sample_size(10);
     for batch in [1usize, 16, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
-                let cell =
-                    throughput_once(3, 2, 1000.0, Duration::from_millis(500), batch, 0xB47C);
+                let cell = throughput_once(3, 2, 1000.0, Duration::from_millis(500), batch, 0xB47C);
                 black_box(cell.sends_per_msg)
             })
         });

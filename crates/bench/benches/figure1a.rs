@@ -3,11 +3,11 @@
 //! Each benchmark runs the full single-multicast simulation of one Figure
 //! 1(a) row; the asserted latency degrees keep the benches honest.
 
-use wamcast_bench::harness::Criterion;
-use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_baselines::{fritzke_multicast, RingMulticast, RodriguesMulticast, SkeenMulticast};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use wamcast_core::{GenuineMulticast, MulticastConfig};
 use wamcast_harness::measure_one_multicast;
 use wamcast_types::SimTime;
@@ -36,7 +36,8 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("fritzke", |b| {
         b.iter(|| {
-            let r = measure_one_multicast(3, 2, 3, fritzke_multicast, true, SimTime::ZERO, horizon());
+            let r =
+                measure_one_multicast(3, 2, 3, fritzke_multicast, true, SimTime::ZERO, horizon());
             assert_eq!(r.degree, 2);
             black_box(r)
         })
@@ -58,7 +59,8 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("ring", |b| {
         b.iter(|| {
-            let r = measure_one_multicast(3, 2, 3, RingMulticast::new, true, SimTime::ZERO, horizon());
+            let r =
+                measure_one_multicast(3, 2, 3, RingMulticast::new, true, SimTime::ZERO, horizon());
             assert_eq!(r.degree, 4);
             black_box(r)
         })

@@ -1,10 +1,10 @@
 //! Bench: regenerate Figure 1(b) (atomic broadcast comparison).
 
-use wamcast_bench::harness::Criterion;
-use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
 use wamcast_baselines::{OptimisticBroadcast, SequencerBroadcast};
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use wamcast_core::RoundBroadcast;
 use wamcast_harness::measure_broadcast_steady;
 use wamcast_sim::NetConfig;

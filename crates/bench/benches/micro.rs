@@ -1,9 +1,9 @@
 //! Microbenchmarks of the substrates: the deterministic RNG, group-set
 //! algebra, simulator event throughput and intra-group consensus.
 
+use std::hint::black_box;
 use wamcast_bench::harness::Criterion;
 use wamcast_bench::{criterion_group, criterion_main};
-use std::hint::black_box;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_sim::SplitMix64;
 use wamcast_types::{GroupId, GroupSet, ProcessId};
@@ -30,9 +30,7 @@ fn bench_groupset(c: &mut Criterion) {
 
 fn bench_sim_event_loop(c: &mut Criterion) {
     use wamcast_sim::{SimConfig, Simulation};
-    use wamcast_types::{
-        AppMessage, Context, Outbox, Payload, Protocol, SimTime, Topology,
-    };
+    use wamcast_types::{AppMessage, Context, Outbox, Payload, Protocol, SimTime, Topology};
 
     /// Ping-pong protocol to stress the event queue.
     struct PingPong {
@@ -92,5 +90,11 @@ fn bench_consensus(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rng, bench_groupset, bench_sim_event_loop, bench_consensus);
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_groupset,
+    bench_sim_event_loop,
+    bench_consensus
+);
 criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Bench: the Theorem 4.1 / 5.1 / 5.2 witness runs.
 
-use wamcast_bench::harness::Criterion;
-use wamcast_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::time::Duration;
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_harness::{measure_broadcast_steady, measure_one_multicast};
 use wamcast_sim::NetConfig;

@@ -214,9 +214,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
         g.bench_function("fast", |b| b.iter(|| 1 + 1));
-        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
         g.finish();
         assert_eq!(c.results.len(), 2);
     }

@@ -34,7 +34,14 @@ pub mod harness;
 pub fn run_a1_once(k: usize, d: usize, skip_stages: bool) -> u64 {
     let cfg = SimConfig::default().with_send_log(false);
     let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, |p, t| {
-        GenuineMulticast::new(p, t, MulticastConfig { skip_stages, ..MulticastConfig::default() })
+        GenuineMulticast::new(
+            p,
+            t,
+            MulticastConfig {
+                skip_stages,
+                ..MulticastConfig::default()
+            },
+        )
     });
     let dest = GroupSet::first_n(k);
     let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());

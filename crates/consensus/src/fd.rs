@@ -188,7 +188,10 @@ mod tests {
         let evs = fd.on_tick(t(200));
         assert_eq!(
             evs,
-            vec![FdEvent::Suspect(ProcessId(1)), FdEvent::Suspect(ProcessId(2))]
+            vec![
+                FdEvent::Suspect(ProcessId(1)),
+                FdEvent::Suspect(ProcessId(2))
+            ]
         );
         // Already suspected: no repeated events.
         assert!(fd.on_tick(t(300)).is_empty());

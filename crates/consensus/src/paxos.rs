@@ -170,6 +170,10 @@ struct PrepareState<V> {
     ballot: Ballot,
     promises: BTreeMap<ProcessId, Option<(Ballot, V)>>,
     sent_accept: bool,
+    /// The exact value the Accept for `ballot` carried — kept so a
+    /// retransmission ([`GroupConsensus::tick`]) re-sends the *same* value
+    /// (Paxos: one ballot, one value).
+    sent_value: Option<V>,
 }
 
 /// Per-instance state.
@@ -186,6 +190,9 @@ struct Instance<V> {
     forwarded: Vec<V>,
     /// Fast-path guard: ballot-0 Accept already sent.
     sent_accept0: bool,
+    /// The value the ballot-0 Accept carried (for loss-recovery
+    /// retransmission — the same ballot must re-ship the same value).
+    sent_accept0_value: Option<V>,
     prepare: Option<PrepareState<V>>,
     accepted_votes: BTreeMap<Ballot, BTreeSet<ProcessId>>,
 }
@@ -199,6 +206,7 @@ impl<V> Instance<V> {
             my_value: None,
             forwarded: Vec::new(),
             sent_accept0: false,
+            sent_accept0_value: None,
             prepare: None,
             accepted_votes: BTreeMap::new(),
         }
@@ -257,6 +265,12 @@ pub struct GroupConsensus<V> {
     majority: usize,
     suspected: BTreeSet<ProcessId>,
     instances: BTreeMap<u64, Instance<V>>,
+    /// Undecided instances with local involvement (a candidate, an
+    /// accepted value, or a prepare in flight). Kept so the retry-mode hot
+    /// path — [`has_unfinished`](Self::has_unfinished) on every event,
+    /// [`tick`](Self::tick) on every retransmission interval — costs
+    /// O(in-flight), not O(every instance ever decided).
+    active: BTreeSet<u64>,
     decisions: BTreeMap<u64, V>,
     undrained: Vec<(u64, V)>,
     /// Batch combiner for forwarded proposals; see [`MergeFn`].
@@ -282,6 +296,7 @@ impl<V: Value> GroupConsensus<V> {
             majority,
             suspected: BTreeSet::new(),
             instances: BTreeMap::new(),
+            active: BTreeSet::new(),
             decisions: BTreeMap::new(),
             undrained: Vec::new(),
             merge: None,
@@ -370,11 +385,15 @@ impl<V: Value> GroupConsensus<V> {
         if inst.my_value.is_none() {
             inst.my_value = Some(value);
         }
+        self.active.insert(instance);
         let coord = self.coordinator();
         if coord == self.me {
             self.drive_as_coordinator(instance, sink);
         } else {
-            let v = self.instances[&instance].my_value.clone().expect("just set");
+            let v = self.instances[&instance]
+                .my_value
+                .clone()
+                .expect("just set");
             sink.push(coord, ConsensusMsg::Forward { instance, value: v });
         }
     }
@@ -398,7 +417,13 @@ impl<V: Value> GroupConsensus<V> {
             if coord == self.me {
                 self.drive_as_coordinator(k, sink);
             } else if let Some(v) = self.instances[&k].my_value.clone() {
-                sink.push(coord, ConsensusMsg::Forward { instance: k, value: v });
+                sink.push(
+                    coord,
+                    ConsensusMsg::Forward {
+                        instance: k,
+                        value: v,
+                    },
+                );
             }
         }
     }
@@ -418,6 +443,7 @@ impl<V: Value> GroupConsensus<V> {
                         inst.forwarded.push(value);
                     }
                 }
+                self.active.insert(instance);
                 if self.coordinator() == self.me {
                     // Batch-aware mode defers the fast-path Accept to this
                     // member's own propose() call so that concurrently
@@ -452,7 +478,11 @@ impl<V: Value> GroupConsensus<V> {
                     return;
                 }
                 let inst = self.instance_mut(instance);
-                if ballot > inst.promised {
+                // `>=`, not `>`: re-promising the currently promised ballot
+                // is idempotent and required for loss recovery — if the
+                // Promise was dropped, the coordinator re-sends the same
+                // Prepare and must get an answer, or recovery deadlocks.
+                if ballot >= inst.promised {
                     inst.promised = ballot;
                     let accepted = inst.accepted.clone();
                     sink.push(
@@ -477,7 +507,9 @@ impl<V: Value> GroupConsensus<V> {
                 let members = self.members.clone();
                 let merge = self.merge;
                 let inst = self.instance_mut(instance);
-                let Some(ps) = inst.prepare.as_mut() else { return };
+                let Some(ps) = inst.prepare.as_mut() else {
+                    return;
+                };
                 if ps.ballot != ballot || ps.sent_accept {
                     return;
                 }
@@ -496,7 +528,9 @@ impl<V: Value> GroupConsensus<V> {
                     let local = merged_candidate(merge, inst)
                         .or_else(|| inst.accepted.as_ref().map(|(_, v)| v.clone()));
                     if let Some(value) = adopted.or(local) {
-                        inst.prepare.as_mut().expect("checked above").sent_accept = true;
+                        let ps = inst.prepare.as_mut().expect("checked above");
+                        ps.sent_accept = true;
+                        ps.sent_value = Some(value.clone());
                         sink.push_all(
                             &members,
                             ConsensusMsg::Accept {
@@ -524,6 +558,7 @@ impl<V: Value> GroupConsensus<V> {
                 if ballot >= inst.promised {
                     inst.promised = ballot;
                     inst.accepted = Some((ballot, value.clone()));
+                    self.active.insert(instance);
                     sink.push_all(
                         &self.members,
                         ConsensusMsg::Accepted {
@@ -539,7 +574,22 @@ impl<V: Value> GroupConsensus<V> {
                 ballot,
                 value,
             } => {
-                if self.decisions.contains_key(&instance) {
+                if let Some(v) = self.decisions.get(&instance) {
+                    // Keep counting votes after deciding; a *duplicate*
+                    // announcement can only come from a retransmitting peer
+                    // that missed the decision (lossy links), so catch it up
+                    // directly. First-time late arrivals — routine in clean
+                    // runs — stay silent, keeping clean-run message counts
+                    // exactly the paper's.
+                    let v = v.clone();
+                    let votes = self
+                        .instance_mut(instance)
+                        .accepted_votes
+                        .entry(ballot)
+                        .or_default();
+                    if !votes.insert(from) {
+                        sink.push(from, ConsensusMsg::Decide { instance, value: v });
+                    }
                     return;
                 }
                 let majority = self.majority;
@@ -575,6 +625,7 @@ impl<V: Value> GroupConsensus<V> {
         if is_b0_owner && inst.promised == Ballot::zero(me) {
             if !inst.sent_accept0 {
                 inst.sent_accept0 = true;
+                inst.sent_accept0_value = Some(value.clone());
                 sink.push_all(
                     &members,
                     ConsensusMsg::Accept {
@@ -602,6 +653,7 @@ impl<V: Value> GroupConsensus<V> {
                     .map(|(_, v)| v.clone())
                     .unwrap_or(value);
                 ps.sent_accept = true;
+                ps.sent_value = Some(adopted.clone());
                 let b = ps.ballot;
                 sink.push_all(
                     &members,
@@ -628,8 +680,120 @@ impl<V: Value> GroupConsensus<V> {
             ballot,
             promises: BTreeMap::new(),
             sent_accept: false,
+            sent_value: None,
         });
+        self.active.insert(instance);
         sink.push_all(&members, ConsensusMsg::Prepare { instance, ballot });
+    }
+
+    /// Debug/inspection: one line per undecided instance with local state
+    /// (candidate, accepted ballot, prepare progress, promised ballot).
+    pub fn debug_unfinished(&self) -> Vec<(u64, String)> {
+        self.instances
+            .iter()
+            .filter(|(k, _)| !self.decisions.contains_key(k))
+            .map(|(&k, i)| {
+                let desc = format!(
+                    "cand={} fwd={} acc={:?} prep={:?} promised={:?} sent0={}",
+                    i.my_value.is_some(),
+                    i.forwarded.len(),
+                    i.accepted.as_ref().map(|(b, _)| *b),
+                    i.prepare
+                        .as_ref()
+                        .map(|p| (p.ballot, p.sent_accept, p.promises.len())),
+                    i.promised,
+                    i.sent_accept0,
+                );
+                (k, desc)
+            })
+            .collect()
+    }
+
+    /// Whether any instance this member is involved in (as proposer,
+    /// acceptor or recovery coordinator) is still undecided — the signal a
+    /// host uses to keep its retransmission timer armed. O(1): backed by
+    /// the `active` index, not a scan of instance history.
+    pub fn has_unfinished(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Retransmits the in-flight protocol step of every unfinished
+    /// instance — the loss-recovery path for lossy links.
+    ///
+    /// Quasi-reliable links never need this (and the engine never calls it
+    /// on itself); under a fault-injection adversary the embedding protocol
+    /// drives `tick` from a retransmission timer. Re-sent `Accept`s carry
+    /// the exact value their ballot first carried (stored at send time), so
+    /// Paxos safety is untouched; duplicate receipts are already idempotent
+    /// (per-ballot vote sets, first-wins promises, `Decide` replays). A
+    /// member that already decided replies `Decide` to any stale traffic,
+    /// so ticking also heals learners that missed the `Accepted` flood.
+    pub fn tick(&mut self, sink: &mut MsgSink<V>) {
+        let members = self.members.clone();
+        let coord = self.coordinator();
+        let undecided: Vec<u64> = self.active.iter().copied().collect();
+        for instance in undecided {
+            if coord == self.me {
+                let inst = &self.instances[&instance];
+                // Re-send the exact in-flight step, if any.
+                if inst.sent_accept0
+                    && inst.promised == Ballot::zero(self.me)
+                    && self.members[0] == self.me
+                {
+                    if let Some(value) = inst.sent_accept0_value.clone() {
+                        sink.push_all(
+                            &members,
+                            ConsensusMsg::Accept {
+                                instance,
+                                ballot: Ballot::zero(self.me),
+                                value,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                if let Some(ps) = &inst.prepare {
+                    if ps.sent_accept {
+                        if let Some(value) = ps.sent_value.clone() {
+                            let ballot = ps.ballot;
+                            sink.push_all(
+                                &members,
+                                ConsensusMsg::Accept {
+                                    instance,
+                                    ballot,
+                                    value,
+                                },
+                            );
+                            continue;
+                        }
+                    } else {
+                        let ballot = ps.ballot;
+                        sink.push_all(&members, ConsensusMsg::Prepare { instance, ballot });
+                        continue;
+                    }
+                }
+                // Nothing in flight yet (e.g. we became coordinator after a
+                // suspicion but had no value then): drive from scratch.
+                self.drive_as_coordinator(instance, sink);
+            } else {
+                if let Some(v) = self.instances[&instance].my_value.clone() {
+                    sink.push(coord, ConsensusMsg::Forward { instance, value: v });
+                }
+                // An acceptor stuck with an accepted value re-announces it:
+                // peers that already decided answer the duplicate with a
+                // Decide, and peers that missed our vote re-count it.
+                if let Some((ballot, value)) = self.instances[&instance].accepted.clone() {
+                    sink.push_all(
+                        &members,
+                        ConsensusMsg::Accepted {
+                            instance,
+                            ballot,
+                            value,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     fn learn(&mut self, instance: u64, value: V) {
@@ -639,6 +803,7 @@ impl<V: Value> GroupConsensus<V> {
         if let Some(inst) = self.instances.get_mut(&instance) {
             inst.decided = true;
         }
+        self.active.remove(&instance);
         self.decisions.insert(instance, value.clone());
         self.undrained.push((instance, value));
     }
@@ -817,8 +982,7 @@ mod tests {
             }
             // Drop p1's initial Accepted copies addressed to p2, simulating
             // loss concurrent with p0's crash.
-            if first_accepted && to == ProcessId(2) && matches!(m, ConsensusMsg::Accepted { .. })
-            {
+            if first_accepted && to == ProcessId(2) && matches!(m, ConsensusMsg::Accepted { .. }) {
                 continue;
             }
             let mut out = MsgSink::new();
@@ -859,7 +1023,11 @@ mod tests {
                 queue.push_back((to, t, mm));
             }
         }
-        assert_eq!(engines[1].decision(9), Some(&10), "chosen value must survive");
+        assert_eq!(
+            engines[1].decision(9),
+            Some(&10),
+            "chosen value must survive"
+        );
         assert_eq!(engines[2].decision(9), Some(&10));
     }
 
@@ -908,6 +1076,119 @@ mod tests {
         let n1 = s.msgs.len();
         e.on_suspect(ProcessId(0), &mut s);
         assert_eq!(s.msgs.len(), n1, "second identical suspicion is a no-op");
+    }
+
+    #[test]
+    fn tick_recovers_coordinator_fast_path_from_total_loss() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(0), 1, 10);
+        net.queue.clear(); // the adversary ate every copy of the Accept
+        assert!(net.engines[0].has_unfinished());
+        let mut sink = MsgSink::new();
+        net.engines[0].tick(&mut sink);
+        // Retransmission carries the same ballot-0 value.
+        assert!(sink
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, ConsensusMsg::Accept { value: 10, .. })));
+        net.absorb(ProcessId(0), sink);
+        net.run(&[]);
+        for p in 0..3 {
+            assert_eq!(net.decision(ProcessId(p), 1), Some(10));
+        }
+        assert!(!net.engines[0].has_unfinished());
+    }
+
+    #[test]
+    fn tick_reforwards_follower_proposals() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(2), 1, 9);
+        net.queue.clear(); // Forward to the coordinator was lost
+        let mut sink = MsgSink::new();
+        net.engines[2].tick(&mut sink);
+        assert!(sink
+            .msgs
+            .iter()
+            .any(|(to, m)| *to == ProcessId(0)
+                && matches!(m, ConsensusMsg::Forward { value: 9, .. })));
+        net.absorb(ProcessId(2), sink);
+        net.run(&[]);
+        assert_eq!(net.decision(ProcessId(0), 1), Some(9));
+    }
+
+    #[test]
+    fn tick_heals_learner_that_missed_the_accepted_flood() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(0), 1, 5);
+        // Deliver everything except Accepted copies addressed to p2: p2
+        // accepts the value but never learns the decision.
+        let mut guard = 0;
+        while let Some((from, to, m)) = net.queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000);
+            if to == ProcessId(2) && matches!(m, ConsensusMsg::Accepted { .. }) {
+                continue;
+            }
+            let mut sink = MsgSink::new();
+            net.engines[to.index()].on_message(from, m, &mut sink);
+            net.absorb(to, sink);
+        }
+        assert_eq!(net.decision(ProcessId(0), 1), Some(5));
+        assert_eq!(net.decision(ProcessId(2), 1), None, "p2 missed the flood");
+        // p2's own tick re-announces its acceptance; a decided peer answers
+        // the duplicate with a Decide.
+        let mut sink = MsgSink::new();
+        net.engines[2].tick(&mut sink);
+        net.absorb(ProcessId(2), sink);
+        net.run(&[]);
+        assert_eq!(net.decision(ProcessId(2), 1), Some(5));
+    }
+
+    #[test]
+    fn tick_resends_recovery_prepare() {
+        let members: Vec<_> = (0..3).map(ProcessId).collect();
+        let mut e: GroupConsensus<u32> = GroupConsensus::new(ProcessId(1), members);
+        let mut s = MsgSink::new();
+        e.on_suspect(ProcessId(0), &mut s);
+        e.propose(4, 7, &mut s);
+        s.msgs.clear(); // Prepare lost
+        let mut s2 = MsgSink::new();
+        e.tick(&mut s2);
+        assert!(
+            s2.msgs
+                .iter()
+                .any(|(_, m)| matches!(m, ConsensusMsg::Prepare { .. })),
+            "tick must re-solicit promises"
+        );
+    }
+
+    #[test]
+    fn tick_is_silent_when_nothing_is_unfinished() {
+        let mut net = Net::new(1);
+        net.propose(ProcessId(0), 1, 5);
+        net.run(&[]);
+        assert!(!net.engines[0].has_unfinished());
+        let mut sink = MsgSink::new();
+        net.engines[0].tick(&mut sink);
+        assert!(sink.msgs.is_empty());
+    }
+
+    #[test]
+    fn debug_unfinished_describes_stuck_instances() {
+        let mut net = Net::new(3);
+        net.propose(ProcessId(0), 7, 4);
+        net.queue.clear(); // everything lost: instance 7 stays unfinished
+        let dump = net.engines[0].debug_unfinished();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].0, 7);
+        assert!(dump[0].1.contains("cand=true"), "{}", dump[0].1);
+        // Once decided, the instance leaves the report.
+        net.propose(ProcessId(0), 7, 4);
+        let mut sink = MsgSink::new();
+        net.engines[0].tick(&mut sink);
+        net.absorb(ProcessId(0), sink);
+        net.run(&[]);
+        assert!(net.engines[0].debug_unfinished().is_empty());
     }
 
     #[test]

@@ -131,7 +131,11 @@ fn agreement_under_random_interleavings() {
             let ds = fz.decisions(inst);
             let decided: Vec<u32> = ds.iter().flatten().copied().collect();
             // Termination: every member decided (no crashes here).
-            assert_eq!(decided.len(), n, "case {case}: instance {inst} not decided everywhere");
+            assert_eq!(
+                decided.len(),
+                n,
+                "case {case}: instance {inst} not decided everywhere"
+            );
             // Uniform agreement.
             assert!(
                 decided.windows(2).all(|w| w[0] == w[1]),
@@ -186,7 +190,11 @@ fn minority_crash_liveness() {
         fz.run(&picks);
         let ds = fz.decisions(0);
         let decided: Vec<u32> = ds.iter().flatten().copied().collect();
-        assert_eq!(decided.len(), n - 1, "case {case}: survivors must decide: {ds:?}");
+        assert_eq!(
+            decided.len(),
+            n - 1,
+            "case {case}: survivors must decide: {ds:?}"
+        );
         assert!(
             decided.windows(2).all(|w| w[0] == w[1]),
             "case {case}: disagreement: {ds:?}"
@@ -213,9 +221,15 @@ fn decisions_emitted_once() {
             let emitted = e.take_decisions();
             let mut seen = std::collections::BTreeSet::new();
             for (inst, _) in &emitted {
-                assert!(seen.insert(*inst), "case {case}: instance {inst} emitted twice");
+                assert!(
+                    seen.insert(*inst),
+                    "case {case}: instance {inst} emitted twice"
+                );
             }
-            assert!(e.take_decisions().is_empty(), "case {case}: second drain must be empty");
+            assert!(
+                e.take_decisions().is_empty(),
+                "case {case}: second drain must be empty"
+            );
         }
     }
 }

@@ -45,6 +45,12 @@ fn merge_bundles(acc: &mut Vec<AppMessage>, more: Vec<AppMessage>) {
     }
 }
 
+/// Timer token of the round-pacing (batch window) timer.
+const PACING_TIMER: u64 = 0;
+/// Timer token of the loss-recovery retransmission timer (see
+/// [`RoundBroadcast::with_retry`]).
+const RETRY_TIMER: u64 = 1;
+
 /// Wire messages of Algorithm A2.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BroadcastMsg {
@@ -59,6 +65,14 @@ pub enum BroadcastMsg {
         round: u64,
         /// The group's decided bundle (may be empty).
         msgs: Vec<AppMessage>,
+    },
+    /// Receipt acknowledgement for a round bundle — sent only in retry
+    /// mode ([`RoundBroadcast::with_retry`]), so that bundle senders can
+    /// stop retransmitting over lossy links. Never sent under the paper's
+    /// quasi-reliable link model.
+    BundleAck {
+        /// The acknowledged round.
+        round: u64,
     },
 }
 
@@ -127,6 +141,16 @@ pub struct RoundBroadcast {
     idle_rounds: u64,
     /// Empty rounds executed since the last useful one.
     empty_streak: u64,
+    /// Loss-recovery retransmission interval (`None` = quasi-reliable
+    /// links, nothing is ever re-sent).
+    retry: Option<Duration>,
+    /// Whether the retransmission timer is currently armed.
+    retry_armed: bool,
+    /// Retry mode only: bundles this process sent, per round, with the
+    /// remote recipients that have not acked yet.
+    sent_bundles: BTreeMap<u64, (Vec<AppMessage>, BTreeSet<ProcessId>)>,
+    /// Processes reported crashed: never tracked as bundle-ack debtors.
+    crashed: BTreeSet<ProcessId>,
 }
 
 impl RoundBroadcast {
@@ -153,6 +177,10 @@ impl RoundBroadcast {
             timer_armed: false,
             idle_rounds: 1,
             empty_streak: 0,
+            retry: None,
+            retry_armed: false,
+            sent_bundles: BTreeMap::new(),
+            crashed: BTreeSet::new(),
         }
     }
 
@@ -200,6 +228,22 @@ impl RoundBroadcast {
         self
     }
 
+    /// Enables loss-recovery retransmission with the given interval. While
+    /// any work is in flight a periodic timer re-drives undecided consensus
+    /// instances ([`GroupConsensus::tick`]) and re-sends this process's
+    /// round bundles to remote processes that have not acknowledged them
+    /// (receivers in retry mode ack every bundle). Required for liveness
+    /// under a fault-injection adversary that drops messages; the paper's
+    /// quasi-reliable model never needs it, and with retry off the wire
+    /// behavior (and every message count) is exactly the paper's. The timer
+    /// disarms when no work remains, so quiescence (Proposition A.9) is
+    /// preserved for finite workloads.
+    #[must_use]
+    pub fn with_retry(mut self, interval: Duration) -> Self {
+        self.retry = Some(interval);
+        self
+    }
+
     /// Current round number (`K`), for tests/inspection.
     pub fn round(&self) -> u64 {
         self.k
@@ -213,8 +257,7 @@ impl RoundBroadcast {
     /// Whether this process is currently idle (quiescent): no round in
     /// progress and the line-11 guard false.
     pub fn is_idle(&self) -> bool {
-        self.waiting_bundles.is_none()
-            && !(self.has_undelivered() || self.k <= self.barrier)
+        self.waiting_bundles.is_none() && !(self.has_undelivered() || self.k <= self.barrier)
     }
 
     fn has_undelivered(&self) -> bool {
@@ -238,7 +281,10 @@ impl RoundBroadcast {
         if self.adelivered.contains(&m.id) || self.rdelivered.contains_key(&m.id) {
             return;
         }
-        self.by_origin.entry(m.id.origin).or_default().push(m.clone());
+        self.by_origin
+            .entry(m.id.origin)
+            .or_default()
+            .push(m.clone());
         self.rdelivered_bytes += m.payload.len();
         self.rdelivered.insert(m.id, m);
         self.schedule_round(ctx, out);
@@ -284,7 +330,47 @@ impl RoundBroadcast {
             return;
         }
         self.timer_armed = true;
-        out.set_timer(self.batch.max_delay, 0);
+        out.set_timer(self.batch.max_delay, PACING_TIMER);
+    }
+
+    /// Whether any layer still has work a retransmission could unstick.
+    fn has_retry_work(&self) -> bool {
+        self.waiting_bundles.is_some()
+            || self.has_undelivered()
+            || self.k <= self.barrier
+            || !self.sent_bundles.is_empty()
+            || self.cons.has_unfinished()
+    }
+
+    /// Arms the retransmission timer if retry mode is on and work is in
+    /// flight. A firing with no remaining work does not re-arm, preserving
+    /// quiescence for finite workloads.
+    fn arm_retry(&mut self, out: &mut Outbox<BroadcastMsg>) {
+        let Some(interval) = self.retry else { return };
+        if self.retry_armed || !self.has_retry_work() {
+            return;
+        }
+        self.retry_armed = true;
+        out.set_timer(interval, RETRY_TIMER);
+    }
+
+    /// One retransmission round: re-drive undecided consensus instances and
+    /// re-send every unacked round bundle.
+    fn retransmit(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        let mut sink = MsgSink::new();
+        self.cons.tick(&mut sink);
+        self.flush_cons(sink, ctx, out);
+        for (&round, (msgs, unacked)) in &self.sent_bundles {
+            for &q in unacked {
+                out.send(
+                    q,
+                    BroadcastMsg::Bundle {
+                        round,
+                        msgs: msgs.clone(),
+                    },
+                );
+            }
+        }
     }
 
     fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
@@ -312,6 +398,16 @@ impl RoundBroadcast {
                     .processes()
                     .filter(|&q| ctx.topology().group_of(q) != self.group)
                     .collect();
+                if self.retry.is_some() {
+                    let unacked: BTreeSet<ProcessId> = remote
+                        .iter()
+                        .copied()
+                        .filter(|q| !self.crashed.contains(q))
+                        .collect();
+                    if !unacked.is_empty() {
+                        self.sent_bundles.insert(self.k, (decided.clone(), unacked));
+                    }
+                }
                 out.send_many(
                     remote,
                     BroadcastMsg::Bundle {
@@ -390,6 +486,7 @@ impl Protocol for RoundBroadcast {
             .collect();
         out.send_many(peers, BroadcastMsg::Rm(msg.clone()));
         self.on_rdeliver(msg, ctx, out);
+        self.arm_retry(out);
     }
 
     fn on_message(
@@ -407,6 +504,11 @@ impl Protocol for RoundBroadcast {
                 self.flush_cons(sink, ctx, out);
             }
             BroadcastMsg::Bundle { round, msgs } => {
+                // Retry mode: ack every copy (the sender may have missed an
+                // earlier ack) before processing.
+                if self.retry.is_some() {
+                    out.send(from, BroadcastMsg::BundleAck { round });
+                }
                 // Lines 8–10: store the bundle and raise the barrier — this
                 // is what wakes a quiescent group up.
                 let sender_group = ctx.topology().group_of(from);
@@ -419,15 +521,35 @@ impl Protocol for RoundBroadcast {
                 self.schedule_round(ctx, out);
                 self.advance(ctx, out);
             }
+            BroadcastMsg::BundleAck { round } => {
+                if let Some((_, unacked)) = self.sent_bundles.get_mut(&round) {
+                    unacked.remove(&from);
+                    if unacked.is_empty() {
+                        self.sent_bundles.remove(&round);
+                    }
+                }
+            }
         }
+        self.arm_retry(out);
     }
 
-    fn on_timer(&mut self, _kind: u64, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
-        self.timer_armed = false;
-        self.try_start_round(ctx, out);
-        // If the guard still holds but the proposal could not go out (e.g.
-        // a round is already in flight), re-arm when that round finishes —
-        // finish_round calls schedule_round, so nothing to do here.
+    fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
+        match kind {
+            PACING_TIMER => {
+                self.timer_armed = false;
+                self.try_start_round(ctx, out);
+                // If the guard still holds but the proposal could not go
+                // out (e.g. a round is already in flight), re-arm when that
+                // round finishes — finish_round calls schedule_round, so
+                // nothing to do here.
+            }
+            RETRY_TIMER => {
+                self.retry_armed = false;
+                self.retransmit(ctx, out);
+            }
+            _ => {}
+        }
+        self.arm_retry(out);
     }
 
     fn on_crash_notification(
@@ -436,6 +558,13 @@ impl Protocol for RoundBroadcast {
         ctx: &Context,
         out: &mut Outbox<BroadcastMsg>,
     ) {
+        // A crashed process never acks its bundles — drop it from every
+        // unacked set and never track it again.
+        self.crashed.insert(crashed);
+        self.sent_bundles.retain(|_, (_, unacked)| {
+            unacked.remove(&crashed);
+            !unacked.is_empty()
+        });
         // Intra-group relay of messages whose caster crashed (reliable
         // multicast agreement).
         if let Some(msgs) = self.by_origin.get(&crashed).cloned() {
@@ -457,6 +586,7 @@ impl Protocol for RoundBroadcast {
             self.cons.on_suspect(crashed, &mut sink);
             self.flush_cons(sink, ctx, out);
         }
+        self.arm_retry(out);
     }
 }
 
@@ -529,7 +659,10 @@ mod tests {
         let mut out = Outbox::new();
         rb.on_message(
             ProcessId(1),
-            BroadcastMsg::Bundle { round: 3, msgs: vec![] },
+            BroadcastMsg::Bundle {
+                round: 3,
+                msgs: vec![],
+            },
             &ctx(0, &topo),
             &mut out,
         );
@@ -571,7 +704,10 @@ mod tests {
         let mut out = Outbox::new();
         rb.on_message(
             ProcessId(1),
-            BroadcastMsg::Bundle { round: 1, msgs: vec![] },
+            BroadcastMsg::Bundle {
+                round: 1,
+                msgs: vec![],
+            },
             &ctx(0, &topo),
             &mut out,
         );
@@ -581,14 +717,21 @@ mod tests {
         let mut out = Outbox::new();
         rb.on_message(
             ProcessId(2),
-            BroadcastMsg::Bundle { round: 1, msgs: vec![] },
+            BroadcastMsg::Bundle {
+                round: 1,
+                msgs: vec![],
+            },
             &ctx(0, &topo),
             &mut out,
         );
         let (_, delivers) = actions(&mut out);
         assert_eq!(delivers, vec![m.id]);
         assert_eq!(rb.round(), 2, "K incremented (line 21)");
-        assert_eq!(rb.barrier(), 2, "useful round extends the barrier (line 23)");
+        assert_eq!(
+            rb.barrier(),
+            2,
+            "useful round extends the barrier (line 23)"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod nongenuine;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
 use wamcast_types::{
@@ -60,6 +61,9 @@ use wamcast_types::{
 
 /// Timer token of the batch flush timer (see [`MulticastConfig::batch`]).
 const FLUSH_TIMER: u64 = 1;
+/// Timer token of the loss-recovery retransmission timer (see
+/// [`MulticastConfig::retry`]).
+const RETRY_TIMER: u64 = 2;
 
 /// The stage of a pending message (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -107,6 +111,14 @@ pub enum MulticastMsg {
     /// the inter-group half of the batching layer — and the batch itself is
     /// `Arc`-shared across the destination group's members.
     Ts(MsgBatch),
+    /// Retry mode only: a retransmitted `(TS, m)` from a process still
+    /// waiting for the receiver's group's proposal. Processed exactly like
+    /// [`Ts`](Self::Ts), but a receiver that has already fixed (and
+    /// possibly forgotten, post-delivery) its group's proposal answers
+    /// directly with a plain `Ts` — the original exchange partner may long
+    /// since have resolved and moved on. Replies are never nudges, so two
+    /// settled processes can never ping-pong.
+    TsNudge(MsgBatch),
 }
 
 /// Configuration of [`GenuineMulticast`].
@@ -128,6 +140,20 @@ pub struct MulticastConfig {
     /// module-level *Batching* section). [`BatchConfig::disabled`] (the
     /// default) reproduces the paper's eager schedule.
     pub batch: BatchConfig,
+    /// Loss-recovery retransmission interval. `None` (the default) assumes
+    /// the paper's quasi-reliable links and sends nothing twice, keeping
+    /// message counts exact. `Some(interval)` arms a periodic timer while
+    /// work is in flight, and on each firing retransmits the protocol's
+    /// current step at every layer: undecided consensus instances
+    /// ([`GroupConsensus::tick`]), unanswered `(TS, m)` proposal exchanges,
+    /// and unacked reliable-multicast copies
+    /// ([`RmcastEngine::tick`] — the engine runs in ack mode). Required for
+    /// liveness under a fault-injection adversary that drops messages; the
+    /// timer disarms when no work remains, preserving quiescence.
+    /// Incompatible with [`uniform_dissemination`](Self::uniform_dissemination)
+    /// (the uniform baseline has no retransmission support);
+    /// [`GenuineMulticast::new`] rejects that combination.
+    pub retry: Option<Duration>,
 }
 
 impl Default for MulticastConfig {
@@ -136,6 +162,7 @@ impl Default for MulticastConfig {
             skip_stages: true,
             uniform_dissemination: false,
             batch: BatchConfig::disabled(),
+            retry: None,
         }
     }
 }
@@ -145,6 +172,14 @@ impl MulticastConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Enables loss-recovery retransmission with the given interval (see
+    /// [`retry`](Self::retry)).
+    #[must_use]
+    pub fn with_retry(mut self, interval: Duration) -> Self {
+        self.retry = Some(interval);
         self
     }
 }
@@ -193,7 +228,26 @@ pub struct GenuineMulticast {
     buffered_decisions: BTreeMap<u64, MsgBatch>,
     /// Whether a batch flush timer is currently armed.
     flush_armed: bool,
+    /// Whether the loss-recovery retransmission timer is currently armed.
+    retry_armed: bool,
+    /// Retry mode only: this group's `(TS, m)` proposal per message,
+    /// remembered past delivery so a stuck remote process re-sending a
+    /// stale `(TS, m)` can be answered directly (its own exchange partner
+    /// may long since have moved on). Bounded: retention is capped at
+    /// [`SENT_PROPOSAL_CAP`] entries, evicted oldest-first (see
+    /// `sent_proposal_order`) — a nudge for a message older than the last
+    /// `SENT_PROPOSAL_CAP` multicasts goes unanswered here, but nudges
+    /// arrive within a message's retransmission lifetime, orders of
+    /// magnitude sooner.
+    sent_proposals: BTreeMap<MessageId, u64>,
+    /// Insertion order of `sent_proposals`, for oldest-first eviction.
+    sent_proposal_order: std::collections::VecDeque<MessageId>,
 }
+
+/// Retention cap for [`GenuineMulticast`]'s remembered `(TS, m)` proposals
+/// (retry mode): large relative to any realistic in-flight window, small
+/// enough that long-running deployments do not leak.
+const SENT_PROPOSAL_CAP: usize = 4096;
 
 /// Union-by-id combiner installed on the consensus engine: forwarded
 /// `msgSet` batches fold into the coordinator's proposal, so one instance
@@ -212,9 +266,26 @@ fn merge_msg_sets(acc: &mut MsgBatch, more: MsgBatch) {
 
 impl GenuineMulticast {
     /// Creates the protocol instance for process `me` of `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config combines `retry` with `uniform_dissemination`:
+    /// only the non-uniform engine implements ack-based retransmission, so
+    /// that combination would silently lose liveness under message loss
+    /// (the uniform baseline exists for clean-link cost comparisons only).
     pub fn new(me: ProcessId, topo: &wamcast_types::Topology, cfg: MulticastConfig) -> Self {
+        assert!(
+            !(cfg.retry.is_some() && cfg.uniform_dissemination),
+            "retry mode requires the non-uniform dissemination engine \
+             (UniformRmcastEngine has no retransmission support)"
+        );
         let group = topo.group_of(me);
         let members = topo.members(group).to_vec();
+        let rmcast = if cfg.retry.is_some() {
+            RmcastEngine::new(me).with_acks()
+        } else {
+            RmcastEngine::new(me)
+        };
         GenuineMulticast {
             me,
             group,
@@ -226,11 +297,27 @@ impl GenuineMulticast {
             unproposed: BTreeSet::new(),
             unproposed_bytes: 0,
             adelivered: BTreeSet::new(),
-            rmcast: RmcastEngine::new(me),
+            rmcast,
             urmcast: UniformRmcastEngine::new(me),
             cons: GroupConsensus::new(me, members).with_merge(merge_msg_sets),
             buffered_decisions: BTreeMap::new(),
             flush_armed: false,
+            retry_armed: false,
+            sent_proposals: BTreeMap::new(),
+            sent_proposal_order: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Records this group's s1 proposal for `id`, evicting the oldest
+    /// entry beyond [`SENT_PROPOSAL_CAP`].
+    fn record_sent_proposal(&mut self, id: MessageId, ts: u64) {
+        if self.sent_proposals.insert(id, ts).is_none() {
+            self.sent_proposal_order.push_back(id);
+            if self.sent_proposal_order.len() > SENT_PROPOSAL_CAP {
+                if let Some(old) = self.sent_proposal_order.pop_front() {
+                    self.sent_proposals.remove(&old);
+                }
+            }
         }
     }
 
@@ -257,7 +344,12 @@ impl GenuineMulticast {
         }
     }
 
-    fn flush_cons(&mut self, sink: MsgSink<MsgBatch>, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+    fn flush_cons(
+        &mut self,
+        sink: MsgSink<MsgBatch>,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
         for (to, m) in sink.msgs {
             out.send(to, MulticastMsg::Cons(m));
         }
@@ -398,6 +490,9 @@ impl GenuineMulticast {
                 // instance number; exchange it with the other groups.
                 entry.ts = k;
                 entry.stage = Stage::S1;
+                if self.cfg.retry.is_some() {
+                    self.record_sent_proposal(id, k);
+                }
                 for g in entry.msg.dest.iter().filter(|&g| g != self.group) {
                     ts_batches.entry(g).or_default().push(entry.clone());
                 }
@@ -421,9 +516,7 @@ impl GenuineMulticast {
             let remote_proposals = match self.pending.get(&id) {
                 Some(old) => {
                     self.by_ts.remove(&(old.ts, id));
-                    if matches!(old.stage, Stage::S0 | Stage::S2)
-                        && self.unproposed.remove(&id)
-                    {
+                    if matches!(old.stage, Stage::S0 | Stage::S2) && self.unproposed.remove(&id) {
                         self.unproposed_bytes -= old.msg.payload.len();
                     }
                     old.remote_proposals.clone()
@@ -447,7 +540,8 @@ impl GenuineMulticast {
             // (the pending/adelivered checks cover the uniform engine).
             if !self.cfg.uniform_dissemination {
                 let mut rm_out = RmcastOut::new();
-                self.rmcast.accept(entry.msg.clone(), ctx.topology(), &mut rm_out);
+                self.rmcast
+                    .accept(entry.msg.clone(), ctx.topology(), &mut rm_out);
             }
         }
         for (g, entries) in ts_batches {
@@ -476,16 +570,13 @@ impl GenuineMulticast {
     /// is known, either finalize (own proposal was the maximum: skip s2) or
     /// adopt the maximum and run a second consensus (stage s2).
     fn try_resolve_s1(&mut self, id: MessageId, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
-        let Some(p) = self.pending.get(&id) else { return };
+        let Some(p) = self.pending.get(&id) else {
+            return;
+        };
         if p.stage != Stage::S1 {
             return;
         }
-        let needed: Vec<GroupId> = p
-            .msg
-            .dest
-            .iter()
-            .filter(|&g| g != self.group)
-            .collect();
+        let needed: Vec<GroupId> = p.msg.dest.iter().filter(|&g| g != self.group).collect();
         if !needed.iter().all(|g| p.remote_proposals.contains_key(g)) {
             return;
         }
@@ -516,6 +607,115 @@ impl GenuineMulticast {
             self.unproposed_bytes += bytes;
             self.schedule_propose(ctx, out);
         }
+    }
+
+    /// Lines 33–40 entry point shared by `Ts` and `TsNudge`: record the
+    /// sender group's proposal (disclosing `m` per line 10), try to resolve
+    /// stage s1, and — for nudges — answer with this group's own proposal
+    /// if it was ever fixed.
+    fn on_ts(
+        &mut self,
+        from: ProcessId,
+        entries: &MsgBatch,
+        nudge: bool,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
+        let sender_group = ctx.topology().group_of(from);
+        let mut replies: Vec<MsgEntry> = Vec::new();
+        for entry in entries.iter() {
+            let id = entry.msg.id;
+            // Line 10: a (TS, m) message also discloses m itself.
+            self.on_rdeliver(entry.msg.clone(), ctx, out);
+            if let Some(p) = self.pending.get_mut(&id) {
+                p.remote_proposals.insert(sender_group, entry.ts);
+            }
+            self.try_resolve_s1(id, ctx, out);
+            if nudge {
+                if let Some(&ts) = self.sent_proposals.get(&id) {
+                    replies.push(MsgEntry {
+                        msg: entry.msg.clone(),
+                        ts,
+                        stage: Stage::S1,
+                    });
+                }
+            }
+        }
+        if !replies.is_empty() {
+            out.send(from, MulticastMsg::Ts(MsgBatch::new(replies)));
+        }
+    }
+
+    /// Whether any layer still has work a retransmission could unstick.
+    fn has_retry_work(&self) -> bool {
+        !self.pending.is_empty() || self.rmcast.has_outstanding() || self.cons.has_unfinished()
+    }
+
+    /// Debug/inspection: `(pending, rmcast outstanding, consensus
+    /// unfinished)` — the three components of the retry-work signal.
+    pub fn debug_retry_state(&self) -> (usize, bool, bool) {
+        (
+            self.pending.len(),
+            self.rmcast.has_outstanding(),
+            self.cons.has_unfinished(),
+        )
+    }
+
+    /// Debug/inspection: undecided consensus instances with local state.
+    pub fn debug_consensus(&self) -> Vec<(u64, String)> {
+        self.cons.debug_unfinished()
+    }
+
+    /// Arms the retransmission timer if retry mode is on, work is in
+    /// flight, and it is not armed already. Disarmament is implicit: a
+    /// firing with no remaining work simply does not re-arm, so finite
+    /// workloads stay quiescent.
+    fn arm_retry(&mut self, out: &mut Outbox<MulticastMsg>) {
+        let Some(interval) = self.cfg.retry else {
+            return;
+        };
+        if self.retry_armed || !self.has_retry_work() {
+            return;
+        }
+        self.retry_armed = true;
+        out.set_timer(interval, RETRY_TIMER);
+    }
+
+    /// One retransmission round: re-drive undecided consensus instances,
+    /// re-send this group's `(TS, m)` proposal for every stage-s1 message
+    /// still missing a remote proposal, and re-send unacked
+    /// reliable-multicast copies.
+    fn retransmit(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
+        let mut sink = MsgSink::new();
+        self.cons.tick(&mut sink);
+        self.flush_cons(sink, ctx, out);
+
+        let mut per_group: BTreeMap<GroupId, Vec<MsgEntry>> = BTreeMap::new();
+        for p in self.pending.values() {
+            if p.stage != Stage::S1 {
+                continue;
+            }
+            for g in p.msg.dest.iter() {
+                if g == self.group || p.remote_proposals.contains_key(&g) {
+                    continue;
+                }
+                per_group.entry(g).or_default().push(MsgEntry {
+                    msg: p.msg.clone(),
+                    ts: p.ts,
+                    stage: Stage::S1,
+                });
+            }
+        }
+        for (g, entries) in per_group {
+            let batch = MsgBatch::new(entries);
+            for &q in ctx.topology().members(g) {
+                out.send(q, MulticastMsg::TsNudge(MsgBatch::clone(&batch)));
+            }
+        }
+
+        let mut rm_out = RmcastOut::new();
+        self.rmcast.tick(&mut rm_out);
+        self.flush_rmcast(rm_out, ctx, out);
     }
 
     /// Lines 3–7: A-Deliver every stage-s3 message that is minimal in
@@ -553,6 +753,7 @@ impl Protocol for GenuineMulticast {
             self.rmcast.rmcast(msg, ctx.topology(), &mut rm_out);
         }
         self.flush_rmcast(rm_out, ctx, out);
+        self.arm_retry(out);
     }
 
     fn on_message(
@@ -566,9 +767,11 @@ impl Protocol for GenuineMulticast {
             MulticastMsg::Rm(rm) => {
                 let mut rm_out = RmcastOut::new();
                 if self.cfg.uniform_dissemination {
-                    self.urmcast.on_message(from, rm, ctx.topology(), &mut rm_out);
+                    self.urmcast
+                        .on_message(from, rm, ctx.topology(), &mut rm_out);
                 } else {
-                    self.rmcast.on_message(from, rm, ctx.topology(), &mut rm_out);
+                    self.rmcast
+                        .on_message(from, rm, ctx.topology(), &mut rm_out);
                 }
                 self.flush_rmcast(rm_out, ctx, out);
             }
@@ -578,27 +781,31 @@ impl Protocol for GenuineMulticast {
                 self.flush_cons(sink, ctx, out);
             }
             MulticastMsg::Ts(entries) => {
-                let sender_group = ctx.topology().group_of(from);
-                for entry in entries.iter() {
-                    let id = entry.msg.id;
-                    // Line 10: a (TS, m) message also discloses m itself.
-                    self.on_rdeliver(entry.msg.clone(), ctx, out);
-                    if let Some(p) = self.pending.get_mut(&id) {
-                        p.remote_proposals.insert(sender_group, entry.ts);
-                    }
-                    self.try_resolve_s1(id, ctx, out);
-                }
+                self.on_ts(from, &entries, false, ctx, out);
+            }
+            MulticastMsg::TsNudge(entries) => {
+                self.on_ts(from, &entries, true, ctx, out);
             }
         }
+        self.arm_retry(out);
     }
 
-    /// The batch flush timer fired: propose whatever pooled, even below the
-    /// size/byte triggers (the `max_delay` bound of the batching policy).
+    /// The batch flush timer proposes whatever pooled, even below the
+    /// size/byte triggers (the `max_delay` bound of the batching policy);
+    /// the retry timer runs a retransmission round.
     fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
-        if kind == FLUSH_TIMER {
-            self.flush_armed = false;
-            self.maybe_propose(ctx, out);
+        match kind {
+            FLUSH_TIMER => {
+                self.flush_armed = false;
+                self.maybe_propose(ctx, out);
+            }
+            RETRY_TIMER => {
+                self.retry_armed = false;
+                self.retransmit(ctx, out);
+            }
+            _ => {}
         }
+        self.arm_retry(out);
     }
 
     fn on_crash_notification(
@@ -607,7 +814,8 @@ impl Protocol for GenuineMulticast {
         ctx: &Context,
         out: &mut Outbox<MulticastMsg>,
     ) {
-        // Reliable multicast relays messages whose origin crashed.
+        // Reliable multicast relays messages whose origin crashed (and, in
+        // ack mode, stops retransmitting to the crashed process).
         let mut rm_out = RmcastOut::new();
         self.rmcast
             .on_crash_notification(crashed, ctx.topology(), &mut rm_out);
@@ -618,6 +826,7 @@ impl Protocol for GenuineMulticast {
             self.cons.on_suspect(crashed, &mut sink);
             self.flush_cons(sink, ctx, out);
         }
+        self.arm_retry(out);
     }
 }
 
@@ -710,7 +919,12 @@ mod tests {
             stage: Stage::S1,
         };
         let mut out = Outbox::new();
-        p0.on_message(ProcessId(1), MulticastMsg::Ts(MsgBatch::new(vec![entry])), &ctx(0, &topo), &mut out);
+        p0.on_message(
+            ProcessId(1),
+            MulticastMsg::Ts(MsgBatch::new(vec![entry])),
+            &ctx(0, &topo),
+            &mut out,
+        );
         // m is now pending in s0 and proposed to consensus.
         assert_eq!(p0.pending_len(), 1);
         let mut queue = sends(&mut out);
@@ -754,6 +968,32 @@ mod tests {
         p2.on_message(ProcessId(1), wire, &ctx(2, &topo), &mut out2);
         assert_eq!(p2.pending_len(), 1, "second copy must not re-add");
         assert!(out2.is_empty(), "no actions for a duplicate");
+    }
+
+    #[test]
+    fn debug_retry_state_tracks_in_flight_work() {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let cfg = MulticastConfig::default().with_retry(std::time::Duration::from_millis(100));
+        let mut p0 = GenuineMulticast::new(ProcessId(0), &topo, cfg);
+        assert_eq!(p0.debug_retry_state(), (0, false, false), "fresh: idle");
+        assert!(p0.debug_consensus().is_empty());
+        let mut out = Outbox::new();
+        p0.on_cast(msg(0, 0, &[0, 1]), &ctx(0, &topo), &mut out);
+        let (pending, rm_outstanding, _) = p0.debug_retry_state();
+        assert_eq!(pending, 1, "cast is pending");
+        assert!(rm_outstanding, "ack mode: un-acked copies in flight");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-uniform dissemination")]
+    fn retry_with_uniform_dissemination_is_rejected() {
+        let topo = Arc::new(Topology::symmetric(2, 2));
+        let cfg = MulticastConfig {
+            uniform_dissemination: true,
+            ..MulticastConfig::default()
+        }
+        .with_retry(std::time::Duration::from_millis(100));
+        let _ = GenuineMulticast::new(ProcessId(0), &topo, cfg);
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl NonGenuineMulticast {
 
     /// Re-emit the inner protocol's actions, dropping deliveries of
     /// messages not addressed to this process.
-    fn filter(&self, ctx: &Context, tmp: &mut Outbox<BroadcastMsg>, out: &mut Outbox<BroadcastMsg>) {
+    fn filter(
+        &self,
+        ctx: &Context,
+        tmp: &mut Outbox<BroadcastMsg>,
+        out: &mut Outbox<BroadcastMsg>,
+    ) {
         for action in tmp.drain() {
             match action {
                 Action::Deliver(m) => {

@@ -131,12 +131,7 @@ fn stress_many_messages_with_jitter() {
     for i in 0..40u64 {
         let caster = ProcessId((i % 6) as u32);
         let dest = dests[(i % dests.len() as u64) as usize];
-        ids.push(sim.cast_at(
-            SimTime::from_millis(i * 7),
-            caster,
-            dest,
-            Payload::new(),
-        ));
+        ids.push(sim.cast_at(SimTime::from_millis(i * 7), caster, dest, Payload::new()));
     }
     assert!(
         sim.run_until_delivered(&ids, SimTime::from_millis(600_000)),
@@ -189,7 +184,14 @@ fn fritzke_mode_same_order_more_consensus() {
     let run = |skip: bool| {
         let cfg = SimConfig::default().with_seed(10);
         let mut sim = Simulation::new(Topology::symmetric(2, 3), cfg, |p, topo| {
-            GenuineMulticast::new(p, topo, MulticastConfig { skip_stages: skip, ..MulticastConfig::default() })
+            GenuineMulticast::new(
+                p,
+                topo,
+                MulticastConfig {
+                    skip_stages: skip,
+                    ..MulticastConfig::default()
+                },
+            )
         });
         let dest = GroupSet::from_iter([GroupId(0), GroupId(1)]);
         let mut ids = Vec::new();
@@ -251,7 +253,12 @@ fn delivery_order_respects_timestamp_then_id() {
     let mut sim = a1_sim(2, 2, 11);
     let dest = GroupSet::from_iter([GroupId(0), GroupId(1)]);
     let a = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
-    let b = sim.cast_at(SimTime::from_millis(2_000), ProcessId(0), dest, Payload::new());
+    let b = sim.cast_at(
+        SimTime::from_millis(2_000),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
     sim.run_to_quiescence();
     check(&sim);
     for p in sim.topology().processes() {

@@ -54,7 +54,12 @@ fn theorem_5_1_warm_rounds_give_latency_degree_one() {
             Payload::new(),
         );
     }
-    let probe = sim.cast_at(SimTime::from_millis(450), ProcessId(0), dest, Payload::new());
+    let probe = sim.cast_at(
+        SimTime::from_millis(450),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
     sim.run_to_quiescence();
     assert_eq!(
         sim.metrics().latency_degree(probe),
@@ -131,7 +136,10 @@ fn back_to_back_stream_reaches_degree_one_steady_state() {
         .collect();
     assert_eq!(degrees[0], 2, "first message pays the wake-up cost");
     for (i, &d) in degrees.iter().enumerate().skip(6) {
-        assert_eq!(d, 1, "message {i} should ride the steady state: {degrees:?}");
+        assert_eq!(
+            d, 1,
+            "message {i} should ride the steady state: {degrees:?}"
+        );
     }
     assert!(degrees.iter().all(|&d| d <= 2), "{degrees:?}");
 }
@@ -286,8 +294,14 @@ fn non_genuine_multicast_filters_but_orders() {
     let correct = sim.alive_processes();
     invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
     // Deliveries are filtered to the destination.
-    assert!(!sim.metrics().has_delivered(ProcessId(4), a), "g2 got a g01 message");
-    assert!(!sim.metrics().has_delivered(ProcessId(0), b), "g0 got a g12 message");
+    assert!(
+        !sim.metrics().has_delivered(ProcessId(4), a),
+        "g2 got a g01 message"
+    );
+    assert!(
+        !sim.metrics().has_delivered(ProcessId(0), b),
+        "g0 got a g12 message"
+    );
     assert!(sim.metrics().has_delivered(ProcessId(2), a));
     assert!(sim.metrics().has_delivered(ProcessId(2), b));
     // But bystanders participate in the protocol: NOT genuine.

@@ -23,7 +23,12 @@ fn main() {
         let mut sim = Simulation::new(Topology::symmetric(2, 3), cfg, |p, topo| {
             GenuineMulticast::new(p, topo, MulticastConfig::default())
         });
-        let id = sim.cast_at(SimTime::ZERO, ProcessId(0), GroupSet::first_n(2), Payload::new());
+        let id = sim.cast_at(
+            SimTime::ZERO,
+            ProcessId(0),
+            GroupSet::first_n(2),
+            Payload::new(),
+        );
         sim.crash_at(SimTime::from_micros(150), ProcessId(0));
         let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
         sim.run_until(sim.now() + Duration::from_secs(60));
@@ -45,7 +50,12 @@ fn main() {
             GenuineMulticast::new(p, topo, MulticastConfig::default())
         });
         sim.crash_at(SimTime::from_millis(50), ProcessId(3));
-        let id = sim.cast_at(SimTime::from_millis(60), ProcessId(0), GroupSet::first_n(2), Payload::new());
+        let id = sim.cast_at(
+            SimTime::from_millis(60),
+            ProcessId(0),
+            GroupSet::first_n(2),
+            Payload::new(),
+        );
         let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
@@ -66,7 +76,12 @@ fn main() {
         });
         sim.crash_at(SimTime::from_millis(10), ProcessId(1));
         sim.crash_at(SimTime::from_millis(20), ProcessId(5));
-        let id = sim.cast_at(SimTime::from_millis(30), ProcessId(0), GroupSet::first_n(2), Payload::new());
+        let id = sim.cast_at(
+            SimTime::from_millis(30),
+            ProcessId(0),
+            GroupSet::first_n(2),
+            Payload::new(),
+        );
         let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
@@ -129,15 +144,20 @@ fn main() {
 }
 
 fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 fn ok_bad(b: bool) -> String {
-    if b { "all hold".into() } else { "VIOLATED".into() }
+    if b {
+        "all hold".into()
+    } else {
+        "VIOLATED".into()
+    }
 }
-fn wall<P: wamcast_types::Protocol>(
-    sim: &Simulation<P>,
-    id: wamcast_types::MessageId,
-) -> String {
+fn wall<P: wamcast_types::Protocol>(sim: &Simulation<P>, id: wamcast_types::MessageId) -> String {
     match sim.metrics().delivery_latency(id) {
         Some(d) => format!("{:.1} ms", d.as_secs_f64() * 1e3),
         None => "-".into(),

@@ -40,7 +40,14 @@ fn main() {
             2,
             &lats,
         ));
-        push(latency_shape("Fritzke [5]", fritzke_multicast, true, k, 2, &lats));
+        push(latency_shape(
+            "Fritzke [5]",
+            fritzke_multicast,
+            true,
+            k,
+            2,
+            &lats,
+        ));
         push(latency_shape(
             "Skeen [2]",
             |p, _| SkeenMulticast::new(p),
@@ -49,7 +56,14 @@ fn main() {
             2,
             &lats,
         ));
-        push(latency_shape("Ring [4]", RingMulticast::new, true, k, 2, &lats));
+        push(latency_shape(
+            "Ring [4]",
+            RingMulticast::new,
+            true,
+            k,
+            2,
+            &lats,
+        ));
         push(latency_shape(
             "Rodrigues [10]",
             |p, _| RodriguesMulticast::new(p),

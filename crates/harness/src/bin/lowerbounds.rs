@@ -19,18 +19,70 @@ use wamcast_types::{Payload, ProcessId, SimTime, Topology};
 
 fn main() {
     let horizon = SimTime::ZERO + Duration::from_secs(600);
-    let mut t = Table::new(vec!["genuine multicast", "Δ to 2 groups", "≥ 2 (Prop 3.1)?"]);
+    let mut t = Table::new(vec![
+        "genuine multicast",
+        "Δ to 2 groups",
+        "≥ 2 (Prop 3.1)?",
+    ]);
     let degs = [
-        ("A1", measure_one_multicast(2, 2, 2, |p, topo| {
-            GenuineMulticast::new(p, topo, MulticastConfig::default())
-        }, true, SimTime::ZERO, horizon).degree),
-        ("Fritzke [5]", measure_one_multicast(2, 2, 2, fritzke_multicast, true, SimTime::ZERO, horizon).degree),
-        ("Skeen [2]", measure_one_multicast(2, 2, 2, |p, _| SkeenMulticast::new(p), true, SimTime::ZERO, horizon).degree),
-        ("Ring [4]", measure_one_multicast(2, 2, 2, RingMulticast::new, true, SimTime::ZERO, horizon).degree),
-        ("Rodrigues [10]", measure_one_multicast(2, 2, 2, |p, _| RodriguesMulticast::new(p), true, SimTime::ZERO, horizon).degree),
+        (
+            "A1",
+            measure_one_multicast(
+                2,
+                2,
+                2,
+                |p, topo| GenuineMulticast::new(p, topo, MulticastConfig::default()),
+                true,
+                SimTime::ZERO,
+                horizon,
+            )
+            .degree,
+        ),
+        (
+            "Fritzke [5]",
+            measure_one_multicast(2, 2, 2, fritzke_multicast, true, SimTime::ZERO, horizon).degree,
+        ),
+        (
+            "Skeen [2]",
+            measure_one_multicast(
+                2,
+                2,
+                2,
+                |p, _| SkeenMulticast::new(p),
+                true,
+                SimTime::ZERO,
+                horizon,
+            )
+            .degree,
+        ),
+        (
+            "Ring [4]",
+            measure_one_multicast(2, 2, 2, RingMulticast::new, true, SimTime::ZERO, horizon).degree,
+        ),
+        (
+            "Rodrigues [10]",
+            measure_one_multicast(
+                2,
+                2,
+                2,
+                |p, _| RodriguesMulticast::new(p),
+                true,
+                SimTime::ZERO,
+                horizon,
+            )
+            .degree,
+        ),
     ];
     for (name, d) in degs {
-        t.row(vec![name.into(), d.to_string(), if d >= 2 { "yes".into() } else { "VIOLATION".into() }]);
+        t.row(vec![
+            name.into(),
+            d.to_string(),
+            if d >= 2 {
+                "yes".into()
+            } else {
+                "VIOLATION".into()
+            },
+        ]);
     }
     println!("Proposition 3.1 — genuine atomic multicast needs ≥ 2 inter-group delays:\n");
     println!("{}", t.render());
@@ -38,19 +90,27 @@ fn main() {
     // Proposition 3.2 premise: genuineness => silence without casts.
     let mut t2 = Table::new(vec!["algorithm", "msgs sent with no cast", "silent?"]);
     let silent_a1 = {
-        let mut sim = Simulation::new(Topology::symmetric(3, 2), SimConfig::default(), |p, topo| {
-            GenuineMulticast::new(p, topo, MulticastConfig::default())
-        });
+        let mut sim = Simulation::new(
+            Topology::symmetric(3, 2),
+            SimConfig::default(),
+            |p, topo| GenuineMulticast::new(p, topo, MulticastConfig::default()),
+        );
         sim.run_until(SimTime::from_millis(30_000));
         sim.metrics().intra_sends + sim.metrics().inter_sends
     };
-    t2.row(vec!["A1".into(), silent_a1.to_string(), yes_no(silent_a1 == 0)]);
+    t2.row(vec![
+        "A1".into(),
+        silent_a1.to_string(),
+        yes_no(silent_a1 == 0),
+    ]);
     let proactive_a2 = {
         // A2 *with prior traffic* keeps running rounds for one extra round
         // — proactivity is precisely what buys latency degree 1.
-        let mut sim = Simulation::new(Topology::symmetric(2, 2), SimConfig::default(), |p, topo| {
-            RoundBroadcast::new(p, topo)
-        });
+        let mut sim = Simulation::new(
+            Topology::symmetric(2, 2),
+            SimConfig::default(),
+            RoundBroadcast::new,
+        );
         let dest = sim.topology().all_groups();
         sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
         sim.run_to_quiescence();
@@ -67,5 +127,9 @@ fn main() {
 }
 
 fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }

@@ -30,7 +30,12 @@ fn main() {
         });
         let dest = sim.topology().all_groups();
         for i in 0..10u64 {
-            sim.cast_at(SimTime::from_millis(i * 50), ProcessId((i % 4) as u32), dest, Payload::new());
+            sim.cast_at(
+                SimTime::from_millis(i * 50),
+                ProcessId((i % 4) as u32),
+                dest,
+                Payload::new(),
+            );
         }
         sim.run_until(SimTime::from_millis(10_000));
         report(&mut t, "A2 (quiescent)", &sim, burst_end);
@@ -44,7 +49,12 @@ fn main() {
         });
         let dest = sim.topology().all_groups();
         for i in 0..10u64 {
-            sim.cast_at(SimTime::from_millis(i * 50), ProcessId((i % 4) as u32), dest, Payload::new());
+            sim.cast_at(
+                SimTime::from_millis(i * 50),
+                ProcessId((i % 4) as u32),
+                dest,
+                Payload::new(),
+            );
         }
         sim.run_until(SimTime::from_millis(10_000));
         report(&mut t, "detmerge [1] (streams)", &sim, burst_end);

@@ -1,0 +1,196 @@
+//! E10 — scenario fuzzing and deterministic replay.
+//!
+//! Sweeps random [`FaultPlan`]s (crashes, link loss, partitions,
+//! duplication, latency spikes) across topologies and protocol arms,
+//! checking the §2.2 invariant suite plus convergence on every run. Any
+//! violation prints a one-line replay command that reproduces it exactly.
+//!
+//! ```text
+//! scenario_fuzz [--runs N] [--seed S]           # sweep (default 200 / 1)
+//! scenario_fuzz --replay --seed S [--plan-hash H]   # reproduce one run
+//! scenario_fuzz --runs 50 --inject-bug          # prove violations are caught
+//! ```
+//!
+//! On failure the run also writes `scenario-fuzz-failure.txt` (override
+//! with `--artifact PATH`) carrying the replay command, the plan and the
+//! violations — CI uploads it as a workflow artifact.
+//!
+//! [`FaultPlan`]: wamcast_types::FaultPlan
+
+use std::process::ExitCode;
+use wamcast_harness::scenario::{run_scenario, RunSpec};
+use wamcast_harness::Table;
+use wamcast_sim::FaultConfig;
+
+struct Args {
+    runs: u64,
+    seed: u64,
+    replay: bool,
+    plan_hash: Option<u64>,
+    inject_bug: bool,
+    artifact: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        runs: 200,
+        seed: 1,
+        replay: false,
+        plan_hash: None,
+        inject_bug: false,
+        artifact: "scenario-fuzz-failure.txt".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--runs" => {
+                args.runs = grab("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--replay" => args.replay = true,
+            "--plan-hash" => {
+                let v = grab("--plan-hash")?;
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                args.plan_hash =
+                    Some(u64::from_str_radix(v, 16).map_err(|e| format!("--plan-hash: {e}"))?);
+            }
+            "--inject-bug" => args.inject_bug = true,
+            "--artifact" => args.artifact = grab("--artifact")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scenario_fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let faults = FaultConfig::default();
+    let broken = if args.inject_bug { Some(3) } else { None };
+
+    if args.replay {
+        return replay(&args, &faults, broken);
+    }
+
+    println!(
+        "scenario_fuzz: {} runs from seed {} (fault distribution: {:?})\n",
+        args.runs, args.seed, faults
+    );
+    let mut totals = (0usize, 0usize, 0u64, 0u64, 0usize); // casts, deliveries, dropped, dup, crashes
+    for i in 0..args.runs {
+        let seed = args.seed.wrapping_add(i);
+        let spec = RunSpec::derive(seed, &faults);
+        let outcome = run_scenario(&spec, broken);
+        totals.0 += outcome.casts;
+        totals.1 += outcome.deliveries;
+        totals.2 += outcome.dropped;
+        totals.3 += outcome.duplicated;
+        totals.4 += outcome.crashes;
+        if !outcome.is_ok() {
+            let mut replay_cmd = spec.replay_command();
+            if args.inject_bug {
+                // The replay must rebuild the same (broken) protocol, or it
+                // would report "no violations" for a real finding.
+                replay_cmd.push_str(" --inject-bug");
+            }
+            let mut report = String::new();
+            report.push_str(&format!(
+                "scenario_fuzz: VIOLATION at seed {seed} ({} on {}x{}):\n",
+                spec.protocol.name(),
+                spec.topo.0,
+                spec.topo.1
+            ));
+            for v in &outcome.violations {
+                report.push_str(&format!("  {v}\n"));
+            }
+            report.push_str(&format!("replay: {replay_cmd}\n"));
+            report.push_str(&format!("plan: {:#?}\n", spec.plan));
+            eprint!("{report}");
+            if let Err(e) = std::fs::write(&args.artifact, &report) {
+                eprintln!("scenario_fuzz: could not write {}: {e}", args.artifact);
+            } else {
+                eprintln!(
+                    "scenario_fuzz: failure details written to {}",
+                    args.artifact
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if (i + 1) % 50 == 0 {
+            println!("  {}/{} runs clean…", i + 1, args.runs);
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "runs",
+        "casts",
+        "deliveries",
+        "dropped",
+        "duplicated",
+        "crashes",
+    ]);
+    t.row(vec![
+        args.runs.to_string(),
+        totals.0.to_string(),
+        totals.1.to_string(),
+        totals.2.to_string(),
+        totals.3.to_string(),
+        totals.4.to_string(),
+    ]);
+    println!("\n{}", t.render());
+    println!("every run converged with all Section 2.2 invariants intact");
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &Args, faults: &FaultConfig, broken: Option<u64>) -> ExitCode {
+    let spec = RunSpec::derive(args.seed, faults);
+    let hash = spec.plan.fingerprint();
+    println!(
+        "replaying seed {} — {} on {}x{}, plan hash {hash:#018x}",
+        args.seed,
+        spec.protocol.name(),
+        spec.topo.0,
+        spec.topo.1
+    );
+    if let Some(expect) = args.plan_hash {
+        if expect != hash {
+            eprintln!(
+                "scenario_fuzz: plan hash mismatch (expected {expect:#018x}, rebuilt {hash:#018x}) \
+                 — the fault distribution changed since the violation was found"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    println!("plan: {:#?}", spec.plan);
+    let outcome = run_scenario(&spec, broken);
+    println!(
+        "casts={} deliveries={} dropped={} duplicated={} crashes={} end={}",
+        outcome.casts,
+        outcome.deliveries,
+        outcome.dropped,
+        outcome.duplicated,
+        outcome.crashes,
+        outcome.end_time
+    );
+    if outcome.is_ok() {
+        println!("no violations");
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.violations {
+            eprintln!("violation: {v}");
+        }
+        ExitCode::from(1)
+    }
+}

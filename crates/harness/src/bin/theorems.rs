@@ -66,5 +66,9 @@ fn main() {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "reproduced".into() } else { "MISMATCH".into() }
+    if ok {
+        "reproduced".into()
+    } else {
+        "MISMATCH".into()
+    }
 }

@@ -5,10 +5,16 @@
 //! size. See `wamcast_harness::throughput` for what each column means and
 //! `EXPERIMENTS.md` §E9 for recorded results.
 
+use std::process::ExitCode;
 use std::time::Duration;
 use wamcast_harness::{throughput::PER_PROC_MSG_BUDGET, throughput_sweep, Table};
 
-fn main() {
+/// The E9 acceptance bound asserted by CI: batch 64 must amortize the
+/// per-message protocol cost by at least this factor over the eager
+/// schedule.
+const MIN_BATCH64_GAIN: f64 = 5.0;
+
+fn main() -> ExitCode {
     let (k, d) = (3usize, 2usize);
     let rate = 2000.0;
     let horizon = Duration::from_secs(2);
@@ -56,4 +62,23 @@ fn main() {
          checks before being reported). Latency grows by at most one batch window per consensus\n\
          stage — the throughput/latency trade the batching layer makes explicit."
     );
+
+    // The CI gate: the sweep is only healthy if batch 64 actually amortizes.
+    // Modeled throughput is deterministic (host-independent), so this bound
+    // can fail the job without flakiness.
+    let batch64 = cells
+        .iter()
+        .find(|c| c.batch_msgs == 64)
+        .expect("sweep includes batch 64");
+    let gain = batch64.modeled_msgs_per_sec / base;
+    if gain < MIN_BATCH64_GAIN {
+        eprintln!(
+            "FAIL: batch 64 amortizes only {gain:.2}x (< {MIN_BATCH64_GAIN}x bound); \
+             sends/msg {:.1} vs {:.1} unbatched",
+            batch64.sends_per_msg, cells[0].sends_per_msg
+        );
+        return ExitCode::from(1);
+    }
+    println!("PASS: batch 64 amortizes {gain:.2}x (>= {MIN_BATCH64_GAIN}x bound)");
+    ExitCode::SUCCESS
 }

@@ -9,8 +9,8 @@
 use crate::measure::{measure_broadcast_steady, measure_one_multicast};
 use std::time::Duration;
 use wamcast_baselines::{
-    fritzke_multicast, DeterministicMerge, OptimisticBroadcast, RingMulticast,
-    RodriguesMulticast, SequencerBroadcast, SkeenMulticast,
+    fritzke_multicast, DeterministicMerge, OptimisticBroadcast, RingMulticast, RodriguesMulticast,
+    SequencerBroadcast, SkeenMulticast,
 };
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_sim::NetConfig;

@@ -23,6 +23,7 @@
 
 pub mod figure1;
 pub mod measure;
+pub mod scenario;
 pub mod sweeps;
 pub mod table;
 pub mod throughput;
@@ -30,5 +31,6 @@ pub mod workload;
 
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
+pub use scenario::{run_scenario, ProtocolKind, RunSpec, ScenarioOutcome};
 pub use table::Table;
 pub use throughput::{throughput_once, throughput_sweep, ThroughputCell};

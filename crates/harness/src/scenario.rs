@@ -1,0 +1,390 @@
+//! E10 — scenario fuzzing: random [`FaultPlan`]s swept across topologies
+//! and protocols, every run invariant-checked and replayable.
+//!
+//! This is the scenario-diversity engine the ROADMAP asks for. A single
+//! `u64` seed determines *everything* about a run — topology, protocol,
+//! workload and the compiled fault plan — so any violation the sweep finds
+//! is reproduced exactly by re-running that seed
+//! (`scenario_fuzz --replay --seed N --plan-hash H`; the plan hash
+//! cross-checks that the rebuilt adversary is the one that found the bug).
+//!
+//! Each run:
+//!
+//! 1. derives a [`RunSpec`] from the seed ([`RunSpec::derive`]): one of
+//!    four topologies (the ISSUE's 3×2 and larger), one of three protocol
+//!    arms (eager A1, batched A1, batched A2), a Poisson workload, and a
+//!    [`FaultConfig`]-compiled plan (crashes, loss, partitions,
+//!    duplication, latency spikes — always bounded, always leaving every
+//!    group a correct majority);
+//! 2. executes it under the simulator with retransmission enabled
+//!    (`with_retry`) and a generous virtual-time deadline;
+//! 3. checks convergence (the run must drain: liveness) and the full §2.2
+//!    uniform invariant suite plus genuineness, quantified over the
+//!    processes that survived.
+//!
+//! The deliberately broken protocol wrapper ([`DeliveryDropper`]) exists to
+//! prove the harness *can* catch violations: wrap any arm with it and the
+//! sweep reports an agreement/validity violation with a deterministic
+//! replay line.
+
+use crate::workload::{all_group_pairs, poisson};
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_sim::{invariants, FaultConfig, FaultPlan, RunError, SimConfig, Simulation};
+use wamcast_types::{
+    AppMessage, BatchConfig, Context, GroupSet, Outbox, Payload, ProcessId, Protocol, SimTime,
+    Topology,
+};
+
+/// Retransmission interval used by every fuzzed protocol instance.
+pub const RETRY_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Virtual-time convergence allowance beyond the plan's fault horizon.
+const GRACE: Duration = Duration::from_secs(600);
+
+/// The protocol arm a fuzz run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Algorithm A1, the paper's eager schedule.
+    A1,
+    /// Algorithm A1 with the batching layer (size 8, 20 ms window).
+    A1Batched,
+    /// Algorithm A2 with a 10 ms round-pacing window.
+    A2,
+}
+
+impl ProtocolKind {
+    /// Short stable name (printed in tables and replay output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::A1 => "a1",
+            ProtocolKind::A1Batched => "a1-batched",
+            ProtocolKind::A2 => "a2",
+        }
+    }
+}
+
+/// Everything one fuzz run needs, derived deterministically from its seed.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// The run's seed (drives workload, latency jitter and plan alike).
+    pub seed: u64,
+    /// Symmetric topology shape `(groups, processes per group)`.
+    pub topo: (usize, usize),
+    /// Protocol arm.
+    pub protocol: ProtocolKind,
+    /// The compiled fault plan.
+    pub plan: FaultPlan,
+}
+
+/// The topology rotation: the ISSUE's 3×2 plus larger shapes. The 2×3 and
+/// 3×3 entries have 3-member groups, so the compiler can schedule crashes
+/// there (a 2-member group tolerates none).
+const TOPOLOGIES: [(usize, usize); 4] = [(3, 2), (2, 3), (3, 3), (4, 2)];
+
+impl RunSpec {
+    /// Derives the spec for `seed` under the given fault distribution.
+    pub fn derive(seed: u64, faults: &FaultConfig) -> RunSpec {
+        let topo = TOPOLOGIES[(seed % TOPOLOGIES.len() as u64) as usize];
+        let protocol = match (seed / TOPOLOGIES.len() as u64) % 3 {
+            0 => ProtocolKind::A1,
+            1 => ProtocolKind::A1Batched,
+            _ => ProtocolKind::A2,
+        };
+        let plan = faults.compile(&Topology::symmetric(topo.0, topo.1), seed);
+        RunSpec {
+            seed,
+            topo,
+            protocol,
+            plan,
+        }
+    }
+
+    /// The one-line replay command for this spec.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p wamcast-harness --bin scenario_fuzz -- \
+             --replay --seed {} --plan-hash {:#018x}",
+            self.seed,
+            self.plan.fingerprint()
+        )
+    }
+}
+
+/// Outcome of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Invariant violations (empty = the run passed). Liveness failures
+    /// (non-convergence, step-budget exhaustion) are reported here too.
+    pub violations: Vec<String>,
+    /// Messages cast by the workload.
+    pub casts: usize,
+    /// Deliveries summed over all processes.
+    pub deliveries: usize,
+    /// Copies the adversary dropped.
+    pub dropped: u64,
+    /// Copies the adversary duplicated.
+    pub duplicated: u64,
+    /// Processes crashed by the plan.
+    pub crashes: usize,
+    /// Virtual time at which the run ended.
+    pub end_time: SimTime,
+}
+
+impl ScenarioOutcome {
+    /// Whether the run satisfied every check.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs `spec` and checks it. `broken_every` injects the test-only
+/// [`DeliveryDropper`] bug (process 1 silently skips every n-th delivery)
+/// to prove the harness catches protocol violations.
+pub fn run_scenario(spec: &RunSpec, broken_every: Option<u64>) -> ScenarioOutcome {
+    match spec.protocol {
+        ProtocolKind::A1 => run_with(spec, broken_every, |p, t| {
+            GenuineMulticast::new(p, t, MulticastConfig::default().with_retry(RETRY_INTERVAL))
+        }),
+        ProtocolKind::A1Batched => run_with(spec, broken_every, |p, t| {
+            let batch = BatchConfig::new(8).with_max_delay(Duration::from_millis(20));
+            GenuineMulticast::new(
+                p,
+                t,
+                MulticastConfig::default()
+                    .with_batch(batch)
+                    .with_retry(RETRY_INTERVAL),
+            )
+        }),
+        ProtocolKind::A2 => run_with(spec, broken_every, |p, t| {
+            RoundBroadcast::with_pacing(p, t, Duration::from_millis(10)).with_retry(RETRY_INTERVAL)
+        }),
+    }
+}
+
+fn run_with<P: Protocol>(
+    spec: &RunSpec,
+    broken_every: Option<u64>,
+    mut factory: impl FnMut(ProcessId, &Topology) -> P,
+) -> ScenarioOutcome {
+    let (k, d) = spec.topo;
+    let topo = Topology::symmetric(k, d);
+
+    // Workload: ~30 casts over one second. A2 is a broadcast algorithm —
+    // every message goes to all groups; A1 mixes group pairs with full
+    // destination sets (bystander groups exercise genuineness).
+    let dests: Vec<GroupSet> = match spec.protocol {
+        ProtocolKind::A2 => vec![topo.all_groups()],
+        _ => {
+            let mut v = all_group_pairs(&topo);
+            v.push(topo.all_groups());
+            v
+        }
+    };
+    let casts = poisson(
+        &topo,
+        30.0,
+        Duration::from_secs(1),
+        &dests,
+        spec.seed ^ 0x10AD,
+    );
+
+    let deadline = spec
+        .plan
+        .fault_horizon()
+        .expect("compiled plans are bounded")
+        + GRACE;
+    let cfg = SimConfig::default()
+        .with_seed(spec.seed)
+        .with_send_log(false)
+        .with_max_steps(20_000_000)
+        .with_faults(spec.plan.clone());
+    let mut sim = Simulation::new(topo, cfg, |p, t| DeliveryDropper {
+        inner: factory(p, t),
+        every: if p == ProcessId(1) {
+            broken_every
+        } else {
+            None
+        },
+        delivered: 0,
+    });
+
+    let mut cast_ids = Vec::with_capacity(casts.len());
+    for c in &casts {
+        cast_ids.push(sim.cast_at(c.at, c.caster, c.dest, Payload::new()));
+    }
+
+    let mut violations = Vec::new();
+    match sim.try_run_until(deadline) {
+        Ok(true) => {}
+        Ok(false) => violations.push(format!(
+            "liveness: run did not converge by {deadline} (queue still busy)"
+        )),
+        Err(RunError::StepBudgetExhausted { last_event }) => violations.push(format!(
+            "liveness: step budget exhausted; last event: {last_event}"
+        )),
+        Err(e) => violations.push(format!("liveness: {e}")),
+    }
+
+    let correct = sim.alive_processes();
+    let report = invariants::check_all(sim.topology(), sim.metrics(), &correct)
+        .merge(invariants::check_genuineness(sim.topology(), sim.metrics()));
+    violations.extend(report.violations);
+
+    let m = sim.metrics();
+    ScenarioOutcome {
+        violations,
+        casts: cast_ids.len(),
+        deliveries: m.delivered_seq.iter().map(Vec::len).sum(),
+        dropped: m.dropped_sends,
+        duplicated: m.duplicated_sends,
+        crashes: spec.plan.crashes.len(),
+        end_time: m.end_time,
+    }
+}
+
+/// Test-only adversarial wrapper: forwards every handler to the inner
+/// protocol but silently discards every `every`-th A-Deliver at the
+/// wrapped process. This violates agreement/validity by construction; the
+/// fuzz harness uses it (behind `--inject-bug`) to prove a broken protocol
+/// is caught and that the printed replay line reproduces the violation.
+pub struct DeliveryDropper<P> {
+    inner: P,
+    /// `Some(n)`: drop every n-th delivery; `None`: transparent.
+    every: Option<u64>,
+    delivered: u64,
+}
+
+impl<P: Protocol> DeliveryDropper<P> {
+    fn relay(&mut self, tmp: &mut Outbox<P::Msg>, out: &mut Outbox<P::Msg>) {
+        for action in tmp.drain() {
+            match action {
+                wamcast_types::Action::Deliver(m) => {
+                    self.delivered += 1;
+                    if let Some(n) = self.every {
+                        if self.delivered % n == 0 {
+                            continue; // the injected bug: a swallowed delivery
+                        }
+                    }
+                    out.deliver(m);
+                }
+                wamcast_types::Action::Send { to, msg } => out.send(to, msg),
+                wamcast_types::Action::Timer { after, kind } => out.set_timer(after, kind),
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for DeliveryDropper<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_start(ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_cast(msg, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: P::Msg,
+        ctx: &Context,
+        out: &mut Outbox<P::Msg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_message(from, msg, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_timer(kind, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<P::Msg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_crash_notification(crashed, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_and_rotate() {
+        let cfg = FaultConfig::default();
+        let a = RunSpec::derive(17, &cfg);
+        let b = RunSpec::derive(17, &cfg);
+        assert_eq!(a.topo, b.topo);
+        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(a.plan, b.plan);
+        let shapes: std::collections::BTreeSet<_> =
+            (0..12).map(|s| RunSpec::derive(s, &cfg).topo).collect();
+        assert_eq!(shapes.len(), 4, "all topologies visited");
+        let kinds: std::collections::BTreeSet<_> = (0..12)
+            .map(|s| RunSpec::derive(s, &cfg).protocol.name())
+            .collect();
+        assert_eq!(kinds.len(), 3, "all protocol arms visited");
+    }
+
+    #[test]
+    fn quiet_plans_pass_every_arm() {
+        // Control arm: no faults at all; every protocol must pass.
+        let quiet = FaultConfig::quiet();
+        for seed in 0..6u64 {
+            let spec = RunSpec::derive(seed, &quiet);
+            assert!(spec.plan.is_none());
+            let out = run_scenario(&spec, None);
+            assert!(out.is_ok(), "seed {seed}: {:?}", out.violations);
+            assert!(out.deliveries > 0);
+        }
+    }
+
+    #[test]
+    fn injected_bug_is_caught_and_replays_identically() {
+        // A protocol that swallows deliveries must be flagged, and the
+        // violation must reproduce exactly from the same spec (the replay
+        // contract behind `--seed N --plan-hash H`).
+        let spec = RunSpec::derive(0, &FaultConfig::quiet());
+        let broken = run_scenario(&spec, Some(2));
+        assert!(!broken.is_ok(), "dropped deliveries must violate §2.2");
+        let replay = run_scenario(&spec, Some(2));
+        assert_eq!(
+            broken.violations, replay.violations,
+            "replay must reproduce the exact violation"
+        );
+        assert!(!spec.replay_command().is_empty());
+    }
+
+    #[test]
+    fn faulted_sweep_smoke() {
+        // A handful of genuinely faulty seeds across the rotation.
+        let cfg = FaultConfig::default();
+        for seed in 0..8u64 {
+            let spec = RunSpec::derive(seed, &cfg);
+            let out = run_scenario(&spec, None);
+            assert!(
+                out.is_ok(),
+                "seed {seed} ({}, {:?}): {:?}\nreplay: {}",
+                spec.protocol.name(),
+                spec.topo,
+                out.violations,
+                spec.replay_command()
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::measure::measure_broadcast_steady;
 use std::time::Duration;
 use wamcast_core::RoundBroadcast;
 use wamcast_sim::NetConfig;
-use wamcast_types::{Protocol, Topology, ProcessId};
+use wamcast_types::{ProcessId, Protocol, Topology};
 
 /// Result of one frequency-sweep cell.
 #[derive(Clone, Debug)]
@@ -103,7 +103,10 @@ pub fn latency_shape<P: Protocol>(
         let caster = ProcessId(((k - 1) * d) as u32);
         let id = sim.cast_at(SimTime::ZERO, caster, dest, wamcast_types::Payload::new());
         let horizon = SimTime::ZERO + Duration::from_secs(3600);
-        assert!(sim.run_until_delivered(&[id], horizon), "{label} did not deliver");
+        assert!(
+            sim.run_until_delivered(&[id], horizon),
+            "{label} did not deliver"
+        );
         if quiescent {
             sim.run_to_quiescence();
         }

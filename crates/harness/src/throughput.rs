@@ -194,7 +194,15 @@ mod tests {
     #[test]
     fn window_scales_with_size_and_rate() {
         assert_eq!(batch_window(64, 1000.0), Duration::from_micros(96_000));
-        assert_eq!(batch_window(1, 1_000_000.0), Duration::from_millis(1), "floor");
-        assert_eq!(batch_window(10_000, 10.0), Duration::from_millis(200), "ceiling");
+        assert_eq!(
+            batch_window(1, 1_000_000.0),
+            Duration::from_millis(1),
+            "floor"
+        );
+        assert_eq!(
+            batch_window(10_000, 10.0),
+            Duration::from_millis(200),
+            "ceiling"
+        );
     }
 }

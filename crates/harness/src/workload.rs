@@ -45,7 +45,10 @@ pub fn poisson(
     seed: u64,
 ) -> Vec<PlannedCast> {
     assert!(rate_per_sec > 0.0, "rate must be positive");
-    assert!(!dest_choices.is_empty(), "need at least one destination choice");
+    assert!(
+        !dest_choices.is_empty(),
+        "need at least one destination choice"
+    );
     let mut rng = SplitMix64::new(seed);
     let mut plan = Vec::new();
     let mut t_ns = 0f64;

@@ -86,7 +86,9 @@ fn geo_asymmetric_latencies_shape_a1_commit_times() {
     // measured degree.
     let measure = |a: u16, b: u16, caster: u32| -> (f64, u64) {
         let topo = Topology::symmetric(3, 2);
-        let cfg = SimConfig::default().with_seed(79).with_net(NetConfig::geo());
+        let cfg = SimConfig::default()
+            .with_seed(79)
+            .with_net(NetConfig::geo());
         let mut sim = Simulation::new(topo, cfg, |p, t| {
             GenuineMulticast::new(p, t, MulticastConfig::default())
         });
@@ -119,7 +121,9 @@ fn geo_broadcast_waits_for_slowest_site() {
     // A2 must wait for every group's bundle, so its wall latency tracks the
     // *slowest* inter-site link even when rounds are warm.
     let topo = Topology::symmetric(3, 1);
-    let cfg = SimConfig::default().with_seed(80).with_net(NetConfig::geo());
+    let cfg = SimConfig::default()
+        .with_seed(80)
+        .with_net(NetConfig::geo());
     let mut sim = Simulation::new(topo, cfg, RoundBroadcast::new);
     let dest = sim.topology().all_groups();
     let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());

@@ -1,0 +1,188 @@
+//! E10 — the curated fault-scenario corpus.
+//!
+//! Each test is a named, hand-built [`FaultPlan`] capturing a failure shape
+//! the fuzz sweep keeps rediscovering; pinning them here makes every one a
+//! permanent regression test with a readable name. All runs use the same
+//! machinery as `scenario_fuzz` (retry-enabled protocols, §2.2 invariant
+//! suite over the correct processes) and are bit-for-bit replayable from
+//! their `SimConfig`.
+
+use std::time::Duration;
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_harness::scenario::RETRY_INTERVAL;
+use wamcast_harness::workload::{all_group_pairs, poisson};
+use wamcast_sim::{invariants, FaultPlan, SimConfig, Simulation};
+use wamcast_types::{BatchConfig, GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
+
+/// Drives `plan` under a Poisson load and checks convergence plus the full
+/// uniform invariant suite. Returns the delivered count for scenario-
+/// specific assertions.
+fn run_checked<P: Protocol>(
+    topo: Topology,
+    plan: FaultPlan,
+    dests: Vec<GroupSet>,
+    seed: u64,
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+) -> usize {
+    let casts = poisson(&topo, 30.0, Duration::from_secs(1), &dests, seed);
+    let cfg = SimConfig::default()
+        .with_seed(seed)
+        .with_send_log(false)
+        .with_faults(plan);
+    let mut sim = Simulation::new(topo, cfg, factory);
+    for c in &casts {
+        sim.cast_at(c.at, c.caster, c.dest, Payload::new());
+    }
+    let drained = sim
+        .try_run_until(SimTime::from_millis(600_000))
+        .expect("no live-lock");
+    assert!(drained, "scenario must converge (liveness)");
+    let correct = sim.alive_processes();
+    invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
+    invariants::check_genuineness(sim.topology(), sim.metrics()).assert_ok();
+    assert!(
+        sim.metrics().deliveries.len() >= casts.len() / 2,
+        "most casts must get through"
+    );
+    sim.metrics().delivered_seq.iter().map(Vec::len).sum()
+}
+
+fn a1_retry(batch: Option<BatchConfig>) -> impl FnMut(ProcessId, &Topology) -> GenuineMulticast {
+    move |p, t| {
+        let mut cfg = MulticastConfig::default().with_retry(RETRY_INTERVAL);
+        if let Some(b) = batch {
+            cfg = cfg.with_batch(b);
+        }
+        GenuineMulticast::new(p, t, cfg)
+    }
+}
+
+/// The group's ballot-0 coordinator crashes in the middle of a batched
+/// run: in-flight batch instances must recover through takeover ballots
+/// while the flush timer keeps pooling new arrivals.
+#[test]
+fn coordinator_crash_mid_batch() {
+    let topo = Topology::symmetric(2, 3);
+    // p0 owns ballot 0 of g0; crash it while the load is streaming.
+    let plan = FaultPlan::none().with_crash(SimTime::from_millis(400), ProcessId(0));
+    let batch = BatchConfig::new(8).with_max_delay(Duration::from_millis(20));
+    let dests = vec![topo.all_groups()];
+    run_checked(topo, plan, dests, 0xE101, a1_retry(Some(batch)));
+}
+
+/// A minority of one group is partitioned away for two seconds, then the
+/// cut heals: the majority side keeps ordering throughout, the minority
+/// catches up after the heal, and every correct process converges to the
+/// same sequences.
+#[test]
+fn partitioned_minority_heals_and_catches_up() {
+    let topo = Topology::symmetric(2, 3);
+    let plan = FaultPlan::none().with_partition(
+        &[ProcessId(0)],
+        SimTime::from_millis(100),
+        SimTime::from_millis(2_100),
+    );
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    run_checked(topo, plan, dests, 0xE102, a1_retry(None));
+}
+
+/// A flapping WAN link: three separate 100%-loss windows on both
+/// directions of the p0 ↔ p2 pair. Retransmission must ride out each
+/// outage without duplicating deliveries.
+#[test]
+fn flapping_link_between_groups() {
+    let topo = Topology::symmetric(3, 2);
+    let mut plan = FaultPlan::none();
+    for (a, b) in [(0u64, 300u64), (600, 900), (1_200, 1_500)] {
+        let (from, until) = (SimTime::from_millis(a), SimTime::from_millis(b));
+        plan = plan
+            .with_drop_during(ProcessId(0), ProcessId(2), 1.0, from, until)
+            .with_drop_during(ProcessId(2), ProcessId(0), 1.0, from, until);
+    }
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    run_checked(topo, plan, dests, 0xE103, a1_retry(None));
+}
+
+/// A duplicate storm: 90% of all copies are duplicated for the whole load
+/// window. Every dedup path (rmcast `seen`, consensus vote sets, TS
+/// proposal idempotence, bundle `or_insert`) is exercised at once;
+/// integrity ("delivered at most once") is the property under test.
+#[test]
+fn duplicate_storm() {
+    let a1_topo = Topology::symmetric(3, 2);
+    let plan = FaultPlan::none().with_duplication(0.9, SimTime::ZERO, SimTime::from_millis(3_000));
+    let mut dests = all_group_pairs(&a1_topo);
+    dests.push(a1_topo.all_groups());
+    run_checked(a1_topo, plan.clone(), dests, 0xE104, a1_retry(None));
+
+    // The same storm against A2's round machinery.
+    let a2_topo = Topology::symmetric(2, 3);
+    let dests = vec![a2_topo.all_groups()];
+    run_checked(a2_topo, plan, dests, 0xE105, |p, t| {
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(10)).with_retry(RETRY_INTERVAL)
+    });
+}
+
+/// A WAN congestion burst: one inter-group latency spike (8×) overlapping
+/// a lossy window. Messages reorder massively across the spike boundary;
+/// ordering must hold and the run must still converge promptly after.
+#[test]
+fn latency_spike_with_loss() {
+    let topo = Topology::symmetric(3, 2);
+    let plan = FaultPlan::none()
+        .with_latency_spike(8.0, SimTime::from_millis(200), SimTime::from_millis(1_200))
+        .with_drop_during(
+            ProcessId(2),
+            ProcessId(4),
+            0.5,
+            SimTime::from_millis(200),
+            SimTime::from_millis(1_200),
+        );
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    run_checked(topo, plan, dests, 0xE106, a1_retry(None));
+}
+
+/// A2 wakes a partitioned group after the heal: the whole of g1 is cut
+/// off, rounds stall (round completion needs every group's bundle), and
+/// after the heal the bundle-ack retransmission brings the stragglers to
+/// the same delivery sequence.
+#[test]
+fn a2_partitioned_group_rejoins() {
+    let topo = Topology::symmetric(2, 3);
+    let plan = FaultPlan::none().with_partition(
+        &[ProcessId(3), ProcessId(4), ProcessId(5)],
+        SimTime::from_millis(50),
+        SimTime::from_millis(1_500),
+    );
+    let dests = vec![topo.all_groups()];
+    run_checked(topo, plan, dests, 0xE107, |p, t| {
+        RoundBroadcast::with_pacing(p, t, Duration::from_millis(10)).with_retry(RETRY_INTERVAL)
+    });
+}
+
+/// Crash + loss combined: the coordinator crashes while its group's links
+/// are lossy, so both the takeover ballots *and* their retransmissions are
+/// exercised on the same instances.
+#[test]
+fn coordinator_crash_under_loss() {
+    let topo = Topology::symmetric(2, 3);
+    let mut plan = FaultPlan::none().with_crash(SimTime::from_millis(300), ProcessId(0));
+    for q in [1u32, 2] {
+        for r in [1u32, 2] {
+            if q != r {
+                plan = plan.with_drop_during(
+                    ProcessId(q),
+                    ProcessId(r),
+                    0.6,
+                    SimTime::ZERO,
+                    SimTime::from_millis(1_500),
+                );
+            }
+        }
+    }
+    let dests = vec![topo.all_groups()];
+    run_checked(topo, plan, dests, 0xE108, a1_retry(None));
+}

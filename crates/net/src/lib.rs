@@ -37,17 +37,45 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wamcast_types::{
-    Action, AppMessage, Context, GroupSet, MessageId, Outbox, Payload, ProcessId, Protocol,
-    SimTime, Topology,
+    Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, MessageId, Outbox, Payload,
+    ProcessId, Protocol, SimTime, Topology,
 };
+
+/// The lossy-channel adversary shared by every thread of a faulty cluster:
+/// the same [`FaultPlan`] vocabulary the simulator interprets, applied at
+/// channel-send time against the cluster's wall clock. Everything that
+/// crosses a channel — protocol traffic, consensus messages, heartbeats if
+/// a failure detector is wired over the same links — sees the same
+/// adversary.
+///
+/// Scope: drop, duplication and partitions are honored; latency *spikes*
+/// are not (an `mpsc` channel has no delay to scale — shaping latency needs
+/// the discrete-event runtime). Fates still draw from the plan's
+/// deterministic stream, but thread interleaving makes the *assignment* of
+/// fates to messages nondeterministic; bit-for-bit replay is the
+/// simulator's job.
+struct LossyLinks {
+    injector: Mutex<FaultInjector>,
+    start: Instant,
+}
+
+impl LossyLinks {
+    fn fate(&self, from: ProcessId, to: ProcessId) -> wamcast_types::LinkFate {
+        let now = SimTime::from_nanos(self.start.elapsed().as_nanos() as u64);
+        self.injector
+            .lock()
+            .expect("fault injector poisoned")
+            .on_send(from, to, now)
+    }
+}
 
 enum Ev<M> {
     Msg { from: ProcessId, msg: M },
@@ -87,12 +115,49 @@ pub struct Cluster<P: Protocol> {
     alive: Arc<Vec<std::sync::atomic::AtomicBool>>,
     next_seq: Vec<AtomicU64>,
     handles: Vec<JoinHandle<()>>,
+    /// Held open for the crash watchdog's interruptible sleep; dropped by
+    /// `shutdown` so the watchdog exits immediately instead of sleeping
+    /// out the remaining crash schedule.
+    watchdog_stop: Option<Sender<()>>,
 }
 
 impl<P: Protocol + Send + 'static> Cluster<P> {
     /// Spawns one thread per process of `topo`, each running the protocol
     /// instance produced by `factory`.
-    pub fn spawn(topo: Topology, mut factory: impl FnMut(ProcessId, &Topology) -> P) -> Self {
+    pub fn spawn(topo: Topology, factory: impl FnMut(ProcessId, &Topology) -> P) -> Self {
+        Self::spawn_inner(topo, None, factory)
+    }
+
+    /// Spawns a cluster whose channels are wrapped in the [`FaultPlan`]
+    /// adversary: sends consult the plan and may be dropped or duplicated
+    /// (latency spikes are simulator-only — an mpsc channel has no delay
+    /// to scale), and the plan's scheduled crashes are executed by a
+    /// watchdog thread at their wall-clock offsets.
+    /// `seed` feeds the plan's deterministic fate stream. Protocols hosted
+    /// under a lossy plan need their retransmission mode on (e.g.
+    /// `MulticastConfig::with_retry`) to stay live.
+    pub fn spawn_faulty(
+        topo: Topology,
+        plan: FaultPlan,
+        seed: u64,
+        factory: impl FnMut(ProcessId, &Topology) -> P,
+    ) -> Self {
+        let faults = if plan.is_none() {
+            None
+        } else {
+            Some(Arc::new(LossyLinks {
+                injector: Mutex::new(FaultInjector::new(plan, seed)),
+                start: Instant::now(),
+            }))
+        };
+        Self::spawn_inner(topo, faults, factory)
+    }
+
+    fn spawn_inner(
+        topo: Topology,
+        faults: Option<Arc<LossyLinks>>,
+        mut factory: impl FnMut(ProcessId, &Topology) -> P,
+    ) -> Self {
         let topo = Arc::new(topo);
         let n = topo.num_processes();
         let mut senders = Vec::with_capacity(n);
@@ -109,7 +174,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 .map(|_| std::sync::atomic::AtomicBool::new(true))
                 .collect(),
         );
-        let start = Instant::now();
+        let start = faults.as_ref().map_or_else(Instant::now, |f| f.start);
         let mut handles = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
             let pid = ProcessId(i as u32);
@@ -118,9 +183,50 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             let senders = senders.clone();
             let delivered = Arc::clone(&delivered);
             let alive = Arc::clone(&alive);
+            let faults = faults.clone();
             handles.push(std::thread::spawn(move || {
-                run_process(pid, proto, topo, rx, senders, delivered, alive, start)
+                run_process(
+                    pid, proto, topo, rx, senders, delivered, alive, start, faults,
+                )
             }));
+        }
+        // The plan's scheduled crashes run on a watchdog thread, mirroring
+        // the simulator's crash events at wall-clock offsets. Its sleeps
+        // are interruptible: shutdown drops `watchdog_stop`, which wakes
+        // the `recv_timeout` with `Disconnected` and ends the thread.
+        let mut watchdog_stop = None;
+        if let Some(f) = &faults {
+            let mut crashes = f
+                .injector
+                .lock()
+                .expect("fault injector poisoned")
+                .plan()
+                .crashes
+                .clone();
+            if !crashes.is_empty() {
+                crashes.sort_by_key(|&(at, _)| at);
+                let senders = senders.clone();
+                let alive = Arc::clone(&alive);
+                let topo_w = Arc::clone(&topo);
+                let (stop_tx, stop_rx) = channel::<()>();
+                watchdog_stop = Some(stop_tx);
+                handles.push(std::thread::spawn(move || {
+                    for (at, p) in crashes {
+                        let due = start + Duration::from_nanos(at.as_nanos());
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            if stop_rx.recv_timeout(wait) != Err(RecvTimeoutError::Timeout) {
+                                return; // shutdown: abandon the schedule
+                            }
+                        }
+                        alive[p.index()].store(false, Ordering::SeqCst);
+                        for q in topo_w.processes() {
+                            if q != p {
+                                let _ = senders[q.index()].send(Ev::CrashNotify(p));
+                            }
+                        }
+                    }
+                }));
+            }
         }
         Cluster {
             topo,
@@ -129,6 +235,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             alive,
             next_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             handles,
+            watchdog_stop,
         }
     }
 
@@ -164,7 +271,10 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
 
     /// Snapshot of the messages A-Delivered by `p`, in delivery order.
     pub fn delivered(&self, p: ProcessId) -> Vec<AppMessage> {
-        self.delivered[p.index()].lock().expect("delivery log poisoned").clone()
+        self.delivered[p.index()]
+            .lock()
+            .expect("delivery log poisoned")
+            .clone()
     }
 
     /// Blocks until every live process addressed by `id`'s destination has
@@ -196,7 +306,13 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                     .topo
                     .processes_in(dest)
                     .filter(|p| self.alive[p.index()].load(Ordering::SeqCst))
-                    .all(|p| self.delivered[p.index()].lock().expect("delivery log poisoned").iter().any(|m| m.id == id));
+                    .all(|p| {
+                        self.delivered[p.index()]
+                            .lock()
+                            .expect("delivery log poisoned")
+                            .iter()
+                            .any(|m| m.id == id)
+                    });
                 if all {
                     return Ok(());
                 }
@@ -209,7 +325,10 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
     }
 
     /// Stops all threads and joins them.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
+        // Wake the crash watchdog first (if any) so joining it does not
+        // wait out whatever remains of the crash schedule.
+        drop(self.watchdog_stop.take());
         for tx in &self.senders {
             let _ = tx.send(Ev::Shutdown);
         }
@@ -244,6 +363,7 @@ fn run_process<P: Protocol + Send + 'static>(
     delivered: Arc<Vec<Mutex<Vec<AppMessage>>>>,
     alive: Arc<Vec<std::sync::atomic::AtomicBool>>,
     start: Instant,
+    faults: Option<Arc<LossyLinks>>,
 ) {
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let now = |start: Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
@@ -256,10 +376,25 @@ fn run_process<P: Protocol + Send + 'static>(
             match action {
                 Action::Send { to, msg } => {
                     if alive[to.index()].load(Ordering::SeqCst) {
+                        if let Some(l) = &faults {
+                            let fate = l.fate(pid, to);
+                            if fate.dropped {
+                                continue;
+                            }
+                            if fate.duplicate.is_some() {
+                                let _ = senders[to.index()].send(Ev::Msg {
+                                    from: pid,
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
                         let _ = senders[to.index()].send(Ev::Msg { from: pid, msg });
                     }
                 }
-                Action::Deliver(m) => delivered[pid.index()].lock().expect("delivery log poisoned").push(m),
+                Action::Deliver(m) => delivered[pid.index()]
+                    .lock()
+                    .expect("delivery log poisoned")
+                    .push(m),
                 Action::Timer { after, kind } => timers.push(TimerEntry {
                     at: Instant::now() + after,
                     kind,

@@ -4,7 +4,7 @@
 use std::time::Duration;
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_net::Cluster;
-use wamcast_types::{GroupId, GroupSet, Payload, ProcessId, Topology};
+use wamcast_types::{FaultPlan, GroupId, GroupSet, Payload, ProcessId, SimTime, Topology};
 
 #[test]
 fn a2_total_order_on_threads() {
@@ -20,7 +20,11 @@ fn a2_total_order_on_threads() {
             .await_delivery_everywhere(id, Duration::from_secs(10))
             .expect("delivered");
     }
-    let reference: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    let reference: Vec<_> = cluster
+        .delivered(ProcessId(0))
+        .iter()
+        .map(|m| m.id)
+        .collect();
     assert_eq!(reference.len(), 6);
     for p in cluster.topology().processes() {
         let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
@@ -43,8 +47,16 @@ fn a1_genuine_multicast_on_threads() {
             .expect("delivered");
     }
     // Addressed processes agree on the order; bystanders (g2) saw nothing.
-    let p0: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
-    let p3: Vec<_> = cluster.delivered(ProcessId(3)).iter().map(|m| m.id).collect();
+    let p0: Vec<_> = cluster
+        .delivered(ProcessId(0))
+        .iter()
+        .map(|m| m.id)
+        .collect();
+    let p3: Vec<_> = cluster
+        .delivered(ProcessId(3))
+        .iter()
+        .map(|m| m.id)
+        .collect();
     assert_eq!(p0, p3);
     assert!(cluster.delivered(ProcessId(4)).is_empty());
     assert!(cluster.delivered(ProcessId(5)).is_empty());
@@ -65,11 +77,102 @@ fn a2_survives_crash_on_threads() {
     cluster
         .await_delivery_everywhere(id, Duration::from_secs(15))
         .expect("delivered despite crash");
-    assert!(!cluster
-        .delivered(ProcessId(4))
-        .iter()
-        .all(|m| m.id != id));
+    assert!(!cluster.delivered(ProcessId(4)).iter().all(|m| m.id != id));
     cluster.shutdown();
+}
+
+#[test]
+fn a1_with_retry_survives_lossy_duplicating_links() {
+    // The same FaultPlan vocabulary the simulator interprets, applied at
+    // the channel layer: a 60%-lossy + duplicating first 300 ms, clean
+    // afterwards. A1's retransmission mode must converge to the same total
+    // order everywhere.
+    let until = SimTime::from_millis(300);
+    let mut plan = FaultPlan::none().with_duplication(0.5, SimTime::ZERO, until);
+    for from in 0..4u32 {
+        for to in 0..4u32 {
+            if from != to {
+                plan = plan.with_drop_during(
+                    ProcessId(from),
+                    ProcessId(to),
+                    0.6,
+                    SimTime::ZERO,
+                    until,
+                );
+            }
+        }
+    }
+    let cluster = Cluster::spawn_faulty(Topology::symmetric(2, 2), plan, 0xFA17, |p, t| {
+        GenuineMulticast::new(
+            p,
+            t,
+            MulticastConfig::default().with_retry(Duration::from_millis(40)),
+        )
+    });
+    let dest = cluster.topology().all_groups();
+    let mut ids = Vec::new();
+    for i in 0..6u32 {
+        ids.push(cluster.cast(ProcessId(i % 4), dest, Payload::new()));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for &id in &ids {
+        cluster
+            .await_delivery_everywhere(id, Duration::from_secs(30))
+            .expect("delivered despite loss and duplication");
+    }
+    let reference: Vec<_> = cluster
+        .delivered(ProcessId(0))
+        .iter()
+        .map(|m| m.id)
+        .collect();
+    assert_eq!(reference.len(), 6, "every cast delivered exactly once");
+    for p in cluster.topology().processes() {
+        let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
+        assert_eq!(seq, reference, "{p} diverged under faults");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn faulty_cluster_executes_planned_crashes() {
+    // A plan-scheduled crash behaves like Cluster::crash: survivors are
+    // notified and keep ordering (2 groups x 3 so the group keeps its
+    // majority).
+    let plan = FaultPlan::none().with_crash(SimTime::from_millis(80), ProcessId(3));
+    let cluster = Cluster::spawn_faulty(Topology::symmetric(2, 3), plan, 1, |p, t| {
+        RoundBroadcast::new(p, t).with_retry(Duration::from_millis(40))
+    });
+    let dest = cluster.topology().all_groups();
+    let warm = cluster.cast(ProcessId(0), dest, Payload::new());
+    cluster
+        .await_delivery_everywhere(warm, Duration::from_secs(10))
+        .expect("warm-up delivered");
+    std::thread::sleep(Duration::from_millis(120)); // crash fires
+    let id = cluster.cast(ProcessId(0), dest, Payload::new());
+    cluster
+        .await_delivery_everywhere(id, Duration::from_secs(15))
+        .expect("delivered despite planned crash");
+    assert!(cluster.delivered(ProcessId(4)).iter().any(|m| m.id == id));
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_does_not_wait_for_far_future_planned_crashes() {
+    // The crash watchdog sleeps toward a crash a minute out; shutdown must
+    // interrupt that sleep, not serve it.
+    let plan = FaultPlan::none().with_crash(SimTime::from_millis(60_000), ProcessId(0));
+    let cluster = Cluster::spawn_faulty(Topology::symmetric(2, 2), plan, 1, RoundBroadcast::new);
+    let dest = cluster.topology().all_groups();
+    let id = cluster.cast(ProcessId(0), dest, Payload::new());
+    cluster
+        .await_delivery_everywhere(id, Duration::from_secs(10))
+        .expect("delivered");
+    let begun = std::time::Instant::now();
+    cluster.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown must not sleep out the crash schedule"
+    );
 }
 
 #[test]
@@ -107,7 +210,11 @@ fn batched_a1_delivers_in_order_on_threads() {
             .expect("batched delivery");
     }
     // Total order across all processes (broadcast destinations).
-    let reference: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    let reference: Vec<_> = cluster
+        .delivered(ProcessId(0))
+        .iter()
+        .map(|m| m.id)
+        .collect();
     assert_eq!(reference.len(), 8);
     for p in cluster.topology().processes() {
         let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();

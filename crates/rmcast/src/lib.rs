@@ -20,6 +20,17 @@
 //! [`RmcastEngine`] (non-uniform) delivers on first receipt: latency degree
 //! 1 (0 intra-group). [`UniformRmcastEngine`] delivers after a majority of
 //! the destination processes are known to hold the message: latency degree 2.
+//!
+//! # Lossy links
+//!
+//! The paper assumes quasi-reliable links; the fault-injection adversary
+//! (`wamcast_types::fault`) drops copies. [`RmcastEngine::with_acks`] turns
+//! on positive-acknowledgement retransmission: receivers ack every `Data`
+//! copy, senders (origins *and* crash-relayers) keep the unacked recipient
+//! set per message and re-send on [`RmcastEngine::tick`] until every
+//! addressed process acked or was reported crashed. Acks themselves may be
+//! lost — the receiver re-acks duplicates, so the loop converges once the
+//! link heals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +48,11 @@ use wamcast_types::{AppMessage, ProcessId};
 pub enum RmcastMsg {
     /// A copy of the multicast message (initial dissemination or relay).
     Data(AppMessage),
+    /// Receipt acknowledgement, sent only by engines in retransmission
+    /// mode ([`RmcastEngine::with_acks`]) so that senders can stop
+    /// re-sending over lossy links. Never emitted under the paper's
+    /// quasi-reliable link model, keeping its message counts exact.
+    Ack(wamcast_types::MessageId),
 }
 
 /// Output buffer of a reliable multicast engine call.

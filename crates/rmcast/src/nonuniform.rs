@@ -51,6 +51,15 @@ pub struct RmcastEngine {
     /// Delivered messages kept by origin for crash-triggered relay.
     by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
     relayed: BTreeSet<MessageId>,
+    /// Retransmission mode (see [`with_acks`](Self::with_acks)).
+    ack_mode: bool,
+    /// Per message: the copy plus the recipients that have not acked yet.
+    /// Only populated in ack mode, by this process's own sends (origin
+    /// casts and crash relays).
+    outstanding: BTreeMap<MessageId, (AppMessage, BTreeSet<ProcessId>)>,
+    /// Processes reported crashed: never tracked as ack debtors (a send to
+    /// one *after* its crash notification must not wait forever).
+    crashed: BTreeSet<ProcessId>,
 }
 
 impl RmcastEngine {
@@ -61,12 +70,68 @@ impl RmcastEngine {
             seen: BTreeSet::new(),
             by_origin: BTreeMap::new(),
             relayed: BTreeSet::new(),
+            ack_mode: false,
+            outstanding: BTreeMap::new(),
+            crashed: BTreeSet::new(),
         }
+    }
+
+    /// Enables positive-acknowledgement retransmission (see the crate docs
+    /// on lossy links). All engines of a deployment must agree on the mode.
+    #[must_use]
+    pub fn with_acks(mut self) -> Self {
+        self.ack_mode = true;
+        self
     }
 
     /// Whether `m` was already R-Delivered (or sent) here.
     pub fn has_seen(&self, m: MessageId) -> bool {
         self.seen.contains(&m)
+    }
+
+    /// Whether any of this process's sends still await acknowledgement
+    /// (always `false` outside ack mode) — the signal the embedding
+    /// protocol uses to keep its retransmission timer armed.
+    pub fn has_outstanding(&self) -> bool {
+        !self.outstanding.is_empty()
+    }
+
+    /// Re-sends every unacked copy. Call from the embedding protocol's
+    /// retransmission timer; a no-op outside ack mode.
+    pub fn tick(&mut self, out: &mut RmcastOut) {
+        for (m, waiting) in self.outstanding.values() {
+            for &q in waiting {
+                out.sends.push((q, RmcastMsg::Data(m.clone())));
+            }
+        }
+    }
+
+    /// Removes `crashed` from every unacked recipient set — and from all
+    /// future tracking: a crashed process will never ack, and
+    /// retransmitting to it would keep the timer armed forever (breaking
+    /// quiescence).
+    pub fn prune_crashed(&mut self, crashed: ProcessId) {
+        self.crashed.insert(crashed);
+        self.outstanding.retain(|_, (_, waiting)| {
+            waiting.remove(&crashed);
+            !waiting.is_empty()
+        });
+    }
+
+    fn track(&mut self, m: &AppMessage, recipients: impl IntoIterator<Item = ProcessId>) {
+        if !self.ack_mode {
+            return;
+        }
+        let entry = self
+            .outstanding
+            .entry(m.id)
+            .or_insert_with(|| (m.clone(), BTreeSet::new()));
+        entry
+            .1
+            .extend(recipients.into_iter().filter(|q| !self.crashed.contains(q)));
+        if entry.1.is_empty() {
+            self.outstanding.remove(&m.id);
+        }
     }
 
     /// R-MCasts `m` to the processes of `m.dest` (origin side). If the
@@ -76,11 +141,14 @@ impl RmcastEngine {
         if !self.seen.insert(m.id) {
             return; // duplicate R-MCast of the same id
         }
-        for q in topo.processes_in(m.dest) {
-            if q != self.me {
-                out.sends.push((q, RmcastMsg::Data(m.clone())));
-            }
+        let recipients: Vec<ProcessId> = topo
+            .processes_in(m.dest)
+            .filter(|&q| q != self.me)
+            .collect();
+        for &q in &recipients {
+            out.sends.push((q, RmcastMsg::Data(m.clone())));
         }
+        self.track(&m, recipients);
         if topo.addresses(m.dest, self.me) {
             self.record_delivery(&m);
             out.delivered.push(m);
@@ -90,13 +158,29 @@ impl RmcastEngine {
     /// Handles an incoming engine message.
     pub fn on_message(
         &mut self,
-        _from: ProcessId,
+        from: ProcessId,
         msg: RmcastMsg,
         topo: &Topology,
         out: &mut RmcastOut,
     ) {
-        let RmcastMsg::Data(m) = msg;
-        self.accept(m, topo, out);
+        match msg {
+            RmcastMsg::Data(m) => {
+                if self.ack_mode {
+                    // Ack every copy, including duplicates: the sender may
+                    // have missed an earlier ack.
+                    out.sends.push((from, RmcastMsg::Ack(m.id)));
+                }
+                self.accept(m, topo, out);
+            }
+            RmcastMsg::Ack(id) => {
+                if let Some((_, waiting)) = self.outstanding.get_mut(&id) {
+                    waiting.remove(&from);
+                    if waiting.is_empty() {
+                        self.outstanding.remove(&id);
+                    }
+                }
+            }
+        }
     }
 
     /// Injects a message learned through a side channel (A1 treats a
@@ -118,6 +202,9 @@ impl RmcastEngine {
         topo: &Topology,
         out: &mut RmcastOut,
     ) {
+        // A crashed process never acks: stop retransmitting to it whether
+        // or not it originated anything.
+        self.prune_crashed(crashed);
         let Some(msgs) = self.by_origin.get(&crashed) else {
             return;
         };
@@ -125,11 +212,16 @@ impl RmcastEngine {
             if !self.relayed.insert(m.id) {
                 continue;
             }
-            for q in topo.processes_in(m.dest) {
-                if q != self.me && q != crashed {
-                    out.sends.push((q, RmcastMsg::Data(m.clone())));
-                }
+            let recipients: Vec<ProcessId> = topo
+                .processes_in(m.dest)
+                .filter(|&q| q != self.me && q != crashed)
+                .collect();
+            for &q in &recipients {
+                out.sends.push((q, RmcastMsg::Data(m.clone())));
             }
+            // Relays are retransmitted too: under loss, the relayer is the
+            // only remaining source of a crashed origin's message.
+            self.track(&m, recipients);
         }
     }
 
@@ -218,6 +310,103 @@ mod tests {
         let mut relay2 = RmcastOut::new();
         e.on_crash_notification(ProcessId(0), &topo, &mut relay2);
         assert!(relay2.sends.is_empty());
+    }
+
+    #[test]
+    fn ack_mode_retransmits_until_acked() {
+        let topo = Topology::symmetric(2, 2);
+        let mut origin = RmcastEngine::new(ProcessId(0)).with_acks();
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        origin.rmcast(m.clone(), &topo, &mut out);
+        assert!(origin.has_outstanding());
+        // First transmission went to p1, p2, p3; pretend every copy was lost.
+        let mut tick1 = RmcastOut::new();
+        origin.tick(&mut tick1);
+        let tos: Vec<_> = tick1.sends.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tos, vec![ProcessId(1), ProcessId(2), ProcessId(3)]);
+        // p2 acks; the next tick only re-sends to p1 and p3.
+        let mut ack_out = RmcastOut::new();
+        origin.on_message(ProcessId(2), RmcastMsg::Ack(m.id), &topo, &mut ack_out);
+        let mut tick2 = RmcastOut::new();
+        origin.tick(&mut tick2);
+        let tos: Vec<_> = tick2.sends.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tos, vec![ProcessId(1), ProcessId(3)]);
+        // Remaining recipients ack: retransmission stops.
+        origin.on_message(ProcessId(1), RmcastMsg::Ack(m.id), &topo, &mut ack_out);
+        origin.on_message(ProcessId(3), RmcastMsg::Ack(m.id), &topo, &mut ack_out);
+        assert!(!origin.has_outstanding());
+        let mut tick3 = RmcastOut::new();
+        origin.tick(&mut tick3);
+        assert!(tick3.sends.is_empty());
+    }
+
+    #[test]
+    fn ack_mode_receivers_ack_every_copy() {
+        let topo = Topology::symmetric(2, 2);
+        let mut e = RmcastEngine::new(ProcessId(2)).with_acks();
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        assert_eq!(out.delivered.len(), 1);
+        assert!(out
+            .sends
+            .iter()
+            .any(|(t, w)| *t == ProcessId(0) && matches!(w, RmcastMsg::Ack(id) if *id == m.id)));
+        // The duplicate is not re-delivered but is re-acked (the first ack
+        // may have been lost).
+        let mut out2 = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out2);
+        assert!(out2.delivered.is_empty());
+        assert_eq!(out2.sends.len(), 1);
+    }
+
+    #[test]
+    fn crashed_recipients_are_pruned_from_retransmission() {
+        let topo = Topology::symmetric(2, 2);
+        let mut origin = RmcastEngine::new(ProcessId(0)).with_acks();
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        origin.rmcast(m.clone(), &topo, &mut out);
+        origin.on_message(ProcessId(2), RmcastMsg::Ack(m.id), &topo, &mut out);
+        origin.on_message(ProcessId(3), RmcastMsg::Ack(m.id), &topo, &mut out);
+        // p1 crashed and will never ack: without pruning the timer would
+        // stay armed forever.
+        origin.prune_crashed(ProcessId(1));
+        assert!(!origin.has_outstanding());
+    }
+
+    #[test]
+    fn no_acks_or_tracking_outside_ack_mode() {
+        let topo = Topology::symmetric(2, 1);
+        let mut origin = RmcastEngine::new(ProcessId(0));
+        let mut out = RmcastOut::new();
+        origin.rmcast(msg(0, 0, &[0, 1]), &topo, &mut out);
+        assert!(!origin.has_outstanding());
+        let mut receiver = RmcastEngine::new(ProcessId(1));
+        let mut rout = RmcastOut::new();
+        let (_, wire) = out.sends.pop().unwrap();
+        receiver.on_message(ProcessId(0), wire, &topo, &mut rout);
+        assert_eq!(rout.delivered.len(), 1);
+        assert!(rout.sends.is_empty(), "no acks in quasi-reliable mode");
+    }
+
+    #[test]
+    fn crash_relay_is_tracked_in_ack_mode() {
+        let topo = Topology::symmetric(2, 2);
+        let mut e = RmcastEngine::new(ProcessId(2)).with_acks();
+        let m = msg(0, 0, &[0, 1]);
+        let mut out = RmcastOut::new();
+        e.on_message(ProcessId(0), RmcastMsg::Data(m.clone()), &topo, &mut out);
+        // Ack our own receipt side-channel: clear outstanding of the ack.
+        assert!(!e.has_outstanding());
+        let mut relay = RmcastOut::new();
+        e.on_crash_notification(ProcessId(0), &topo, &mut relay);
+        assert!(e.has_outstanding(), "relay copies await acks");
+        let mut tick = RmcastOut::new();
+        e.tick(&mut tick);
+        let tos: Vec<_> = tick.sends.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tos, vec![ProcessId(1), ProcessId(3)]);
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl UniformRmcastEngine {
         topo: &Topology,
         out: &mut RmcastOut,
     ) {
-        let RmcastMsg::Data(m) = msg;
+        let RmcastMsg::Data(m) = msg else {
+            return; // acks concern only the non-uniform engine's ack mode
+        };
         let id = m.id;
         let holders = self.holders.entry(id).or_default();
         holders.insert(from);
@@ -119,7 +121,9 @@ impl UniformRmcastEngine {
         if self.delivered.contains(&id) {
             return;
         }
-        let Some(m) = self.payloads.get(&id) else { return };
+        let Some(m) = self.payloads.get(&id) else {
+            return;
+        };
         if !topo.addresses(m.dest, self.me) {
             return;
         }
@@ -149,7 +153,9 @@ mod tests {
     /// Fully connect `n` engines in one group and run to quiescence.
     fn run_full(n: u32, m: AppMessage) -> Vec<Vec<MessageId>> {
         let topo = Topology::symmetric(1, n as usize);
-        let mut engines: Vec<_> = (0..n).map(|i| UniformRmcastEngine::new(ProcessId(i))).collect();
+        let mut engines: Vec<_> = (0..n)
+            .map(|i| UniformRmcastEngine::new(ProcessId(i)))
+            .collect();
         let mut delivered = vec![Vec::new(); n as usize];
         let mut queue = std::collections::VecDeque::new();
         let mut out = RmcastOut::new();

@@ -38,7 +38,9 @@ fn run_nonuniform(
     crash_origin: bool,
 ) -> Vec<Vec<MessageId>> {
     let n = topo.num_processes();
-    let mut engines: Vec<_> = (0..n as u32).map(|i| RmcastEngine::new(ProcessId(i))).collect();
+    let mut engines: Vec<_> = (0..n as u32)
+        .map(|i| RmcastEngine::new(ProcessId(i)))
+        .collect();
     let mut delivered = vec![Vec::new(); n];
     let mut queue: VecDeque<(ProcessId, ProcessId, RmcastMsg)> = VecDeque::new();
     let mut crashed = vec![false; n];
@@ -117,7 +119,11 @@ fn nonuniform_integrity_and_validity() {
             let mut sorted = seq.clone();
             sorted.sort();
             sorted.dedup();
-            assert_eq!(sorted.len(), seq.len(), "case {case}: {p} delivered duplicates");
+            assert_eq!(
+                sorted.len(),
+                seq.len(),
+                "case {case}: {p} delivered duplicates"
+            );
             // Addressed only.
             for id in seq {
                 let m = messages.iter().find(|m| m.id == *id).unwrap();
@@ -149,7 +155,10 @@ fn nonuniform_agreement_despite_origin_crash() {
         let delivered = run_nonuniform(&topo, &messages, &picks, true);
         // All survivors (p1, p2, p3) deliver.
         for (q, seq) in delivered.iter().enumerate().skip(1) {
-            assert!(seq.contains(&messages[0].id), "case {case}: missing at p{q}");
+            assert!(
+                seq.contains(&messages[0].id),
+                "case {case}: missing at p{q}"
+            );
         }
     }
 }
@@ -174,8 +183,9 @@ fn uniform_agreement_and_integrity() {
             .collect();
         let picks = picks(&mut rng, 1024);
 
-        let mut engines: Vec<_> =
-            (0..n as u32).map(|i| UniformRmcastEngine::new(ProcessId(i))).collect();
+        let mut engines: Vec<_> = (0..n as u32)
+            .map(|i| UniformRmcastEngine::new(ProcessId(i)))
+            .collect();
         let mut delivered = vec![Vec::new(); n];
         let mut queue: VecDeque<(ProcessId, ProcessId, RmcastMsg)> = VecDeque::new();
         for m in &messages {
@@ -220,7 +230,11 @@ fn uniform_agreement_and_integrity() {
             let mut sorted = seq.clone();
             sorted.sort();
             sorted.dedup();
-            assert_eq!(sorted.len(), seq.len(), "case {case}: p{p_idx} delivered duplicates");
+            assert_eq!(
+                sorted.len(),
+                seq.len(),
+                "case {case}: p{p_idx} delivered duplicates"
+            );
         }
     }
 }

@@ -36,23 +36,45 @@ impl InvariantReport {
         );
     }
 
-    fn merge(mut self, other: InvariantReport) -> InvariantReport {
+    /// Concatenates two reports (checker composition).
+    pub fn merge(mut self, other: InvariantReport) -> InvariantReport {
         self.violations.extend(other.violations);
         self
     }
 }
 
-/// Runs every applicable checker: uniform integrity, uniform agreement,
-/// validity, and uniform prefix order. (Genuineness and quiescence are
-/// workload-specific; call [`check_genuineness`] / [`check_quiescence`]
-/// explicitly.)
+/// Runs every applicable checker for the *uniform* variants: uniform
+/// integrity, uniform agreement, validity, and uniform prefix order —
+/// agreement and validity quantified over `correct`, integrity and prefix
+/// order over *all* processes (uniformity: even a process that later
+/// crashed must have behaved, up to its crash, like everyone else).
+/// (Genuineness and quiescence are workload-specific; call
+/// [`check_genuineness`] / [`check_quiescence`] explicitly.)
 ///
-/// `correct` is the set of processes that never crashed in the run.
+/// `correct` is the set of processes that never crashed in the run. For
+/// protocols that only promise the *non-uniform* properties, use
+/// [`check_all_nonuniform`].
 pub fn check_all(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
     check_uniform_integrity(topo, m)
         .merge(check_uniform_agreement(topo, m, correct))
         .merge(check_validity(topo, m, correct))
         .merge(check_uniform_prefix_order(topo, m))
+}
+
+/// The crash-aware checker set for *non-uniform* protocol variants:
+/// integrity still binds everyone, but agreement and prefix order are
+/// quantified over the correct processes only — a process that crashed may
+/// have delivered a message nobody else ever sees, or in an order of its
+/// own, without violating the (weaker) specification.
+pub fn check_all_nonuniform(
+    topo: &Topology,
+    m: &RunMetrics,
+    correct: &[ProcessId],
+) -> InvariantReport {
+    check_uniform_integrity(topo, m)
+        .merge(check_agreement(topo, m, correct))
+        .merge(check_validity(topo, m, correct))
+        .merge(check_prefix_order_among(topo, m, correct))
 }
 
 /// Uniform integrity (§2.2): every process delivers a message at most once,
@@ -111,6 +133,29 @@ pub fn check_uniform_agreement(
     r
 }
 
+/// (Non-uniform) agreement: if a *correct* process delivers `m`, every
+/// correct addressed process delivers `m`. Deliveries by processes that
+/// later crashed impose nothing — the weaker guarantee the paper's
+/// non-uniform reliable multicast is allowed to give.
+pub fn check_agreement(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
+    let mut r = InvariantReport::default();
+    for (&mid, dels) in &m.deliveries {
+        let Some(witness) = correct.iter().find(|p| dels.contains_key(p)) else {
+            continue; // only crashed processes delivered: vacuous
+        };
+        let Some(c) = m.casts.get(&mid) else { continue };
+        for &q in correct {
+            if topo.addresses(c.dest, q) && !dels.contains_key(&q) {
+                r.violations.push(format!(
+                    "agreement: {mid} was delivered by correct {witness} but correct addressed \
+                     process {q} never delivered it"
+                ));
+            }
+        }
+    }
+    r
+}
+
 /// Validity (§2.2): if a correct process casts `m`, every correct addressed
 /// process eventually delivers `m`.
 pub fn check_validity(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
@@ -132,13 +177,25 @@ pub fn check_validity(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) ->
     r
 }
 
-/// Uniform prefix order (§2.2): for any processes p, q, the projections of
-/// their delivery sequences onto messages addressed to both are
-/// prefix-comparable. Because sequences are append-only, checking the final
-/// sequences is equivalent to checking at every instant t.
+/// Uniform prefix order (§2.2): for any processes p, q — *including* ones
+/// that later crashed — the projections of their delivery sequences onto
+/// messages addressed to both are prefix-comparable. Because sequences are
+/// append-only, checking the final sequences is equivalent to checking at
+/// every instant t.
 pub fn check_uniform_prefix_order(topo: &Topology, m: &RunMetrics) -> InvariantReport {
+    let all: Vec<ProcessId> = topo.processes().collect();
+    check_prefix_order_among(topo, m, &all)
+}
+
+/// Prefix order quantified over a subset of processes — for the
+/// non-uniform variants, pass the correct set so that a crashed process's
+/// divergent tail does not count against the (weaker) specification.
+pub fn check_prefix_order_among(
+    topo: &Topology,
+    m: &RunMetrics,
+    procs: &[ProcessId],
+) -> InvariantReport {
     let mut r = InvariantReport::default();
-    let n = m.delivered_seq.len();
     let project = |p: ProcessId, q: ProcessId| -> Vec<MessageId> {
         let (gp, gq) = (topo.group_of(p), topo.group_of(q));
         m.delivered_seq[p.index()]
@@ -151,9 +208,8 @@ pub fn check_uniform_prefix_order(topo: &Topology, m: &RunMetrics) -> InvariantR
             })
             .collect()
     };
-    for pi in 0..n {
-        for qi in (pi + 1)..n {
-            let (p, q) = (ProcessId(pi as u32), ProcessId(qi as u32));
+    for (pi, &p) in procs.iter().enumerate() {
+        for &q in &procs[pi + 1..] {
             let sp = project(p, q);
             let sq = project(q, p);
             let k = sp.len().min(sq.len());
@@ -181,7 +237,11 @@ pub fn check_genuineness(topo: &Topology, m: &RunMetrics) -> InvariantReport {
     };
     for p in topo.processes() {
         if (m.sent_any[p.index()] || m.received_any[p.index()]) && !involved(p) {
-            let what = if m.sent_any[p.index()] { "sent" } else { "received" };
+            let what = if m.sent_any[p.index()] {
+                "sent"
+            } else {
+                "received"
+            };
             r.violations.push(format!(
                 "genuineness: {p} {what} protocol messages but no cast message involves it"
             ));
@@ -288,7 +348,10 @@ mod tests {
     #[test]
     fn missing_delivery_violates_agreement() {
         let (topo, mut m) = good_run();
-        m.deliveries.get_mut(&mid(0, 0)).unwrap().remove(&ProcessId(1));
+        m.deliveries
+            .get_mut(&mid(0, 0))
+            .unwrap()
+            .remove(&ProcessId(1));
         m.delivered_seq[1].clear();
         let r = check_uniform_agreement(&topo, &m, &[ProcessId(0), ProcessId(1)]);
         assert!(!r.is_ok());
@@ -374,6 +437,79 @@ mod tests {
         assert!(!r.is_ok());
         assert!(r.violations[0].contains("genuineness"));
         let _ = topo;
+    }
+
+    #[test]
+    fn nonuniform_agreement_ignores_crashed_deliverers() {
+        // Only p0 delivered, then crashed. Uniform agreement is violated;
+        // non-uniform agreement holds vacuously.
+        let (topo, mut m) = good_run();
+        m.deliveries
+            .get_mut(&mid(0, 0))
+            .unwrap()
+            .remove(&ProcessId(1));
+        m.delivered_seq[1].clear();
+        let correct = vec![ProcessId(1)]; // p0 crashed
+        assert!(!check_uniform_agreement(&topo, &m, &correct).is_ok());
+        check_agreement(&topo, &m, &correct).assert_ok();
+        // But a delivery by a *correct* process still binds.
+        let correct_both = vec![ProcessId(0), ProcessId(1)];
+        let r = check_agreement(&topo, &m, &correct_both);
+        assert!(!r.is_ok());
+        assert!(r.violations[0].contains("agreement"));
+    }
+
+    #[test]
+    fn prefix_order_among_excludes_crashed_divergence() {
+        let topo = Topology::symmetric(2, 1);
+        let mut m = RunMetrics::new(2);
+        for s in 0..2 {
+            m.casts.insert(
+                mid(0, s),
+                CastRecord {
+                    caster: ProcessId(0),
+                    dest: GroupSet::first_n(2),
+                    time: SimTime::ZERO,
+                    stamp: 0,
+                },
+            );
+        }
+        m.delivered_seq[0] = vec![mid(0, 0), mid(0, 1)];
+        m.delivered_seq[1] = vec![mid(0, 1), mid(0, 0)]; // p1 diverged, then crashed
+        assert!(!check_uniform_prefix_order(&topo, &m).is_ok());
+        check_prefix_order_among(&topo, &m, &[ProcessId(0)]).assert_ok();
+        assert!(!check_prefix_order_among(&topo, &m, &[ProcessId(0), ProcessId(1)]).is_ok());
+    }
+
+    #[test]
+    fn nonuniform_suite_accepts_weaker_runs() {
+        // p1 delivered out of order and missed nothing else, then crashed:
+        // the uniform suite flags it, the non-uniform suite (quantified
+        // over correct = {p0}) accepts it.
+        let (topo, mut m) = good_run();
+        m.casts.insert(
+            mid(1, 0),
+            CastRecord {
+                caster: ProcessId(1),
+                dest: GroupSet::first_n(2),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.deliveries.entry(mid(1, 0)).or_default().insert(
+            ProcessId(1),
+            DeliveryRecord {
+                time: SimTime::from_millis(2),
+                stamp: 1,
+            },
+        );
+        m.delivered_seq[1].insert(0, mid(1, 0)); // p1 delivered its own m first
+        let correct = vec![ProcessId(0)];
+        assert!(
+            !check_all(&topo, &m, &correct).is_ok(),
+            "uniform suite flags it"
+        );
+        check_all_nonuniform(&topo, &m, &correct).assert_ok();
     }
 
     #[test]

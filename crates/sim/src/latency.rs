@@ -139,7 +139,8 @@ impl NetConfig {
     /// for a symmetric link.
     #[must_use]
     pub fn with_pair(mut self, from: u16, to: u16, m: LatencyModel) -> Self {
-        self.pairwise.retain(|((f, t), _)| !(*f == from && *t == to));
+        self.pairwise
+            .retain(|((f, t), _)| !(*f == from && *t == to));
         self.pairwise.push(((from, to), m));
         self
     }

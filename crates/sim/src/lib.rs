@@ -15,12 +15,20 @@
 //!
 //! Crashes are injected with [`Simulation::crash_at`]; surviving processes
 //! learn of them through a ◇P-style oracle after a configurable detection
-//! delay. Links are quasi-reliable (§2.1): never corrupted, never
-//! duplicated, delivered whenever both endpoints stay alive.
+//! delay. Links default to quasi-reliable (§2.1): never corrupted, never
+//! duplicated, delivered whenever both endpoints stay alive. Installing a
+//! [`FaultPlan`] (via [`SimConfig::with_faults`]) subjects every link to a
+//! deterministic adversary — probabilistic loss, partition/heal windows,
+//! duplication, latency spikes — applied at delivery-scheduling time, plus
+//! scheduled crashes. With the empty plan the fault layer is skipped
+//! entirely, so the zero-fault path stays byte-identical to a run without
+//! fault injection.
 //!
 //! Determinism: a run is a pure function of `(topology, config, workload,
-//! seed)`. Event ties are broken by insertion order and all randomness comes
-//! from one [`SplitMix64`].
+//! seed)` — the fault plan is part of the config, and fault decisions draw
+//! from their own stream, so any fuzzed failure replays bit-for-bit.
+//! Event ties are broken by insertion order and all remaining randomness
+//! comes from one [`SplitMix64`].
 //!
 //! # Example
 //!
@@ -61,11 +69,13 @@
 pub mod invariants;
 mod latency;
 mod metrics;
-mod rng;
 mod runtime;
 
 pub use invariants::InvariantReport;
 pub use latency::{LatencyModel, NetConfig};
 pub use metrics::{CastRecord, DeliveryRecord, RunMetrics, SendRecord};
-pub use rng::SplitMix64;
-pub use runtime::{SimConfig, Simulation};
+pub use runtime::{LastEvent, RunError, SimConfig, Simulation};
+// The deterministic generator and the fault-injection adversary live in
+// `wamcast-types` (so `wamcast-net` can share the same adversary); they are
+// re-exported here because the simulator is their primary consumer.
+pub use wamcast_types::{FaultConfig, FaultInjector, FaultPlan, FaultWindow, LinkFate, SplitMix64};

@@ -44,7 +44,12 @@ pub struct SendRecord {
 }
 
 /// Aggregated observations of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every recorded observable — two equal values mean
+/// the runs were observationally identical, which is how the zero-fault
+/// fast-path property test asserts that installing
+/// [`FaultPlan::none`](wamcast_types::FaultPlan::none) changes nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Casts by message id.
     pub casts: BTreeMap<MessageId, CastRecord>,
@@ -69,6 +74,12 @@ pub struct RunMetrics {
     pub end_time: SimTime,
     /// Number of handler invocations executed.
     pub steps: u64,
+    /// Message copies eaten by the fault adversary (still counted in the
+    /// send totals and the send log: they were sent, the network lost them).
+    pub dropped_sends: u64,
+    /// Extra copies injected by the fault adversary's duplication rules
+    /// (not counted in the send totals: the protocol sent one copy).
+    pub duplicated_sends: u64,
 }
 
 impl RunMetrics {
@@ -94,11 +105,7 @@ impl RunMetrics {
 
     /// The latency degree restricted to a subset of processes (e.g. only
     /// those still correct at the end of the run).
-    pub fn latency_degree_among(
-        &self,
-        m: MessageId,
-        procs: &[ProcessId],
-    ) -> Option<LatencyDegree> {
+    pub fn latency_degree_among(&self, m: MessageId, procs: &[ProcessId]) -> Option<LatencyDegree> {
         let cast = self.casts.get(&m)?;
         let dels = self.deliveries.get(&m)?;
         procs
@@ -126,9 +133,7 @@ impl RunMetrics {
 
     /// Whether process `p` delivered `m`.
     pub fn has_delivered(&self, p: ProcessId, m: MessageId) -> bool {
-        self.deliveries
-            .get(&m)
-            .is_some_and(|d| d.contains_key(&p))
+        self.deliveries.get(&m).is_some_and(|d| d.contains_key(&p))
     }
 
     /// Inter-group sends within a virtual-time window (inclusive bounds).
@@ -206,10 +211,7 @@ mod tests {
     fn latency_degree_is_max_over_deliverers() {
         let m = sample_metrics();
         assert_eq!(m.latency_degree(mid(0, 0)), Some(2));
-        assert_eq!(
-            m.latency_degree_among(mid(0, 0), &[ProcessId(0)]),
-            Some(1)
-        );
+        assert_eq!(m.latency_degree_among(mid(0, 0), &[ProcessId(0)]), Some(1));
         assert_eq!(m.latency_degree(mid(9, 9)), None);
     }
 

@@ -1,13 +1,14 @@
 //! The discrete-event engine.
 
-use crate::{NetConfig, RunMetrics, SplitMix64};
 use crate::metrics::{CastRecord, DeliveryRecord, SendRecord};
+use crate::{NetConfig, RunMetrics, SplitMix64};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::Arc;
 use wamcast_types::{
-    Action, AppMessage, Context, GroupSet, LatencyClock, MessageId, Outbox, Payload, ProcessId,
-    Protocol, SimTime, Topology,
+    Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, LatencyClock, MessageId,
+    Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
 };
 
 /// Configuration of a simulation run.
@@ -22,8 +23,14 @@ pub struct SimConfig {
     /// Figure 1 message-count attribution and the quiescence experiments).
     pub record_send_log: bool,
     /// Hard cap on handler invocations; exceeding it indicates a live-lock
-    /// or a non-quiescent protocol running unbounded.
+    /// or a non-quiescent protocol running unbounded. Reported as
+    /// [`RunError::StepBudgetExhausted`] by the `try_run_*` methods.
     pub max_steps: u64,
+    /// The fault-injection adversary (crash schedule, link loss,
+    /// partitions, duplication, latency spikes). [`FaultPlan::none`] — the
+    /// default — skips the fault layer entirely; the zero-fault path is
+    /// byte-identical to a configuration without it.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -33,6 +40,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             record_send_log: true,
             max_steps: 50_000_000,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -58,7 +66,74 @@ impl SimConfig {
         self.record_send_log = on;
         self
     }
+
+    /// Replaces the step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Installs a fault plan. The plan's crashes are scheduled when the
+    /// [`Simulation`] is built; its link rules are applied to every message
+    /// copy at delivery-scheduling time.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
 }
+
+/// Description of the final event dispatched before a run aborted —
+/// carried by [`RunError::StepBudgetExhausted`] so a hung run reports
+/// *where* it was spinning instead of a bare panic string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LastEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The process that was handling it.
+    pub target: ProcessId,
+    /// Event class (`"arrival"`, `"timer"`, `"cast"`, `"crash"`,
+    /// `"crash-notification"`).
+    pub kind: &'static str,
+}
+
+impl fmt::Display for LastEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} event at {} targeting {}",
+            self.kind, self.at, self.target
+        )
+    }
+}
+
+/// Structured failure of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// [`SimConfig::max_steps`] handler invocations were executed without
+    /// the run finishing — a live-locked or non-quiescent protocol. The
+    /// payload distinguishes this from an ordinary long run in test output
+    /// and tells the reader where the schedule was stuck.
+    StepBudgetExhausted {
+        /// The event about to be dispatched when the budget ran out.
+        last_event: LastEvent,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepBudgetExhausted { last_event } => write!(
+                f,
+                "step budget exhausted (live-lock or non-quiescent protocol); last event: {last_event}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 enum EvKind<M> {
     Arrival { from: ProcessId, stamp: u64, msg: M },
@@ -143,6 +218,9 @@ pub struct Simulation<P: Protocol> {
     now: SimTime,
     seq: u64,
     rng: SplitMix64,
+    /// The fault adversary; `None` when the plan is empty, so the
+    /// zero-fault hot path takes a single branch and consumes no state.
+    faults: Option<FaultInjector>,
     metrics: RunMetrics,
     next_app_seq: Vec<u64>,
     started: bool,
@@ -150,7 +228,8 @@ pub struct Simulation<P: Protocol> {
 
 impl<P: Protocol> Simulation<P> {
     /// Builds a simulation; `factory(p, topo)` constructs the protocol
-    /// instance for process `p`.
+    /// instance for process `p`. Crashes scheduled by the config's
+    /// [`FaultPlan`] are enqueued here.
     pub fn new(
         topo: Topology,
         cfg: SimConfig,
@@ -163,7 +242,12 @@ impl<P: Protocol> Simulation<P> {
             .map(|p| factory(p, &topo))
             .collect::<Vec<_>>();
         let rng = SplitMix64::new(cfg.seed);
-        Simulation {
+        let faults = if cfg.fault.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(cfg.fault.clone(), cfg.seed))
+        };
+        let mut sim = Simulation {
             procs,
             alive: vec![true; n],
             clocks: vec![LatencyClock::new(); n],
@@ -171,12 +255,22 @@ impl<P: Protocol> Simulation<P> {
             now: SimTime::ZERO,
             seq: 0,
             rng,
+            faults,
             metrics: RunMetrics::new(n),
             next_app_seq: vec![0; n],
             started: false,
             topo,
             cfg,
+        };
+        let crashes: Vec<(SimTime, ProcessId)> = sim.cfg.fault.crashes.clone();
+        for (at, p) in crashes {
+            assert!(
+                p.index() < n,
+                "fault plan crashes unknown process {p} (topology has {n})"
+            );
+            sim.push(at, p, EvKind::Crash);
         }
+        sim
     }
 
     /// The simulated topology.
@@ -277,7 +371,25 @@ impl<P: Protocol> Simulation<P> {
 
     /// Runs until the queue drains or virtual time would exceed `deadline`.
     /// Returns `true` if the queue drained (the run became quiescent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step budget is exhausted; use
+    /// [`try_run_until`](Self::try_run_until) to handle that structurally.
     pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        self.try_run_until(deadline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`run_until`](Self::run_until): distinguishes a
+    /// deadline stop (`Ok(false)`), quiescence (`Ok(true)`) and a blown
+    /// step budget ([`RunError::StepBudgetExhausted`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepBudgetExhausted`] when `max_steps` handler
+    /// invocations did not finish the run.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<bool, RunError> {
         self.run_while(deadline, |_| true)
     }
 
@@ -287,10 +399,24 @@ impl<P: Protocol> Simulation<P> {
     /// # Panics
     ///
     /// Panics if `max_steps` handler invocations are exceeded, which
-    /// indicates a non-quiescent protocol or a live-lock.
+    /// indicates a non-quiescent protocol or a live-lock; use
+    /// [`try_run_to_quiescence`](Self::try_run_to_quiescence) to handle
+    /// that structurally.
     pub fn run_to_quiescence(&mut self) {
-        let drained = self.run_until(SimTime::MAX);
+        self.try_run_to_quiescence()
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`run_to_quiescence`](Self::run_to_quiescence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepBudgetExhausted`] when `max_steps` handler
+    /// invocations did not drain the queue.
+    pub fn try_run_to_quiescence(&mut self) -> Result<(), RunError> {
+        let drained = self.try_run_until(SimTime::MAX)?;
         debug_assert!(drained);
+        Ok(())
     }
 
     /// Runs until every message in `msgs` has been delivered by every
@@ -304,7 +430,29 @@ impl<P: Protocol> Simulation<P> {
     /// therefore overshoot the exact delivery instant by up to 63 events;
     /// callers needing exact windows use the recorded per-delivery times in
     /// [`RunMetrics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step budget is exhausted; use
+    /// [`try_run_until_delivered`](Self::try_run_until_delivered) to handle
+    /// that structurally.
     pub fn run_until_delivered(&mut self, msgs: &[MessageId], deadline: SimTime) -> bool {
+        self.try_run_until_delivered(msgs, deadline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of
+    /// [`run_until_delivered`](Self::run_until_delivered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepBudgetExhausted`] when `max_steps` handler
+    /// invocations elapsed before the delivery condition was met.
+    pub fn try_run_until_delivered(
+        &mut self,
+        msgs: &[MessageId],
+        deadline: SimTime,
+    ) -> Result<bool, RunError> {
         let countdown = std::cell::Cell::new(0u32);
         let check = |sim: &Self| {
             let c = countdown.get();
@@ -315,8 +463,8 @@ impl<P: Protocol> Simulation<P> {
             countdown.set(63);
             !sim.all_delivered(msgs)
         };
-        self.run_while(deadline, check);
-        self.all_delivered(msgs)
+        self.run_while(deadline, check)?;
+        Ok(self.all_delivered(msgs))
     }
 
     /// Whether every alive process addressed by each message has delivered it.
@@ -334,29 +482,47 @@ impl<P: Protocol> Simulation<P> {
     }
 
     /// Core loop: dispatch events while `keep_going(self)` holds and time is
-    /// within `deadline`. Returns `true` if the queue drained.
-    fn run_while(&mut self, deadline: SimTime, keep_going: impl Fn(&Self) -> bool) -> bool {
+    /// within `deadline`. Returns `Ok(true)` if the queue drained.
+    fn run_while(
+        &mut self,
+        deadline: SimTime,
+        keep_going: impl Fn(&Self) -> bool,
+    ) -> Result<bool, RunError> {
         self.ensure_started();
         while keep_going(self) {
             let Some(ev) = self.queue.peek() else {
                 self.metrics.end_time = self.now;
-                return true;
+                return Ok(true);
             };
             if ev.at > deadline {
                 self.metrics.end_time = self.now;
-                return false;
+                return Ok(false);
+            }
+            // Budget check *before* popping: the offending event stays
+            // queued, so the simulation is not silently perturbed (a later
+            // run call would otherwise diverge from a fresh same-seed run
+            // by exactly the dropped event).
+            if self.metrics.steps >= self.cfg.max_steps {
+                let last_event = LastEvent {
+                    at: ev.at,
+                    target: ev.target,
+                    kind: match &ev.kind {
+                        EvKind::Arrival { .. } => "arrival",
+                        EvKind::Timer { .. } => "timer",
+                        EvKind::Cast(_) => "cast",
+                        EvKind::Crash => "crash",
+                        EvKind::NotifyCrash { .. } => "crash-notification",
+                    },
+                };
+                self.metrics.end_time = self.now;
+                return Err(RunError::StepBudgetExhausted { last_event });
             }
             let ev = self.queue.pop().expect("peeked");
-            assert!(
-                self.metrics.steps < self.cfg.max_steps,
-                "simulation exceeded max_steps = {}; non-quiescent protocol or live-lock?",
-                self.cfg.max_steps
-            );
             self.now = ev.at;
             self.dispatch(ev);
         }
         self.metrics.end_time = self.now;
-        self.queue.is_empty()
+        Ok(self.queue.is_empty())
     }
 
     fn dispatch(&mut self, ev: Ev<P::Msg>) {
@@ -398,7 +564,9 @@ impl<P: Protocol> Simulation<P> {
                 self.step(p, |proto, ctx, out| proto.on_cast(msg, ctx, out));
             }
             EvKind::NotifyCrash { of } => {
-                self.step(p, |proto, ctx, out| proto.on_crash_notification(of, ctx, out));
+                self.step(p, |proto, ctx, out| {
+                    proto.on_crash_notification(of, ctx, out)
+                });
             }
         }
     }
@@ -413,9 +581,9 @@ impl<P: Protocol> Simulation<P> {
         self.metrics.steps += 1;
 
         let actions: Vec<Action<P::Msg>> = out.drain().collect();
-        let any_inter = actions.iter().any(
-            |a| matches!(a, Action::Send { to, .. } if !self.topo.same_group(p, *to)),
-        );
+        let any_inter = actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { to, .. } if !self.topo.same_group(p, *to)));
         let deliver_stamp = self.clocks[p.index()].value();
         let stamp = self.clocks[p.index()].finish_step(any_inter);
 
@@ -447,6 +615,44 @@ impl<P: Protocol> Simulation<P> {
                             inter_group: inter,
                         });
                     }
+                    // The fault adversary acts here, after the send is
+                    // recorded (the copy *was* sent; the network ate it)
+                    // and after the main stream sampled the base delay (so
+                    // the main stream's consumption is identical whatever
+                    // the plan decides). All fault randomness comes from
+                    // the injector's private stream.
+                    if let Some(inj) = self.faults.as_mut() {
+                        let fate = inj.on_send(p, to, self.now);
+                        if fate.dropped {
+                            self.metrics.dropped_sends += 1;
+                            continue;
+                        }
+                        let delay = delay.mul_f64(fate.delay_factor);
+                        if let Some(extra) = fate.duplicate {
+                            self.metrics.duplicated_sends += 1;
+                            let dup_at = self.now + delay.mul_f64(1.0 + extra);
+                            self.push(
+                                dup_at,
+                                to,
+                                EvKind::Arrival {
+                                    from: p,
+                                    stamp: s,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
+                        let at = self.now + delay;
+                        self.push(
+                            at,
+                            to,
+                            EvKind::Arrival {
+                                from: p,
+                                stamp: s,
+                                msg,
+                            },
+                        );
+                        continue;
+                    }
                     let at = self.now + delay;
                     self.push(
                         at,
@@ -459,17 +665,13 @@ impl<P: Protocol> Simulation<P> {
                     );
                 }
                 Action::Deliver(m) => {
-                    self.metrics
-                        .deliveries
-                        .entry(m.id)
-                        .or_default()
-                        .insert(
-                            p,
-                            DeliveryRecord {
-                                time: self.now,
-                                stamp: deliver_stamp,
-                            },
-                        );
+                    self.metrics.deliveries.entry(m.id).or_default().insert(
+                        p,
+                        DeliveryRecord {
+                            time: self.now,
+                            stamp: deliver_stamp,
+                        },
+                    );
                     self.metrics.delivered_seq[p.index()].push(m.id);
                 }
                 Action::Timer { after, kind } => {
@@ -520,7 +722,9 @@ mod tests {
     }
 
     fn flood_sim(k: usize, d: usize) -> Simulation<Flood> {
-        Simulation::new(Topology::symmetric(k, d), SimConfig::default(), |_, _| Flood)
+        Simulation::new(Topology::symmetric(k, d), SimConfig::default(), |_, _| {
+            Flood
+        })
     }
 
     #[test]
@@ -587,27 +791,32 @@ mod tests {
                 self.0 += 1;
             }
         }
-        let mut sim = Simulation::new(
-            Topology::symmetric(1, 3),
-            SimConfig::default(),
-            |_, _| CountCrash(0),
-        );
+        let mut sim = Simulation::new(Topology::symmetric(1, 3), SimConfig::default(), |_, _| {
+            CountCrash(0)
+        });
         sim.crash_at(SimTime::from_millis(1), ProcessId(0));
         sim.run_until(SimTime::from_millis(10_000));
         assert_eq!(sim.protocol(ProcessId(1)).0, 1);
         assert_eq!(sim.protocol(ProcessId(2)).0, 1);
-        assert_eq!(sim.protocol(ProcessId(0)).0, 0, "crashed process learns nothing");
+        assert_eq!(
+            sim.protocol(ProcessId(0)).0,
+            0,
+            "crashed process learns nothing"
+        );
     }
 
     #[test]
     fn deterministic_replay() {
         let run = |seed: u64| {
-            let cfg = SimConfig::default().with_seed(seed).with_net(
-                NetConfig::default().with_inter(crate::LatencyModel::Uniform {
-                    min: Duration::from_millis(50),
-                    max: Duration::from_millis(150),
-                }),
-            );
+            let cfg =
+                SimConfig::default()
+                    .with_seed(seed)
+                    .with_net(
+                        NetConfig::default().with_inter(crate::LatencyModel::Uniform {
+                            min: Duration::from_millis(50),
+                            max: Duration::from_millis(150),
+                        }),
+                    );
             let mut sim = Simulation::new(Topology::symmetric(3, 2), cfg, |_, _| Flood);
             let dest = sim.topology().all_groups();
             let mut ids = Vec::new();
@@ -628,7 +837,11 @@ mod tests {
             )
         };
         assert_eq!(run(42), run(42));
-        assert_ne!(run(42).0, run(43).0, "different seeds give different jitter");
+        assert_ne!(
+            run(42).0,
+            run(43).0,
+            "different seeds give different jitter"
+        );
     }
 
     #[test]
@@ -651,11 +864,9 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulation::new(
-            Topology::symmetric(1, 1),
-            SimConfig::default(),
-            |_, _| TimerChain { fired: vec![] },
-        );
+        let mut sim = Simulation::new(Topology::symmetric(1, 1), SimConfig::default(), |_, _| {
+            TimerChain { fired: vec![] }
+        });
         sim.run_to_quiescence();
         assert_eq!(sim.protocol(ProcessId(0)).fired, vec![2, 3, 1]);
     }

@@ -163,6 +163,8 @@ mod tests {
         // size-only policies degrade to eager.
         let b = BatchConfig::new(64);
         assert!(b.is_disabled());
-        assert!(!BatchConfig::new(64).with_max_delay(Duration::from_millis(5)).is_disabled());
+        assert!(!BatchConfig::new(64)
+            .with_max_delay(Duration::from_millis(5))
+            .is_disabled());
     }
 }

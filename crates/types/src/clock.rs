@@ -16,7 +16,6 @@
 //! The simulator owns one [`LatencyClock`] per process and drives it; protocol
 //! code never sees these stamps, which is what makes the measurement honest.
 
-
 /// Measured latency degree of a message: the Δ(m, R) of §2.3.
 pub type LatencyDegree = u64;
 

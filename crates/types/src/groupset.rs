@@ -272,7 +272,7 @@ impl fmt::Display for GroupSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testrng::TestRng;
+    use crate::SplitMix64;
 
     #[test]
     fn empty_set() {
@@ -350,9 +350,11 @@ mod tests {
 
     #[test]
     fn insert_then_contains() {
-        let mut rng = TestRng::new(0x6517);
+        let mut rng = SplitMix64::new(0x6517);
         for case in 0..256 {
-            let ids: Vec<u16> = (0..rng.below(20)).map(|_| rng.below(64) as u16).collect();
+            let ids: Vec<u16> = (0..rng.next_below(20))
+                .map(|_| rng.next_below(64) as u16)
+                .collect();
             let mut s = GroupSet::new();
             for &i in &ids {
                 s.insert(GroupId(i));
@@ -367,7 +369,7 @@ mod tests {
 
     #[test]
     fn union_is_commutative() {
-        let mut rng = TestRng::new(0xC0117);
+        let mut rng = SplitMix64::new(0xC0117);
         for case in 0..256 {
             let (x, y) = (
                 GroupSet::from_bits(rng.next_u64()),
@@ -380,7 +382,7 @@ mod tests {
 
     #[test]
     fn difference_disjoint_from_subtrahend() {
-        let mut rng = TestRng::new(0xD1FF);
+        let mut rng = SplitMix64::new(0xD1FF);
         for case in 0..256 {
             let (x, y) = (
                 GroupSet::from_bits(rng.next_u64()),

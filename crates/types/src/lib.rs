@@ -17,7 +17,12 @@
 //! * [`SimTime`] — virtual time for the discrete-event simulator;
 //! * [`BatchConfig`] — the consensus-amortization policy of the batching
 //!   layer (how many messages pool before a consensus instance is spent on
-//!   them); interpreted by the protocol cores in `wamcast-core`.
+//!   them); interpreted by the protocol cores in `wamcast-core`;
+//! * [`FaultPlan`] / [`FaultConfig`] / [`FaultInjector`] — the deterministic
+//!   fault-injection adversary (crash schedules, link loss, partitions,
+//!   duplication, latency spikes) applied by both runtimes, see [`fault`];
+//! * [`SplitMix64`] — the workspace's deterministic generator, shared by
+//!   the simulator, the workload generators and the fault layer.
 //!
 //! # Example
 //!
@@ -38,21 +43,23 @@
 mod batch;
 mod clock;
 mod error;
+pub mod fault;
 mod groupset;
 mod ids;
 mod message;
 pub mod proto;
-#[cfg(test)]
-pub(crate) mod testrng;
+mod rng;
 mod time;
 mod topology;
 
 pub use batch::BatchConfig;
 pub use clock::{EventStamp, LatencyClock, LatencyDegree};
 pub use error::TopologyError;
+pub use fault::{FaultConfig, FaultInjector, FaultPlan, FaultWindow, LinkFate};
 pub use groupset::GroupSet;
 pub use ids::{GroupId, ProcessId};
 pub use message::{AppMessage, MessageId, Payload};
 pub use proto::{Action, Context, Outbox, Protocol};
+pub use rng::SplitMix64;
 pub use time::SimTime;
 pub use topology::{Topology, TopologyBuilder};

@@ -1,18 +1,27 @@
-//! Deterministic pseudo-random numbers for the simulator.
+//! Deterministic pseudo-random numbers for the workspace.
 //!
-//! The simulator implements its own tiny generator instead of using the
+//! The workspace implements its own tiny generator instead of using the
 //! `rand` crate so that schedules are bit-for-bit reproducible across `rand`
-//! version bumps; a run is identified by `(topology, config, seed, workload)`
-//! alone.
+//! version bumps; a simulation run is identified by `(topology, config,
+//! workload, seed)` alone. The generator lives in `wamcast-types` (the root
+//! of the dependency graph) because both runtimes consume it: the
+//! discrete-event simulator (`wamcast-sim`) for latency jitter and workload
+//! generation, and the threaded runtime (`wamcast-net`) for its lossy-link
+//! adversary. `wamcast-sim` re-exports it, so `wamcast_sim::SplitMix64`
+//! remains a valid path.
 
 /// SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, statistically
 /// solid, splittable generator. One instance drives all stochastic choices
-/// of a simulation run (link-latency jitter, workload generation).
+/// of a simulation run (link-latency jitter, workload generation); the
+/// fault-injection layer forks an independent stream with [`split`] so that
+/// fault decisions never perturb the main schedule stream.
+///
+/// [`split`]: SplitMix64::split
 ///
 /// # Example
 ///
 /// ```
-/// use wamcast_sim::SplitMix64;
+/// use wamcast_types::SplitMix64;
 /// let mut a = SplitMix64::new(42);
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed ⇒ same stream

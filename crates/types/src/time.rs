@@ -22,9 +22,7 @@ use std::time::Duration;
 /// assert!(t > SimTime::ZERO);
 /// assert_eq!(t - SimTime::ZERO, Duration::from_millis(100));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {

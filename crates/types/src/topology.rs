@@ -48,7 +48,8 @@ impl Topology {
         for _ in 0..k {
             b = b.group(d);
         }
-        b.build().expect("symmetric topology arguments must be valid")
+        b.build()
+            .expect("symmetric topology arguments must be valid")
     }
 
     /// Number of groups |Γ|.
@@ -186,7 +187,7 @@ impl TopologyBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testrng::TestRng;
+    use crate::SplitMix64;
 
     #[test]
     fn symmetric_layout() {
@@ -245,7 +246,12 @@ mod tests {
 
     #[test]
     fn majorities() {
-        let t = Topology::builder().group(1).group(2).group(5).build().unwrap();
+        let t = Topology::builder()
+            .group(1)
+            .group(2)
+            .group(5)
+            .build()
+            .unwrap();
         assert_eq!(t.group_majority(GroupId(0)), 1);
         assert_eq!(t.group_majority(GroupId(1)), 2);
         assert_eq!(t.group_majority(GroupId(2)), 3);
@@ -261,10 +267,10 @@ mod tests {
 
     #[test]
     fn groups_partition_processes() {
-        let mut rng = TestRng::new(0x70B0);
+        let mut rng = SplitMix64::new(0x70B0);
         for case in 0..256 {
-            let sizes: Vec<usize> = (0..1 + rng.below(9))
-                .map(|_| 1 + rng.below(4) as usize)
+            let sizes: Vec<usize> = (0..1 + rng.next_below(9))
+                .map(|_| 1 + rng.next_below(4) as usize)
                 .collect();
             let mut b = Topology::builder();
             for &s in &sizes {

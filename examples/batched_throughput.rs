@@ -20,10 +20,8 @@ fn run(batch: BatchConfig) -> (u64, u64, Duration) {
     let ids: Vec<_> = (0..600u64)
         .map(|i| {
             let caster = ProcessId((i % 6) as u32);
-            let dest = GroupSet::from_iter([
-                GroupId((i % 3) as u16),
-                GroupId(((i + 1) % 3) as u16),
-            ]);
+            let dest =
+                GroupSet::from_iter([GroupId((i % 3) as u16), GroupId(((i + 1) % 3) as u16)]);
             sim.cast_at(
                 SimTime::from_nanos(i * 1_666_667),
                 caster,

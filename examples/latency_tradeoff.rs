@@ -50,9 +50,7 @@ fn report(name: &str, o: &Outcome) {
     );
 }
 
-fn run<P: Protocol>(
-    factory: impl FnMut(ProcessId, &Topology) -> P,
-) -> Outcome {
+fn run<P: Protocol>(factory: impl FnMut(ProcessId, &Topology) -> P) -> Outcome {
     let topo = Topology::symmetric(5, 2);
     let mut sim = Simulation::new(topo, SimConfig::default(), factory);
     let ids = workload(&mut sim);
@@ -61,7 +59,11 @@ fn run<P: Protocol>(
     let correct = sim.alive_processes();
     invariants::check_all(sim.topology(), sim.metrics(), &correct).assert_ok();
     let m = sim.metrics();
-    let max_degree = ids.iter().filter_map(|&i| m.latency_degree(i)).max().unwrap();
+    let max_degree = ids
+        .iter()
+        .filter_map(|&i| m.latency_degree(i))
+        .max()
+        .unwrap();
     let mean_wall_ms = ids
         .iter()
         .filter_map(|&i| m.delivery_latency(i))
@@ -71,8 +73,8 @@ fn run<P: Protocol>(
     // Did any process outside a message's destination carry traffic? For
     // the genuine protocol the checker proves not; for broadcast-and-filter
     // every process participates in every round.
-    let bystander_msgs = invariants::check_genuineness(sim.topology(), m).is_ok()
-        && m.sent_any.iter().all(|&s| s); // everyone sent => bystanders too
+    let bystander_msgs =
+        invariants::check_genuineness(sim.topology(), m).is_ok() && m.sent_any.iter().all(|&s| s); // everyone sent => bystanders too
     Outcome {
         max_degree,
         mean_wall_ms,

@@ -48,7 +48,10 @@ fn main() {
     // Every transaction was applied by exactly the replicas of its owners.
     for &(table, id) in &ids {
         let n = sim.metrics().delivered_by(id).len();
-        assert_eq!(n, 6, "{table} transaction must reach its 2 sites x 3 replicas");
+        assert_eq!(
+            n, 6,
+            "{table} transaction must reach its 2 sites x 3 replicas"
+        );
     }
 
     // Sites replicating the same table agree on its order (uniform prefix
@@ -63,10 +66,7 @@ fn main() {
         let replica = ProcessId(site as u32 * 3);
         let log: Vec<String> = sim.metrics().delivered_seq[replica.index()]
             .iter()
-            .filter(|m| {
-                ids.iter()
-                    .any(|&(t, id)| id == **m && t == "orders")
-            })
+            .filter(|m| ids.iter().any(|&(t, id)| id == **m && t == "orders"))
             .map(|m| m.to_string())
             .collect();
         println!("  site {site}: {}", log.join(" -> "));

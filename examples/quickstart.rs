@@ -47,7 +47,10 @@ fn main() {
     for (i, &m) in ids.iter().enumerate() {
         let deg = sim.metrics().latency_degree(m).unwrap();
         let wall = sim.metrics().delivery_latency(m).unwrap();
-        println!("  msg {i:2}: degree {deg} ({:.1} ms)", wall.as_secs_f64() * 1e3);
+        println!(
+            "  msg {i:2}: degree {deg} ({:.1} ms)",
+            wall.as_secs_f64() * 1e3
+        );
     }
 
     // 3. The run satisfied every property of the paper's §2.2 spec.

@@ -23,7 +23,11 @@ fn main() {
     let mut ids = Vec::new();
     for i in 0..8u32 {
         let caster = ProcessId(i % 6);
-        ids.push(cluster.cast(caster, everyone, Payload::from(format!("op{i}").into_bytes())));
+        ids.push(cluster.cast(
+            caster,
+            everyone,
+            Payload::from(format!("op{i}").into_bytes()),
+        ));
         std::thread::sleep(Duration::from_millis(5));
     }
     for &id in &ids {
@@ -33,12 +37,19 @@ fn main() {
     }
 
     // All six threads hold the same total order.
-    let reference: Vec<_> = cluster.delivered(ProcessId(0)).iter().map(|m| m.id).collect();
+    let reference: Vec<_> = cluster
+        .delivered(ProcessId(0))
+        .iter()
+        .map(|m| m.id)
+        .collect();
     for p in cluster.topology().processes() {
         let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
         assert_eq!(seq[..reference.len()], reference[..], "{p} diverged");
     }
-    println!("6 threads agreed on a total order of {} messages:", reference.len());
+    println!(
+        "6 threads agreed on a total order of {} messages:",
+        reference.len()
+    );
     for m in &reference {
         println!("  {m}");
     }

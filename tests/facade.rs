@@ -4,9 +4,7 @@
 use std::time::Duration;
 use wamcast::sim::{invariants, LatencyModel, NetConfig, SimConfig, Simulation};
 use wamcast::types::{GroupId, GroupSet, Payload, ProcessId, SimTime};
-use wamcast::{
-    GenuineMulticast, MulticastConfig, NonGenuineMulticast, RoundBroadcast, Topology,
-};
+use wamcast::{GenuineMulticast, MulticastConfig, NonGenuineMulticast, RoundBroadcast, Topology};
 
 #[test]
 fn paper_headline_results_in_one_test() {
@@ -36,7 +34,12 @@ fn paper_headline_results_in_one_test() {
             Payload::new(),
         );
     }
-    let probe = a2.cast_at(SimTime::from_millis(450), ProcessId(0), dest, Payload::new());
+    let probe = a2.cast_at(
+        SimTime::from_millis(450),
+        ProcessId(0),
+        dest,
+        Payload::new(),
+    );
     a2.run_to_quiescence();
     assert_eq!(a2.metrics().latency_degree(probe), Some(1));
 }
@@ -44,15 +47,17 @@ fn paper_headline_results_in_one_test() {
 #[test]
 fn facade_reexports_work_together() {
     // Use types, sim, core and invariants through the facade only.
-    let topo = wamcast::Topology::builder().group(2).group(1).build().unwrap();
-    let cfg = SimConfig::default()
-        .with_seed(7)
-        .with_net(NetConfig::wan(Duration::from_millis(40)).with_intra(
-            LatencyModel::Uniform {
-                min: Duration::from_micros(50),
-                max: Duration::from_micros(200),
-            },
-        ));
+    let topo = wamcast::Topology::builder()
+        .group(2)
+        .group(1)
+        .build()
+        .unwrap();
+    let cfg = SimConfig::default().with_seed(7).with_net(
+        NetConfig::wan(Duration::from_millis(40)).with_intra(LatencyModel::Uniform {
+            min: Duration::from_micros(50),
+            max: Duration::from_micros(200),
+        }),
+    );
     let mut sim = Simulation::new(topo, cfg, |p, t| {
         GenuineMulticast::new(p, t, MulticastConfig::default())
     });
@@ -105,7 +110,11 @@ fn consensus_and_rmcast_are_usable_standalone() {
     let mut rm = RmcastEngine::new(ProcessId(0));
     let mut out = RmcastOut::new();
     rm.rmcast(
-        AppMessage::new(MessageId::new(ProcessId(0), 0), GroupSet::first_n(2), Payload::new()),
+        AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::first_n(2),
+            Payload::new(),
+        ),
         &topo,
         &mut out,
     );

@@ -140,7 +140,10 @@ fn a1_single_crash_preserves_spec() {
         let mut sim = Simulation::new(Topology::symmetric(2, 3), cfg, |p, t| {
             GenuineMulticast::new(p, t, MulticastConfig::default())
         });
-        sim.crash_at(SimTime::from_millis(crash_ms), ProcessId(crash_victim as u32));
+        sim.crash_at(
+            SimTime::from_millis(crash_ms),
+            ProcessId(crash_victim as u32),
+        );
         let ids = apply_plan(&mut sim, &plan, 30);
         // Deliveries must complete at all *alive* addressed processes.
         assert!(
@@ -196,7 +199,11 @@ fn a2_random_workloads_satisfy_spec() {
         // Total order: identical delivery sequences everywhere.
         let reference = &sim.metrics().delivered_seq[0];
         for p in sim.topology().processes() {
-            assert_eq!(&sim.metrics().delivered_seq[p.index()], reference, "case {case}");
+            assert_eq!(
+                &sim.metrics().delivered_seq[p.index()],
+                reference,
+                "case {case}"
+            );
         }
     }
 }
@@ -216,7 +223,10 @@ fn runs_are_reproducible() {
             let ids = apply_plan(&mut sim, plan, 25);
             sim.run_until_delivered(&ids, SimTime::from_millis(3_600_000));
             sim.run_to_quiescence();
-            (sim.metrics().delivered_seq.clone(), sim.metrics().inter_sends)
+            (
+                sim.metrics().delivered_seq.clone(),
+                sim.metrics().inter_sends,
+            )
         };
         assert_eq!(run(seed, &plan), run(seed, &plan), "case {case}");
     }
@@ -284,8 +294,7 @@ fn batched_and_unbatched_deliver_same_messages_in_total_order() {
         let plan = random_plan(&mut rng, 3, 24);
         let max_msgs = 2 + rng.next_below(15) as usize;
         let delay_ms = 5 + rng.next_below(40);
-        let batch = BatchConfig::new(max_msgs)
-            .with_max_delay(Duration::from_millis(delay_ms));
+        let batch = BatchConfig::new(max_msgs).with_max_delay(Duration::from_millis(delay_ms));
 
         let run = |batch: BatchConfig| {
             let cfg = SimConfig::default().with_seed(seed).with_net(jittery_net());
@@ -357,7 +366,10 @@ fn batching_preserves_canonical_latency_degrees() {
         assert_eq!(sim.metrics().latency_degree(multi), Some(2), "{batch:?}");
         assert_eq!(sim.metrics().latency_degree(single), Some(0), "{batch:?}");
         // Genuineness: g2 stays silent regardless of batching.
-        assert!(!sim.metrics().sent_any[4] && !sim.metrics().sent_any[5], "{batch:?}");
+        assert!(
+            !sim.metrics().sent_any[4] && !sim.metrics().sent_any[5],
+            "{batch:?}"
+        );
         invariants::check_all(sim.topology(), sim.metrics(), &sim.alive_processes()).assert_ok();
     }
 }
@@ -402,7 +414,11 @@ fn a2_batch_policy_preserves_total_order() {
         assert!(report.is_ok(), "case {case}: {:?}", report.violations);
         let reference = &sim.metrics().delivered_seq[0];
         for p in sim.topology().processes() {
-            assert_eq!(&sim.metrics().delivered_seq[p.index()], reference, "case {case}");
+            assert_eq!(
+                &sim.metrics().delivered_seq[p.index()],
+                reference,
+                "case {case}"
+            );
         }
     }
 }
