@@ -1,0 +1,78 @@
+//! Bench: the SMR service layer (E11).
+//!
+//! Two timings: the pure [`KvStateMachine`] apply loop (the per-delivery
+//! cost the service adds on top of ordering — decode, shard-filtered
+//! mutation, log append, digest mix), and a small end-to-end closed-loop
+//! KV run on the simulator. A regression in either the apply hot path or
+//! the delivery→apply hookup shows up as a timing change; the embedded
+//! history-checker assertion keeps the end-to-end bench honest.
+
+use std::hint::black_box;
+use wamcast_bench::harness::{BenchmarkId, Criterion};
+use wamcast_bench::{criterion_group, criterion_main};
+use wamcast_harness::smr_throughput_once;
+use wamcast_smr::{Command, KvStateMachine, ShardMap};
+use wamcast_types::{AppMessage, GroupId, MessageId, ProcessId, SplitMix64, StateMachine};
+
+/// Pre-encodes a mixed command stream (70% single-key, 30% cross-shard)
+/// as delivered messages, outside the timing loop.
+fn command_stream(shards: ShardMap, n: usize) -> Vec<AppMessage> {
+    let mut rng = SplitMix64::new(0x53B);
+    (0..n)
+        .map(|i| {
+            let cmd = if rng.next_below(100) < 30 {
+                Command::Transfer {
+                    from: shards.key_owned_by(GroupId(0), rng.next_below(256)),
+                    to: shards.key_owned_by(GroupId(1), rng.next_below(256)),
+                    amount: 1,
+                }
+            } else {
+                Command::Incr {
+                    key: rng.next_below(256),
+                    delta: 1,
+                }
+            };
+            AppMessage::new(
+                MessageId::new(ProcessId(0), i as u64),
+                shards.dest_of(&cmd),
+                cmd.encode(),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let shards = ShardMap::new(2);
+    let stream = command_stream(shards, 1024);
+
+    let mut g = c.benchmark_group("smr_apply");
+    g.bench_function("kv_apply_1024", |b| {
+        b.iter(|| {
+            let mut kv = KvStateMachine::new(GroupId(0), shards);
+            for m in &stream {
+                if m.dest.contains(GroupId(0)) {
+                    kv.apply(m);
+                }
+            }
+            black_box(kv.digest())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("smr_end_to_end_3x2");
+    g.sample_size(10);
+    for batch in [1usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                // 4 clients/group x 4 ops, 30% cross-shard; the checker
+                // runs inside and panics on any violation.
+                let cell = smr_throughput_once(3, 2, 4, 4, 30, batch, 0x53B);
+                black_box(cell.ops_per_sec)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,7 +12,10 @@
 //! * `ablation` — the design choices DESIGN.md calls out: A1 stage
 //!   skipping vs. Fritzke \[5\], and A2 round pacing;
 //! * `batching` — consensus amortization: the same Poisson load with
-//!   batching disabled vs. batch sizes 16 and 64.
+//!   batching disabled vs. batch sizes 16 and 64;
+//! * `smr` — the KV service layer (E11): the pure state-machine apply
+//!   loop, and a small end-to-end closed-loop run with the history
+//!   checker embedded.
 //!
 //! The workspace builds offline with no external dependencies, so the
 //! benches run on the [`harness`] module below — a small, self-contained

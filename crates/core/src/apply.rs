@@ -1,0 +1,151 @@
+//! The delivery→apply hookup: hosting a [`StateMachine`] on any protocol.
+//!
+//! The ordering protocols in this crate emit [`Action::Deliver`] and stop
+//! caring; a replicated service needs those deliveries *applied*, in order,
+//! at every replica. [`WithApply`] is that bridge: a transparent
+//! [`Protocol`] wrapper that forwards every handler to the inner protocol
+//! and feeds each `A-Deliver` it emits to a [`StateMachine`] *before*
+//! re-emitting it to the host. Metrics, invariant checks and delivery logs
+//! therefore see exactly the same actions as without the wrapper — the
+//! state machine is a pure observer of the delivery sequence.
+//!
+//! Because the wrapper is generic over the machine, a harness can pass an
+//! `Arc<Mutex<S>>` handle (see the blanket impl in `wamcast-types`) and keep
+//! a clone for itself — the only way to read replica state back out of the
+//! threaded runtime, and convenient in the simulator too.
+
+use wamcast_types::{Action, AppMessage, Context, Outbox, ProcessId, Protocol, StateMachine};
+
+/// A protocol value paired with a state machine consuming its deliveries.
+///
+/// See the [module docs](self) for the contract. Construct with
+/// [`new`](Self::new); access the machine with [`machine`](Self::machine)
+/// (e.g. via [`Simulation::protocol`]) or keep a shared handle.
+///
+/// [`Simulation::protocol`]: https://docs.rs/wamcast-sim
+#[derive(Debug)]
+pub struct WithApply<P, S> {
+    inner: P,
+    sm: S,
+}
+
+impl<P: Protocol, S: StateMachine> WithApply<P, S> {
+    /// Wraps `inner` so its deliveries are applied to `sm`.
+    pub fn new(inner: P, sm: S) -> Self {
+        WithApply { inner, sm }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The state machine fed by this replica's deliveries.
+    pub fn machine(&self) -> &S {
+        &self.sm
+    }
+
+    /// Relays buffered inner actions, applying deliveries on the way out.
+    fn relay(&mut self, tmp: &mut Outbox<P::Msg>, out: &mut Outbox<P::Msg>) {
+        for action in tmp.drain() {
+            match action {
+                Action::Deliver(m) => {
+                    self.sm.apply(&m);
+                    out.deliver(m);
+                }
+                Action::Send { to, msg } => out.send(to, msg),
+                Action::Timer { after, kind } => out.set_timer(after, kind),
+            }
+        }
+    }
+}
+
+impl<P: Protocol, S: StateMachine + Send + 'static> Protocol for WithApply<P, S> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_start(ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_cast(msg, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: P::Msg,
+        ctx: &Context,
+        out: &mut Outbox<P::Msg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_message(from, msg, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &Context, out: &mut Outbox<P::Msg>) {
+        let mut tmp = Outbox::new();
+        self.inner.on_timer(kind, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+
+    fn on_crash_notification(
+        &mut self,
+        crashed: ProcessId,
+        ctx: &Context,
+        out: &mut Outbox<P::Msg>,
+    ) {
+        let mut tmp = Outbox::new();
+        self.inner.on_crash_notification(crashed, ctx, &mut tmp);
+        self.relay(&mut tmp, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+    use wamcast_types::{GroupId, GroupSet, MessageId, Payload, SimTime, Topology};
+
+    /// Deliver-to-self protocol (the simulator's Loopback smoke shape).
+    struct Loopback;
+    impl Protocol for Loopback {
+        type Msg = ();
+        fn on_cast(&mut self, m: AppMessage, _ctx: &Context, out: &mut Outbox<()>) {
+            out.deliver(m);
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: (), _c: &Context, _o: &mut Outbox<()>) {}
+    }
+
+    struct Log(Vec<MessageId>);
+    impl StateMachine for Log {
+        fn apply(&mut self, msg: &AppMessage) {
+            self.0.push(msg.id);
+        }
+    }
+
+    #[test]
+    fn deliveries_are_applied_and_still_emitted() {
+        let topo = Arc::new(Topology::symmetric(1, 1));
+        let ctx = Context::new(ProcessId(0), topo, SimTime::ZERO);
+        let shared = Arc::new(Mutex::new(Log(Vec::new())));
+        let mut p = WithApply::new(Loopback, Arc::clone(&shared));
+        let m = AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::singleton(GroupId(0)),
+            Payload::new(),
+        );
+        let mut out = Outbox::new();
+        p.on_cast(m.clone(), &ctx, &mut out);
+        // The Deliver action still reaches the host…
+        let acts: Vec<_> = out.drain().collect();
+        assert!(matches!(&acts[..], [Action::Deliver(d)] if d.id == m.id));
+        // …and the machine saw it first.
+        assert_eq!(shared.lock().unwrap().0, vec![m.id]);
+        assert_eq!(p.machine().lock().unwrap().0.len(), 1);
+    }
+}

@@ -27,7 +27,10 @@
 //!
 //! All three are sans-io [`Protocol`]s (see `wamcast_types::proto`) and run
 //! unchanged under the deterministic simulator (`wamcast-sim`) and the
-//! threaded runtime (`wamcast-net`).
+//! threaded runtime (`wamcast-net`). [`WithApply`] turns any of them into a
+//! state-machine-replication host: it feeds every `A-Deliver` to a
+//! [`StateMachine`](wamcast_types::StateMachine) in delivery order (the
+//! hookup the `wamcast-smr` KV service builds on).
 //!
 //! [`Protocol`]: wamcast_types::Protocol
 
@@ -36,7 +39,9 @@
 
 pub mod abcast;
 pub mod amcast;
+pub mod apply;
 
 pub use abcast::{BroadcastMsg, RoundBroadcast};
 pub use amcast::nongenuine::NonGenuineMulticast;
 pub use amcast::{GenuineMulticast, MulticastConfig, MulticastMsg, Stage};
+pub use apply::WithApply;

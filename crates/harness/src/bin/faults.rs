@@ -1,14 +1,29 @@
 //! E9 — Fault injection: the paper's algorithms are proved correct under
 //! crash-stop failures; this experiment exercises those proofs' scenarios
 //! and reports delivery outcomes and latency impact.
+//!
+//! Simulation failures are surfaced structurally: a blown step budget
+//! ([`RunError::StepBudgetExhausted`]) exits non-zero with the replay
+//! command instead of panicking, matching `scenario_fuzz` behavior (the
+//! run is fixed-seed, so the command itself is the replay line).
 
+use std::process::ExitCode;
 use std::time::Duration;
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_harness::Table;
-use wamcast_sim::{invariants, SimConfig, Simulation};
-use wamcast_types::{GroupSet, Payload, ProcessId, SimTime, Topology};
+use wamcast_sim::{invariants, RunError, SimConfig, Simulation};
+use wamcast_types::{GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
 
-fn main() {
+/// The fixed-seed replay line printed on structural failure.
+const REPLAY: &str = "cargo run --release -p wamcast-harness --bin faults";
+
+fn budget_exhausted(scenario: &str, e: &RunError) -> ExitCode {
+    eprintln!("faults: {scenario}: {e}");
+    eprintln!("replay: {REPLAY}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
     let mut t = Table::new(vec![
         "scenario",
         "protocol",
@@ -30,8 +45,13 @@ fn main() {
             Payload::new(),
         );
         sim.crash_at(SimTime::from_micros(150), ProcessId(0));
-        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
-        sim.run_until(sim.now() + Duration::from_secs(60));
+        let ok = match sim.try_run_until_delivered(&[id], SimTime::from_millis(600_000)) {
+            Ok(ok) => ok,
+            Err(e) => return budget_exhausted("A1 caster crash after cast", &e),
+        };
+        if let Err(e) = sim.try_run_until(sim.now() + Duration::from_secs(60)) {
+            return budget_exhausted("A1 caster crash after cast (settle)", &e);
+        }
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
         t.row(vec![
@@ -56,7 +76,10 @@ fn main() {
             GroupSet::first_n(2),
             Payload::new(),
         );
-        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
+        let ok = match sim.try_run_until_delivered(&[id], SimTime::from_millis(600_000)) {
+            Ok(ok) => ok,
+            Err(e) => return budget_exhausted("A1 remote coordinator crash", &e),
+        };
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
         t.row(vec![
@@ -82,7 +105,10 @@ fn main() {
             GroupSet::first_n(2),
             Payload::new(),
         );
-        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
+        let ok = match sim.try_run_until_delivered(&[id], SimTime::from_millis(600_000)) {
+            Ok(ok) => ok,
+            Err(e) => return budget_exhausted("A1 minority crashes", &e),
+        };
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
         t.row(vec![
@@ -103,8 +129,13 @@ fn main() {
         let dest = sim.topology().all_groups();
         let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
         sim.crash_at(SimTime::from_micros(200), ProcessId(0));
-        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
-        sim.run_until(sim.now() + Duration::from_secs(60));
+        let ok = match sim.try_run_until_delivered(&[id], SimTime::from_millis(600_000)) {
+            Ok(ok) => ok,
+            Err(e) => return budget_exhausted("A2 caster crash after cast", &e),
+        };
+        if let Err(e) = sim.try_run_until(sim.now() + Duration::from_secs(60)) {
+            return budget_exhausted("A2 caster crash after cast (settle)", &e);
+        }
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
         t.row(vec![
@@ -125,7 +156,10 @@ fn main() {
         let dest = sim.topology().all_groups();
         sim.crash_at(SimTime::from_millis(100), ProcessId(3));
         let id = sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
-        let ok = sim.run_until_delivered(&[id], SimTime::from_millis(600_000));
+        let ok = match sim.try_run_until_delivered(&[id], SimTime::from_millis(600_000)) {
+            Ok(ok) => ok,
+            Err(e) => return budget_exhausted("A2 coordinator crash mid-round", &e),
+        };
         let correct = sim.alive_processes();
         let inv = invariants::check_all(sim.topology(), sim.metrics(), &correct);
         t.row(vec![
@@ -141,6 +175,7 @@ fn main() {
     println!("{}", t.render());
     println!("expected: every scenario delivers with all Section 2.2 properties intact;");
     println!("crash recovery adds roughly the failure-detection delay to wall latency.");
+    ExitCode::SUCCESS
 }
 
 fn yes_no(b: bool) -> String {
@@ -157,7 +192,7 @@ fn ok_bad(b: bool) -> String {
         "VIOLATED".into()
     }
 }
-fn wall<P: wamcast_types::Protocol>(sim: &Simulation<P>, id: wamcast_types::MessageId) -> String {
+fn wall<P: Protocol>(sim: &Simulation<P>, id: wamcast_types::MessageId) -> String {
     match sim.metrics().delivery_latency(id) {
         Some(d) => format!("{:.1} ms", d.as_secs_f64() * 1e3),
         None => "-".into(),

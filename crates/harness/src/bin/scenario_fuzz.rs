@@ -1,76 +1,110 @@
 //! E10 — scenario fuzzing and deterministic replay.
 //!
 //! Sweeps random [`FaultPlan`]s (crashes, link loss, partitions,
-//! duplication, latency spikes) across topologies and protocol arms,
-//! checking the §2.2 invariant suite plus convergence on every run. Any
-//! violation prints a one-line replay command that reproduces it exactly.
+//! duplication, latency spikes) across topologies and protocol arms. Two
+//! arms are available:
+//!
+//! * `--arm delivery` (default) — checks the §2.2 invariant suite plus
+//!   convergence at the delivery level;
+//! * `--arm smr` — runs the partitioned KV service on top (closed-loop
+//!   clients, `wamcast-smr`) and checks *application-level* correctness:
+//!   replica agreement, cross-shard atomicity, per-key linearizability
+//!   and cross-shard serializability, via the history checker.
+//!
+//! Any violation prints a one-line replay command that reproduces it
+//! exactly.
 //!
 //! ```text
-//! scenario_fuzz [--runs N] [--seed S]           # sweep (default 200 / 1)
-//! scenario_fuzz --replay --seed S [--plan-hash H]   # reproduce one run
-//! scenario_fuzz --runs 50 --inject-bug          # prove violations are caught
+//! scenario_fuzz [--arm smr] [--runs N] [--seed S]      # sweep (default 200 / 1)
+//! scenario_fuzz [--arm smr] --replay --seed S [--plan-hash H]
+//! scenario_fuzz --runs 50 [--arm smr] --inject-bug     # prove violations are caught
 //! ```
 //!
-//! On failure the run also writes `scenario-fuzz-failure.txt` (override
+//! `--inject-bug` plants the arm's deliberate defect (a delivery-swallowing
+//! wrapper, or a lost-apply state-machine bug) to prove the checks can
+//! fail. On failure the run writes `scenario-fuzz-failure.txt` (override
 //! with `--artifact PATH`) carrying the replay command, the plan and the
 //! violations — CI uploads it as a workflow artifact.
 //!
 //! [`FaultPlan`]: wamcast_types::FaultPlan
 
 use std::process::ExitCode;
+use wamcast_harness::cli::{self, CommonArgs};
 use wamcast_harness::scenario::{run_scenario, RunSpec};
+use wamcast_harness::smr::{run_smr_scenario, InjectedBug};
 use wamcast_harness::Table;
 use wamcast_sim::FaultConfig;
 
-struct Args {
-    runs: u64,
-    seed: u64,
-    replay: bool,
-    plan_hash: Option<u64>,
-    inject_bug: bool,
-    artifact: String,
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    Delivery,
+    Smr,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        runs: 200,
-        seed: 1,
-        replay: false,
-        plan_hash: None,
-        inject_bug: false,
-        artifact: "scenario-fuzz-failure.txt".to_string(),
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
-        match flag.as_str() {
-            "--runs" => {
-                args.runs = grab("--runs")?
-                    .parse()
-                    .map_err(|e| format!("--runs: {e}"))?
-            }
-            "--seed" => {
-                args.seed = grab("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--replay" => args.replay = true,
-            "--plan-hash" => {
-                let v = grab("--plan-hash")?;
-                let v = v.strip_prefix("0x").unwrap_or(&v);
-                args.plan_hash =
-                    Some(u64::from_str_radix(v, 16).map_err(|e| format!("--plan-hash: {e}"))?);
-            }
-            "--inject-bug" => args.inject_bug = true,
-            "--artifact" => args.artifact = grab("--artifact")?,
-            other => return Err(format!("unknown flag {other}")),
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Delivery => "delivery",
+            Arm::Smr => "smr",
         }
     }
-    Ok(args)
+}
+
+/// Per-run result in the shape the sweep loop needs, whichever arm ran.
+struct RunResult {
+    violations: Vec<String>,
+    casts: usize,
+    deliveries_or_committed: usize,
+    dropped: u64,
+    duplicated: u64,
+    crashes: usize,
+    end_time: wamcast_types::SimTime,
+}
+
+fn run_one(arm: Arm, spec: &RunSpec, inject_bug: bool) -> RunResult {
+    match arm {
+        Arm::Delivery => {
+            let out = run_scenario(spec, inject_bug.then_some(3));
+            RunResult {
+                violations: out.violations,
+                casts: out.casts,
+                deliveries_or_committed: out.deliveries,
+                dropped: out.dropped,
+                duplicated: out.duplicated,
+                crashes: out.crashes,
+                end_time: out.end_time,
+            }
+        }
+        Arm::Smr => {
+            let out = run_smr_scenario(spec, inject_bug.then(InjectedBug::default_lost_apply));
+            RunResult {
+                violations: out.violations,
+                casts: out.history.ops.len(),
+                deliveries_or_committed: out.committed,
+                dropped: out.dropped,
+                duplicated: out.duplicated,
+                crashes: out.crashes,
+                end_time: out.end_time,
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut arm = Arm::Delivery;
+    let parsed = cli::parse_common(200, "scenario-fuzz-failure.txt", |flag, grab| {
+        if flag == "--arm" {
+            arm = match grab(flag)?.as_str() {
+                "delivery" => Arm::Delivery,
+                "smr" => Arm::Smr,
+                other => return Err(format!("--arm: unknown arm {other} (delivery|smr)")),
+            };
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    });
+    let args = match parsed {
         Ok(a) => a,
         Err(e) => {
             eprintln!("scenario_fuzz: {e}");
@@ -78,36 +112,42 @@ fn main() -> ExitCode {
         }
     };
     let faults = FaultConfig::default();
-    let broken = if args.inject_bug { Some(3) } else { None };
 
     if args.replay {
-        return replay(&args, &faults, broken);
+        return replay(arm, &args, &faults);
     }
 
     println!(
-        "scenario_fuzz: {} runs from seed {} (fault distribution: {:?})\n",
-        args.runs, args.seed, faults
+        "scenario_fuzz: {} runs from seed {}, arm {} (fault distribution: {:?})\n",
+        args.runs,
+        args.seed,
+        arm.name(),
+        faults
     );
-    let mut totals = (0usize, 0usize, 0u64, 0u64, 0usize); // casts, deliveries, dropped, dup, crashes
+    let mut totals = (0usize, 0usize, 0u64, 0u64, 0usize);
     for i in 0..args.runs {
         let seed = args.seed.wrapping_add(i);
         let spec = RunSpec::derive(seed, &faults);
-        let outcome = run_scenario(&spec, broken);
+        let outcome = run_one(arm, &spec, args.inject_bug);
         totals.0 += outcome.casts;
-        totals.1 += outcome.deliveries;
+        totals.1 += outcome.deliveries_or_committed;
         totals.2 += outcome.dropped;
         totals.3 += outcome.duplicated;
         totals.4 += outcome.crashes;
-        if !outcome.is_ok() {
+        if !outcome.violations.is_empty() {
             let mut replay_cmd = spec.replay_command();
+            if arm == Arm::Smr {
+                replay_cmd.push_str(" --arm smr");
+            }
             if args.inject_bug {
-                // The replay must rebuild the same (broken) protocol, or it
+                // The replay must rebuild the same (broken) system, or it
                 // would report "no violations" for a real finding.
                 replay_cmd.push_str(" --inject-bug");
             }
             let mut report = String::new();
             report.push_str(&format!(
-                "scenario_fuzz: VIOLATION at seed {seed} ({} on {}x{}):\n",
+                "scenario_fuzz: VIOLATION at seed {seed} (arm {}, {} on {}x{}):\n",
+                arm.name(),
                 spec.protocol.name(),
                 spec.topo.0,
                 spec.topo.1
@@ -133,10 +173,14 @@ fn main() -> ExitCode {
         }
     }
 
+    let committed_col = match arm {
+        Arm::Delivery => "deliveries",
+        Arm::Smr => "committed ops",
+    };
     let mut t = Table::new(vec![
         "runs",
         "casts",
-        "deliveries",
+        committed_col,
         "dropped",
         "duplicated",
         "crashes",
@@ -150,16 +194,25 @@ fn main() -> ExitCode {
         totals.4.to_string(),
     ]);
     println!("\n{}", t.render());
-    println!("every run converged with all Section 2.2 invariants intact");
+    match arm {
+        Arm::Delivery => {
+            println!("every run converged with all Section 2.2 invariants intact")
+        }
+        Arm::Smr => println!(
+            "every run converged with delivery invariants AND the KV history checks \
+             (agreement, atomicity, linearizability, serializability) intact"
+        ),
+    }
     ExitCode::SUCCESS
 }
 
-fn replay(args: &Args, faults: &FaultConfig, broken: Option<u64>) -> ExitCode {
+fn replay(arm: Arm, args: &CommonArgs, faults: &FaultConfig) -> ExitCode {
     let spec = RunSpec::derive(args.seed, faults);
     let hash = spec.plan.fingerprint();
     println!(
-        "replaying seed {} — {} on {}x{}, plan hash {hash:#018x}",
+        "replaying seed {} — arm {}, {} on {}x{}, plan hash {hash:#018x}",
         args.seed,
+        arm.name(),
         spec.protocol.name(),
         spec.topo.0,
         spec.topo.1
@@ -174,17 +227,23 @@ fn replay(args: &Args, faults: &FaultConfig, broken: Option<u64>) -> ExitCode {
         }
     }
     println!("plan: {:#?}", spec.plan);
-    let outcome = run_scenario(&spec, broken);
+    let outcome = run_one(arm, &spec, args.inject_bug);
+    // Print every adversary counter: a faithful replay must reproduce the
+    // same drop/duplicate totals and end time, not just the verdict.
     println!(
-        "casts={} deliveries={} dropped={} duplicated={} crashes={} end={}",
+        "casts={} {}={} dropped={} duplicated={} crashes={} end={}",
         outcome.casts,
-        outcome.deliveries,
+        match arm {
+            Arm::Delivery => "deliveries",
+            Arm::Smr => "committed",
+        },
+        outcome.deliveries_or_committed,
         outcome.dropped,
         outcome.duplicated,
         outcome.crashes,
-        outcome.end_time
+        outcome.end_time,
     );
-    if outcome.is_ok() {
+    if outcome.violations.is_empty() {
         println!("no violations");
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,245 @@
+//! The partitioned KV service driver — run the store end to end and judge
+//! the recorded history.
+//!
+//! Closed-loop clients issue `Get`/`Put`/`Incr` (single-shard) and
+//! `MultiPut`/`Transfer` (cross-shard) commands over genuine atomic
+//! multicast; every run ends with the `wamcast-smr` history checker
+//! verdict (replica agreement, cross-shard atomicity, per-key
+//! linearizability, cross-shard serializability). Violations — which only
+//! `--inject-bug` should ever produce — exit non-zero with a replay line.
+//!
+//! ```text
+//! smr_kv [--groups K] [--procs D] [--clients C] [--ops N]
+//!        [--cross-pct P] [--batch B] [--seed S] [--runs R]
+//!        [--faulty]          # compile a fault plan from each seed
+//!        [--net]             # threaded wamcast-net cluster (clean links)
+//!        [--inject-bug]      # plant the lost-apply defect; must be caught
+//!        [--replay --seed S [--plan-hash H]]   # reproduce one faulty run
+//! ```
+//!
+//! `--runs R` sweeps seeds `S..S+R` (default 1), stopping at the first
+//! violation. `--replay` pins a single seed and prints the rebuilt fault
+//! plan; `--plan-hash` (with `--faulty`) cross-checks its fingerprint the
+//! way `scenario_fuzz` does, so a changed fault distribution is detected
+//! instead of silently replaying a different adversary.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use wamcast_harness::cli::{self, CommonArgs};
+use wamcast_harness::smr::{run_smr_net, run_smr_sim, InjectedBug, SmrConfig, SmrOutcome};
+use wamcast_harness::Table;
+use wamcast_sim::{FaultConfig, FaultPlan};
+use wamcast_types::{BatchConfig, Topology};
+
+struct KvArgs {
+    groups: usize,
+    procs: usize,
+    clients: usize,
+    ops: usize,
+    cross_pct: u8,
+    batch: usize,
+    faulty: bool,
+    net: bool,
+}
+
+fn main() -> ExitCode {
+    let mut kv = KvArgs {
+        groups: 3,
+        procs: 2,
+        clients: 2,
+        ops: 8,
+        cross_pct: 40,
+        batch: 1,
+        faulty: false,
+        net: false,
+    };
+    let parsed = cli::parse_common(1, "smr-kv-failure.txt", |flag, grab| {
+        match flag {
+            "--groups" => kv.groups = cli::parse_u64(flag, &grab(flag)?)? as usize,
+            "--procs" => kv.procs = cli::parse_u64(flag, &grab(flag)?)? as usize,
+            "--clients" => kv.clients = cli::parse_u64(flag, &grab(flag)?)? as usize,
+            "--ops" => kv.ops = cli::parse_u64(flag, &grab(flag)?)? as usize,
+            "--cross-pct" => kv.cross_pct = cli::parse_u64(flag, &grab(flag)?)?.min(100) as u8,
+            "--batch" => kv.batch = cli::parse_u64(flag, &grab(flag)?)? as usize,
+            "--faulty" => kv.faulty = true,
+            "--net" => kv.net = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    });
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("smr_kv: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if kv.net && kv.faulty {
+        eprintln!(
+            "smr_kv: --net runs on clean links; drop --faulty (replayable fault runs are \
+             the simulator's job)"
+        );
+        return ExitCode::from(2);
+    }
+    if kv.net && args.inject_bug {
+        eprintln!(
+            "smr_kv: --inject-bug is simulator-only (the net driver takes no bug hook); \
+             drop --net to prove the checker catches it"
+        );
+        return ExitCode::from(2);
+    }
+    if args.plan_hash.is_some() && !kv.faulty {
+        eprintln!("smr_kv: --plan-hash cross-checks a compiled fault plan; it requires --faulty");
+        return ExitCode::from(2);
+    }
+
+    let runs = if args.replay { 1 } else { args.runs };
+    for i in 0..runs {
+        let seed = args.seed.wrapping_add(i);
+        let code = run_seed(&kv, &args, seed);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+        if runs > 1 {
+            println!("--- seed {seed} clean ({}/{runs} runs) ---\n", i + 1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
+    let cfg = SmrConfig {
+        clients_per_group: kv.clients,
+        ops_per_client: kv.ops,
+        cross_shard_pct: kv.cross_pct,
+        batch: (kv.batch > 1)
+            .then(|| BatchConfig::new(kv.batch).with_max_delay(Duration::from_millis(15))),
+        ..SmrConfig::default()
+    };
+    let shape = (kv.groups, kv.procs);
+    let bug = args.inject_bug.then(InjectedBug::default_lost_apply);
+
+    let plan = if kv.faulty {
+        let topo = Topology::symmetric(kv.groups, kv.procs);
+        FaultConfig::default().compile(&topo, seed)
+    } else {
+        FaultPlan::none()
+    };
+    if kv.faulty {
+        let hash = plan.fingerprint();
+        if let Some(expect) = args.plan_hash {
+            if expect != hash {
+                eprintln!(
+                    "smr_kv: plan hash mismatch (expected {expect:#018x}, rebuilt {hash:#018x}) \
+                     — the fault distribution changed since the violation was found"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        if args.replay {
+            println!("replaying seed {seed}, plan hash {hash:#018x}");
+            println!("plan: {plan:#?}");
+        }
+    }
+
+    println!(
+        "smr_kv: {}x{} shards, {} clients/group x {} ops, {}% cross-shard, batch {}, seed {}{}{}\n",
+        kv.groups,
+        kv.procs,
+        kv.clients,
+        kv.ops,
+        kv.cross_pct,
+        if kv.batch > 1 {
+            kv.batch.to_string()
+        } else {
+            "off".into()
+        },
+        seed,
+        if kv.faulty { ", fault plan on" } else { "" },
+        if kv.net {
+            " — threaded wamcast-net runtime"
+        } else {
+            " — deterministic simulator"
+        },
+    );
+
+    let out = if kv.net {
+        run_smr_net(shape, &cfg, seed, Duration::from_secs(20))
+    } else {
+        run_smr_sim(shape, &plan, &cfg, seed, bug)
+    };
+    print_table(kv, &out);
+
+    if out.is_ok() {
+        println!(
+            "history checker: OK ({} replicas agree; atomicity, linearizability and \
+             serializability hold)",
+            out.history.replicas.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut replay = format!(
+        "cargo run --release -p wamcast-harness --bin smr_kv -- --groups {} --procs {} \
+         --clients {} --ops {} --cross-pct {} --batch {} --replay --seed {seed}",
+        kv.groups, kv.procs, kv.clients, kv.ops, kv.cross_pct, kv.batch,
+    );
+    if kv.faulty {
+        replay.push_str(&format!(
+            " --faulty --plan-hash {:#018x}",
+            plan.fingerprint()
+        ));
+    }
+    if kv.net {
+        replay.push_str(" --net");
+    }
+    if args.inject_bug {
+        replay.push_str(" --inject-bug");
+    }
+    let mut report = format!(
+        "smr_kv: {} violation(s) at seed {seed}:\n",
+        out.violations.len()
+    );
+    for v in &out.violations {
+        report.push_str(&format!("  {v}\n"));
+    }
+    report.push_str(&format!("replay: {replay}\n"));
+    eprint!("{report}");
+    if args.inject_bug {
+        eprintln!("(expected: --inject-bug plants a lost apply precisely so the checker flags it)");
+    }
+    if let Err(e) = std::fs::write(&args.artifact, &report) {
+        eprintln!("smr_kv: could not write {}: {e}", args.artifact);
+    }
+    ExitCode::from(1)
+}
+
+fn print_table(kv: &KvArgs, out: &SmrOutcome) {
+    let mut t = Table::new(vec![
+        "ops",
+        "committed",
+        "unresponded",
+        "cross-shard",
+        "mean latency",
+        "sends/op",
+        "crashes",
+        "dropped",
+        "end",
+    ]);
+    let cross = out.history.ops.iter().filter(|o| o.dest.len() > 1).count();
+    t.row(vec![
+        out.history.ops.len().to_string(),
+        out.committed.to_string(),
+        out.unresponded.to_string(),
+        cross.to_string(),
+        format!("{:.1} ms", out.mean_latency.as_secs_f64() * 1e3),
+        if kv.net {
+            "-".into()
+        } else {
+            format!("{:.1}", out.sends_per_op())
+        },
+        out.crashes.to_string(),
+        out.dropped.to_string(),
+        format!("{}", out.end_time),
+    ]);
+    println!("{}", t.render());
+}

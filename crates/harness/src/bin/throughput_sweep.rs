@@ -7,7 +7,9 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use wamcast_harness::{throughput::PER_PROC_MSG_BUDGET, throughput_sweep, Table};
+use wamcast_harness::{
+    smr_throughput_once, throughput::PER_PROC_MSG_BUDGET, throughput_sweep, Table,
+};
 
 /// The E9 acceptance bound asserted by CI: batch 64 must amortize the
 /// per-message protocol cost by at least this factor over the eager
@@ -80,5 +82,43 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     println!("PASS: batch 64 amortizes {gain:.2}x (>= {MIN_BATCH64_GAIN}x bound)");
+
+    // E11 — the end-to-end view: the same stack, but measured at the
+    // service layer (the wamcast-smr KV store, closed-loop clients, every
+    // cell checked by the history checker before being reported).
+    println!(
+        "\nE11 — end-to-end committed ops/s, KV service on {k}x{d} \
+         (8 clients/group x 24 ops, closed loop)\n"
+    );
+    let mut t = Table::new(vec![
+        "batch",
+        "cross-shard",
+        "committed",
+        "ops/s (virtual)",
+        "sends/op",
+        "mean latency",
+    ]);
+    for (batch, cross) in [(1usize, 0u8), (1, 30), (16, 30), (64, 30)] {
+        let c = smr_throughput_once(k, d, 8, 24, cross, batch, 0xE11);
+        t.row(vec![
+            if batch <= 1 {
+                "off".into()
+            } else {
+                batch.to_string()
+            },
+            format!("{cross}%"),
+            c.committed.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            format!("{:.1}", c.sends_per_op),
+            format!("{:.1} ms", c.mean_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "closed-loop clients bound ops/s by one multicast latency per op, so batching shows\n\
+         up as fewer protocol copies per op (sends/op) at nearly flat latency — the capacity\n\
+         headroom the modeled column above prices out. Cross-shard commands pay the full\n\
+         two-consensus multicast; single-shard commands ride A1's one-consensus fast path."
+    );
     ExitCode::SUCCESS
 }

@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figure1;
 pub mod measure;
 pub mod scenario;
+pub mod smr;
 pub mod sweeps;
 pub mod table;
 pub mod throughput;
@@ -32,5 +34,9 @@ pub mod workload;
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
 pub use scenario::{run_scenario, ProtocolKind, RunSpec, ScenarioOutcome};
+pub use smr::{
+    run_smr_net, run_smr_scenario, run_smr_sim, smr_throughput_once, InjectedBug, SmrConfig,
+    SmrOutcome, SmrThroughputCell,
+};
 pub use table::Table;
 pub use throughput::{throughput_once, throughput_sweep, ThroughputCell};

@@ -10,6 +10,7 @@
 use std::time::Duration;
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_harness::scenario::RETRY_INTERVAL;
+use wamcast_harness::smr::{run_smr_sim, SmrConfig};
 use wamcast_harness::workload::{all_group_pairs, poisson};
 use wamcast_sim::{invariants, FaultPlan, SimConfig, Simulation};
 use wamcast_types::{BatchConfig, GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
@@ -161,6 +162,78 @@ fn a2_partitioned_group_rejoins() {
     run_checked(topo, plan, dests, 0xE107, |p, t| {
         RoundBroadcast::with_pacing(p, t, Duration::from_millis(10)).with_retry(RETRY_INTERVAL)
     });
+}
+
+/// SMR regression: the ballot-0 coordinator of shard g0 crashes while a
+/// stream of cross-shard `MultiPut`s is mid-flight — its group's in-flight
+/// timestamp-proposal instances recover through takeover ballots, and the
+/// application-level history (atomicity of every multi-shard write,
+/// replica agreement within each shard) must still check out clean.
+#[test]
+fn smr_coordinator_crash_mid_multiput() {
+    let plan = FaultPlan::none().with_crash(SimTime::from_millis(400), ProcessId(0));
+    let cfg = SmrConfig {
+        cross_shard_pct: 100, // every command is a MultiPut or Transfer
+        clients_per_group: 2,
+        ops_per_client: 6,
+        batch: Some(BatchConfig::new(8).with_max_delay(Duration::from_millis(20))),
+        ..SmrConfig::default()
+    };
+    let out = run_smr_sim((2, 3), &plan, &cfg, 0xE109, None);
+    assert!(
+        out.is_ok(),
+        "checker verdict must be clean: {:?}",
+        out.violations
+    );
+    assert!(
+        out.committed >= out.history.ops.len() - 2,
+        "at most the crash-window ops may go unanswered ({}/{} committed)",
+        out.committed,
+        out.history.ops.len()
+    );
+    assert!(
+        out.history.ops.iter().all(|o| o.dest.len() == 2),
+        "workload must be all cross-shard"
+    );
+}
+
+/// SMR regression: a minority of shard g0 is partitioned away while
+/// cross-shard transfers keep streaming, building a backlog the minority
+/// never saw; after the heal, retransmission must bring it to the exact
+/// same apply sequence — same logs, same digests — with every transfer
+/// atomic across both shards.
+#[test]
+fn smr_partition_heal_with_transfer_backlog() {
+    let plan = FaultPlan::none().with_partition(
+        &[ProcessId(0)],
+        SimTime::from_millis(100),
+        SimTime::from_millis(2_100),
+    );
+    let cfg = SmrConfig {
+        cross_shard_pct: 100,
+        clients_per_group: 2,
+        ops_per_client: 8,
+        ..SmrConfig::default()
+    };
+    let out = run_smr_sim((2, 3), &plan, &cfg, 0xE10A, None);
+    assert!(
+        out.is_ok(),
+        "checker verdict must be clean: {:?}",
+        out.violations
+    );
+    assert_eq!(
+        out.unresponded, 0,
+        "the majority keeps answering through the partition"
+    );
+    // The healed minority replica converged to its shard's exact history.
+    let g0_digests: Vec<u64> = out
+        .history
+        .replicas
+        .iter()
+        .filter(|r| r.group.index() == 0)
+        .map(|r| r.digest)
+        .collect();
+    assert!(g0_digests.len() == 3 && g0_digests.windows(2).all(|w| w[0] == w[1]));
 }
 
 /// Crash + loss combined: the coordinator crashes while its group's links

@@ -1,0 +1,368 @@
+//! KV commands, responses, and their payload codec.
+//!
+//! Commands ride inside [`Payload`]s — the multicast layer is oblivious to
+//! them — so they need a wire form. The codec below is a fixed-width
+//! little-endian format (one opcode byte, then `u64`/`i64` words): trivial
+//! to decode deterministically, no external serialization dependency, and
+//! every byte accounted against [`BatchConfig::max_bytes`] like any other
+//! payload.
+//!
+//! [`BatchConfig::max_bytes`]: wamcast_types::BatchConfig
+
+use crate::shard::Key;
+use std::fmt;
+use wamcast_types::Payload;
+
+/// A client command against the partitioned store.
+///
+/// `Get`/`Put`/`Incr` touch one key, hence one shard — they take A1's
+/// single-group fast path (no proposal exchange, no second consensus).
+/// `MultiPut` and `Transfer` may touch several shards; each is multicast to
+/// *exactly* the owners of its keys, the genuine-multicast showcase.
+///
+/// Values are `i64` so `Transfer` is unconditional (balances may go
+/// negative): every replica can apply its shard's half without knowing the
+/// other shard's state, which keeps apply a pure function of (state,
+/// command) — the determinism the digest check relies on. What atomic
+/// multicast then guarantees is that debit and credit land *atomically
+/// relative to every other command*, which is what the history checker's
+/// serializability test verifies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Read one key.
+    Get {
+        /// Key to read.
+        key: Key,
+    },
+    /// Overwrite one key, returning the previous value.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// New value.
+        value: i64,
+    },
+    /// Add `delta` to one key (missing keys count as 0), returning the new
+    /// value.
+    Incr {
+        /// Key to bump.
+        key: Key,
+        /// Signed increment.
+        delta: i64,
+    },
+    /// Atomically overwrite several keys, possibly across shards.
+    MultiPut {
+        /// `(key, value)` pairs; each shard applies the pairs it owns.
+        entries: Vec<(Key, i64)>,
+    },
+    /// Atomically move `amount` from one balance to another, possibly
+    /// across shards. Conserves the total sum by construction.
+    Transfer {
+        /// Debited key.
+        from: Key,
+        /// Credited key.
+        to: Key,
+        /// Amount moved.
+        amount: i64,
+    },
+}
+
+impl Command {
+    /// Visits every key the command touches.
+    pub fn for_each_key(&self, mut f: impl FnMut(Key)) {
+        match self {
+            Command::Get { key } | Command::Put { key, .. } | Command::Incr { key, .. } => f(*key),
+            Command::MultiPut { entries } => {
+                for &(k, _) in entries {
+                    f(k);
+                }
+            }
+            Command::Transfer { from, to, .. } => {
+                f(*from);
+                f(*to);
+            }
+        }
+    }
+
+    /// Short stable name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Get { .. } => "get",
+            Command::Put { .. } => "put",
+            Command::Incr { .. } => "incr",
+            Command::MultiPut { .. } => "multiput",
+            Command::Transfer { .. } => "transfer",
+        }
+    }
+
+    /// Encodes the command into a multicast payload.
+    pub fn encode(&self) -> Payload {
+        let mut b = Vec::with_capacity(1 + 3 * 8);
+        match self {
+            Command::Get { key } => {
+                b.push(0);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
+            Command::Put { key, value } => {
+                b.push(1);
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(&value.to_le_bytes());
+            }
+            Command::Incr { key, delta } => {
+                b.push(2);
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(&delta.to_le_bytes());
+            }
+            Command::MultiPut { entries } => {
+                b.push(3);
+                b.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (k, v) in entries {
+                    b.extend_from_slice(&k.to_le_bytes());
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Command::Transfer { from, to, amount } => {
+                b.push(4);
+                b.extend_from_slice(&from.to_le_bytes());
+                b.extend_from_slice(&to.to_le_bytes());
+                b.extend_from_slice(&amount.to_le_bytes());
+            }
+        }
+        Payload::from(b)
+    }
+
+    /// Decodes a command from a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown opcode or truncated body —
+    /// which, in this workspace, indicates a payload that never was a
+    /// command (the codec itself is exercised round-trip by proptest-style
+    /// unit tests).
+    pub fn decode(p: &Payload) -> Result<Command, DecodeError> {
+        let bytes = p.as_slice();
+        let (&op, rest) = bytes.split_first().ok_or(DecodeError::Truncated)?;
+        let mut r = Reader(rest);
+        let cmd = match op {
+            0 => Command::Get { key: r.u64()? },
+            1 => Command::Put {
+                key: r.u64()?,
+                value: r.i64()?,
+            },
+            2 => Command::Incr {
+                key: r.u64()?,
+                delta: r.i64()?,
+            },
+            3 => {
+                let n = r.u64()?;
+                if n > (r.0.len() / 16) as u64 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((r.u64()?, r.i64()?));
+                }
+                Command::MultiPut { entries }
+            }
+            4 => Command::Transfer {
+                from: r.u64()?,
+                to: r.u64()?,
+                amount: r.i64()?,
+            },
+            op => return Err(DecodeError::UnknownOpcode(op)),
+        };
+        if r.0.is_empty() {
+            Ok(cmd)
+        } else {
+            Err(DecodeError::TrailingBytes(r.0.len()))
+        }
+    }
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.0.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.u64().map(|v| v as i64)
+    }
+}
+
+/// Failure decoding a [`Command`] from a payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the command did.
+    Truncated,
+    /// The first byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// Bytes remained after a complete command.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated command payload"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown command opcode {op}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after command"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The result a command's *responder shard* produces when applying it.
+///
+/// Single-key commands are answered by their key's owner; multi-shard
+/// commands are unconditional, so any addressed shard answers [`Done`]
+/// (the driver reads the lowest-numbered one). Responses are part of the
+/// recorded history: the checker independently replays each shard's apply
+/// log and must reproduce them exactly.
+///
+/// [`Done`]: Response::Done
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `Get`: the key's value, `None` if unset.
+    Value(Option<i64>),
+    /// `Put`: the overwritten value, `None` if the key was unset.
+    Prev(Option<i64>),
+    /// `Incr`: the value after the increment.
+    NewValue(i64),
+    /// `MultiPut`/`Transfer`: applied (unconditional by design).
+    Done,
+}
+
+impl Response {
+    /// Mixes the response into a digest word (tag + payload), so replica
+    /// digests disagree if any response ever differed.
+    pub(crate) fn digest_word(&self) -> u64 {
+        match self {
+            Response::Value(None) => 1,
+            Response::Value(Some(v)) => 2u64.wrapping_add((*v as u64).rotate_left(8)),
+            Response::Prev(None) => 3,
+            Response::Prev(Some(v)) => 4u64.wrapping_add((*v as u64).rotate_left(16)),
+            Response::NewValue(v) => 5u64.wrapping_add((*v as u64).rotate_left(24)),
+            Response::Done => 6,
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Value(v) => write!(f, "value={v:?}"),
+            Response::Prev(v) => write!(f, "prev={v:?}"),
+            Response::NewValue(v) => write!(f, "new={v}"),
+            Response::Done => write!(f, "done"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_types::SplitMix64;
+
+    fn roundtrip(c: &Command) {
+        let p = c.encode();
+        assert_eq!(Command::decode(&p).expect("decodes"), *c);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&Command::Get { key: 0 });
+        roundtrip(&Command::Put {
+            key: u64::MAX,
+            value: i64::MIN,
+        });
+        roundtrip(&Command::Incr { key: 7, delta: -3 });
+        roundtrip(&Command::MultiPut { entries: vec![] });
+        roundtrip(&Command::MultiPut {
+            entries: vec![(1, 2), (3, -4), (u64::MAX, i64::MAX)],
+        });
+        roundtrip(&Command::Transfer {
+            from: 1,
+            to: 2,
+            amount: -9,
+        });
+    }
+
+    #[test]
+    fn fuzzed_roundtrip() {
+        let mut rng = SplitMix64::new(0x5317);
+        for _ in 0..512 {
+            let cmd = match rng.next_below(5) {
+                0 => Command::Get {
+                    key: rng.next_u64(),
+                },
+                1 => Command::Put {
+                    key: rng.next_u64(),
+                    value: rng.next_u64() as i64,
+                },
+                2 => Command::Incr {
+                    key: rng.next_u64(),
+                    delta: rng.next_u64() as i64,
+                },
+                3 => Command::MultiPut {
+                    entries: (0..rng.next_below(5))
+                        .map(|_| (rng.next_u64(), rng.next_u64() as i64))
+                        .collect(),
+                },
+                _ => Command::Transfer {
+                    from: rng.next_u64(),
+                    to: rng.next_u64(),
+                    amount: rng.next_u64() as i64,
+                },
+            };
+            roundtrip(&cmd);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert_eq!(
+            Command::decode(&Payload::new()),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(
+            Command::decode(&Payload::from(vec![9u8])),
+            Err(DecodeError::UnknownOpcode(9))
+        );
+        assert_eq!(
+            Command::decode(&Payload::from(vec![0u8, 1, 2])),
+            Err(DecodeError::Truncated)
+        );
+        let mut good = Command::Get { key: 1 }.encode().as_slice().to_vec();
+        good.push(0);
+        assert_eq!(
+            Command::decode(&Payload::from(good)),
+            Err(DecodeError::TrailingBytes(1))
+        );
+        // A huge claimed MultiPut length must not allocate.
+        let mut evil = vec![3u8];
+        evil.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Command::decode(&Payload::from(evil)),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn keys_enumerate_touched_keys() {
+        let mut ks = Vec::new();
+        Command::Transfer {
+            from: 5,
+            to: 9,
+            amount: 1,
+        }
+        .for_each_key(|k| ks.push(k));
+        assert_eq!(ks, vec![5, 9]);
+    }
+}

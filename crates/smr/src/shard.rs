@@ -1,0 +1,175 @@
+//! Key→shard placement.
+
+use crate::Command;
+use wamcast_types::{GroupId, GroupSet};
+
+/// A key of the partitioned store. Keys are opaque 64-bit identifiers; the
+/// shard map hashes them, so dense client key spaces still spread evenly.
+pub type Key = u64;
+
+/// The static key→shard assignment: shard `i` is owned by topology group
+/// `gᵢ`, one shard per group.
+///
+/// Placement is `fmix64(key) mod shards` — a full-avalanche hash, so any
+/// client key distribution (including the sequential and power-law ones the
+/// driver generates) balances across shards, while every replica computes
+/// the same owner with no coordination. The map is deliberately immutable:
+/// the paper's model has no reconfiguration, and a static map is what makes
+/// "the groups a command touches" a pure function of the command — the
+/// property genuine atomic multicast needs to route it.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_smr::{Command, ShardMap};
+///
+/// let shards = ShardMap::new(3);
+/// let cmd = Command::Put { key: 7, value: 1 };
+/// let dest = shards.dest_of(&cmd);
+/// assert_eq!(dest.len(), 1);
+/// assert!(dest.contains(shards.owner(7)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u16,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (= topology groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds [`GroupSet::MAX_GROUPS`].
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            shards > 0 && shards <= GroupSet::MAX_GROUPS,
+            "shard count {shards} out of range"
+        );
+        ShardMap {
+            shards: shards as u16,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The group owning `key`.
+    #[inline]
+    pub fn owner(&self, key: Key) -> GroupId {
+        GroupId((fmix64(key) % u64::from(self.shards)) as u16)
+    }
+
+    /// Whether group `g` owns `key`.
+    #[inline]
+    pub fn owns(&self, g: GroupId, key: Key) -> bool {
+        self.owner(key) == g
+    }
+
+    /// The destination group set of a command: exactly the owners of the
+    /// keys it touches. This is the genuine-multicast routing rule — a
+    /// command involves no group beyond the shards it reads or writes.
+    pub fn dest_of(&self, cmd: &Command) -> GroupSet {
+        let mut dest = GroupSet::new();
+        cmd.for_each_key(|k| {
+            dest.insert(self.owner(k));
+        });
+        debug_assert!(!dest.is_empty(), "commands touch at least one key");
+        dest
+    }
+
+    /// A key owned by `g`, derived deterministically from `hint` (the
+    /// driver uses this to construct cross-shard commands with prescribed
+    /// owner pairs). Probes `hint, hint+1, …` until one lands on `g`.
+    pub fn key_owned_by(&self, g: GroupId, hint: Key) -> Key {
+        assert!(g.index() < self.num_shards(), "no shard for group {g}");
+        let mut k = hint;
+        loop {
+            if self.owner(k) == g {
+                return k;
+            }
+            k = k.wrapping_add(1);
+        }
+    }
+}
+
+/// The 64-bit finalizer of MurmurHash3/SplitMix64: full avalanche, cheap,
+/// and dependency-free.
+#[inline]
+fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let m = ShardMap::new(3);
+        for k in 0..1000u64 {
+            let g = m.owner(k);
+            assert_eq!(g, m.owner(k));
+            assert!(g.index() < 3);
+            assert!(m.owns(g, k));
+        }
+    }
+
+    #[test]
+    fn placement_balances_sequential_keys() {
+        let m = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0..4000u64 {
+            counts[m.owner(k).index()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed placement: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dest_covers_exactly_touched_shards() {
+        let m = ShardMap::new(4);
+        let a = m.key_owned_by(GroupId(0), 0);
+        let b = m.key_owned_by(GroupId(2), 100);
+        let t = Command::Transfer {
+            from: a,
+            to: b,
+            amount: 5,
+        };
+        let dest = m.dest_of(&t);
+        assert_eq!(dest.len(), 2);
+        assert!(dest.contains(GroupId(0)) && dest.contains(GroupId(2)));
+        // Same-shard transfer collapses to a single-group destination.
+        let b2 = m.key_owned_by(GroupId(0), 200);
+        let t2 = Command::Transfer {
+            from: a,
+            to: b2,
+            amount: 5,
+        };
+        assert_eq!(m.dest_of(&t2).len(), 1);
+    }
+
+    #[test]
+    fn key_owned_by_lands_on_the_group() {
+        let m = ShardMap::new(5);
+        for g in 0..5u16 {
+            for hint in [0u64, 17, 1 << 40] {
+                assert_eq!(m.owner(m.key_owned_by(GroupId(g), hint)), GroupId(g));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::new(0);
+    }
+}

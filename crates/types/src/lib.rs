@@ -22,7 +22,10 @@
 //!   fault-injection adversary (crash schedules, link loss, partitions,
 //!   duplication, latency spikes) applied by both runtimes, see [`fault`];
 //! * [`SplitMix64`] — the workspace's deterministic generator, shared by
-//!   the simulator, the workload generators and the fault layer.
+//!   the simulator, the workload generators and the fault layer;
+//! * [`StateMachine`] — the replicated-state-machine consumer interface:
+//!   what a service (e.g. the partitioned KV store in `wamcast-smr`) exposes
+//!   so a host can apply `A-Deliver` events to it in delivery order.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod ids;
 mod message;
 pub mod proto;
 mod rng;
+mod statemachine;
 mod time;
 mod topology;
 
@@ -61,5 +65,6 @@ pub use ids::{GroupId, ProcessId};
 pub use message::{AppMessage, MessageId, Payload};
 pub use proto::{Action, Context, Outbox, Protocol};
 pub use rng::SplitMix64;
+pub use statemachine::StateMachine;
 pub use time::SimTime;
 pub use topology::{Topology, TopologyBuilder};

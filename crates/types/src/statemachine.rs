@@ -1,0 +1,63 @@
+//! The replicated-state-machine consumer interface.
+//!
+//! Atomic multicast exists to order commands for a service; a
+//! [`StateMachine`] is the service side of that contract. A host adapter
+//! (`wamcast_core::WithApply`) feeds every `A-Deliver` to the machine *in
+//! delivery order*, so two replicas addressed by the same messages run the
+//! same apply sequence — the state-machine-replication reading of the §2.2
+//! uniform properties. The trait lives here, next to [`Protocol`], so
+//! protocol crates and application crates can meet without depending on
+//! each other.
+//!
+//! [`Protocol`]: crate::Protocol
+
+use crate::AppMessage;
+use std::sync::{Arc, Mutex};
+
+/// A deterministic application state machine fed by `A-Deliver` events.
+///
+/// Determinism contract: `apply` may depend only on the machine's current
+/// state and the delivered message (id, destination set, payload). No
+/// clocks, no randomness, no iteration over unordered containers — the
+/// replicas of a group must end up byte-identical after the same delivery
+/// sequence, which is exactly what per-shard digest comparison checks.
+pub trait StateMachine {
+    /// Consumes one A-Delivered message, in delivery order.
+    fn apply(&mut self, msg: &AppMessage);
+}
+
+/// Shared handle: lets a harness keep inspection handles to the replicas it
+/// hands to a runtime (threads in `wamcast-net`, moved-in protocol values in
+/// the simulator) and read state/logs back out after the run.
+impl<S: StateMachine> StateMachine for Arc<Mutex<S>> {
+    fn apply(&mut self, msg: &AppMessage) {
+        self.lock().expect("state machine poisoned").apply(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupId, GroupSet, MessageId, Payload, ProcessId};
+
+    struct Counter(u64);
+
+    impl StateMachine for Counter {
+        fn apply(&mut self, _msg: &AppMessage) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn shared_handle_applies_through() {
+        let mut shared = Arc::new(Mutex::new(Counter(0)));
+        let m = AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::singleton(GroupId(0)),
+            Payload::new(),
+        );
+        shared.apply(&m);
+        StateMachine::apply(&mut Arc::clone(&shared), &m);
+        assert_eq!(shared.lock().unwrap().0, 2);
+    }
+}

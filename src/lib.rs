@@ -24,7 +24,8 @@
 //! | [`core`] | **the paper's algorithms**: A1, A2, and the non-genuine reduction — each with the consensus-amortizing batching layer (`DESIGN.md` §"Batching layer") |
 //! | [`baselines`] | Skeen, Fritzke \[5\], ring \[4\], Rodrigues \[10\], optimistic \[12\], sequencer \[13\], deterministic merge \[1\] |
 //! | [`net`] | threaded in-process runtime (same protocol cores, real threads, real flush timers) |
-//! | [`harness`] | the experiment harness regenerating Figure 1, the theorem runs, and the E9 batching throughput sweep |
+//! | [`smr`] | the service layer: a partitioned, replicated KV store routed by genuine multicast, with a history-based consistency checker (`DESIGN.md` §7) |
+//! | [`harness`] | the experiment harness regenerating Figure 1, the theorem runs, the E9 batching throughput sweep, and the E11 closed-loop KV driver |
 //!
 //! # Batching
 //!
@@ -78,7 +79,10 @@ pub use wamcast_harness as harness;
 pub use wamcast_net as net;
 pub use wamcast_rmcast as rmcast;
 pub use wamcast_sim as sim;
+pub use wamcast_smr as smr;
 pub use wamcast_types as types;
 
-pub use wamcast_core::{GenuineMulticast, MulticastConfig, NonGenuineMulticast, RoundBroadcast};
-pub use wamcast_types::{BatchConfig, Protocol, Topology};
+pub use wamcast_core::{
+    GenuineMulticast, MulticastConfig, NonGenuineMulticast, RoundBroadcast, WithApply,
+};
+pub use wamcast_types::{BatchConfig, Protocol, StateMachine, Topology};
