@@ -1,0 +1,164 @@
+//! Engine microbenchmarks (E12): the event queue, the fan-out path, and
+//! batch merging — the three hot paths the PR-4 overhaul targets.
+//!
+//! `queue/*` compares the calendar/bucket queue against the pre-overhaul
+//! `BinaryHeap` shape on a trace with the simulator's time-collision
+//! profile (bursts of same-instant arrivals from constant link models,
+//! spread across a rolling horizon). `fanout/*` compares the shared-`Arc`
+//! fan-out against per-destination deep copies for both empty and large
+//! payloads. `merge/*` times the consensus batch-merge combiner.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use wamcast_bench::harness::Criterion;
+use wamcast_bench::{criterion_group, criterion_main};
+use wamcast_core::{merge_msg_sets, MsgBatch, MsgEntry, Stage};
+use wamcast_sim::{BucketQueue, SplitMix64};
+use wamcast_types::{
+    Action, AppMessage, GroupSet, MessageId, MsgSlot, Outbox, Payload, ProcessId, SimTime,
+};
+
+/// A synthetic event trace with the engine's collision profile: each
+/// "handler" pushes a burst of `burst` events at one of three offsets from
+/// the rolling now (intra delay, inter delay, zero), then pops one.
+fn trace(seed: u64, n: usize) -> Vec<(SimTime, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut now = 0u64;
+    for i in 0..n {
+        let offset = match rng.next_below(4) {
+            0 => 0,
+            1 => 100_000,     // intra link: 100 µs
+            _ => 100_000_000, // inter link: 100 ms
+        };
+        now += rng.next_below(3) * 10_000;
+        out.push((SimTime::from_nanos(now + offset), i as u64));
+    }
+    out
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let events = trace(7, 20_000);
+    let mut g = c.benchmark_group("queue");
+    g.bench_function("bucket_push_pop_20k", |b| {
+        b.iter(|| {
+            let mut q = BucketQueue::new();
+            // Interleave pushes and pops 4:4 the way the run loop does.
+            let mut drained = 0u64;
+            for chunk in events.chunks(4) {
+                for &(at, seq) in chunk {
+                    q.push(at, seq, seq);
+                }
+                for _ in 0..chunk.len() {
+                    drained += q.pop().map(|(_, _, v)| v).unwrap_or(0);
+                }
+            }
+            black_box(drained)
+        })
+    });
+    g.bench_function("binary_heap_push_pop_20k", |b| {
+        b.iter(|| {
+            // The pre-overhaul shape: (Reverse(at), Reverse over... ties
+            // LIFO = max seq first under min-time).
+            let mut q: BinaryHeap<(Reverse<SimTime>, u64)> = BinaryHeap::new();
+            let mut drained = 0u64;
+            for chunk in events.chunks(4) {
+                for &(at, seq) in chunk {
+                    q.push((Reverse(at), seq));
+                }
+                for _ in 0..chunk.len() {
+                    drained += q.pop().map(|(_, v)| v).unwrap_or(0);
+                }
+            }
+            black_box(drained)
+        })
+    });
+    g.finish();
+}
+
+fn entry(i: u64, payload: Payload) -> MsgEntry {
+    MsgEntry {
+        msg: AppMessage::new(
+            MessageId::new(ProcessId(0), i),
+            GroupSet::first_n(2),
+            payload,
+        ),
+        ts: i,
+        stage: Stage::S1,
+    }
+}
+
+fn batch(n: u64, payload_bytes: usize) -> MsgBatch {
+    let payload = Payload::from(vec![0u8; payload_bytes]);
+    MsgBatch::new((0..n).map(|i| entry(i, payload.clone())).collect())
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let tos: Vec<ProcessId> = (0..16).map(ProcessId).collect();
+    let b64 = batch(64, 64);
+    let mut g = c.benchmark_group("fanout");
+    g.bench_function("send_many_shared_16dest_batch64", |b| {
+        let b64 = MsgBatch::clone(&b64);
+        b.iter(|| {
+            let mut out = Outbox::new();
+            out.send_many(tos.iter().copied(), MsgBatch::clone(&b64));
+            // Drain as a host would: one slot per destination, last one
+            // unwraps by move.
+            let mut total = 0usize;
+            for a in out.drain() {
+                match a {
+                    Action::SendMany { tos, msg } => {
+                        for _ in 1..tos.len() {
+                            total += MsgSlot::Shared(std::sync::Arc::clone(&msg)).take().len();
+                        }
+                        total += MsgSlot::Shared(msg).take().len();
+                    }
+                    Action::Send { msg, .. } => total += msg.len(),
+                    _ => {}
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("clone_per_dest_16dest_batch64", |b| {
+        let b64 = MsgBatch::clone(&b64);
+        b.iter(|| {
+            // The pre-overhaul shape: one deep-ish copy per destination
+            // (the Vec<MsgEntry> body re-allocated 16 times).
+            let mut total = 0usize;
+            for _ in &tos {
+                let copy: Vec<MsgEntry> = (*b64).clone();
+                total += black_box(copy).len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    g.bench_function("merge_disjoint_64_into_64", |b| {
+        let base = batch(64, 0);
+        let more: MsgBatch =
+            MsgBatch::new((0..64).map(|i| entry(i + 1000, Payload::new())).collect());
+        b.iter(|| {
+            let mut acc = MsgBatch::clone(&base);
+            merge_msg_sets(&mut acc, MsgBatch::clone(&more));
+            black_box(acc.len())
+        })
+    });
+    g.bench_function("merge_overlapping_64_into_64", |b| {
+        let base = batch(64, 0);
+        b.iter(|| {
+            let mut acc = MsgBatch::clone(&base);
+            merge_msg_sets(&mut acc, MsgBatch::clone(&base));
+            black_box(acc.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_fanout, bench_merge);
+criterion_main!(benches);

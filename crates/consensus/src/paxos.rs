@@ -28,9 +28,9 @@
 //! is the only value acceptable at higher ballots); termination holds with a
 //! majority of correct members and an eventually accurate suspicion source.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
-use wamcast_types::ProcessId;
+use wamcast_types::{FxHashMap, ProcessId};
 
 /// Values decidable by consensus.
 ///
@@ -168,7 +168,9 @@ impl<V: Clone> MsgSink<V> {
 #[derive(Clone, Debug)]
 struct PrepareState<V> {
     ballot: Ballot,
-    promises: BTreeMap<ProcessId, Option<(Ballot, V)>>,
+    /// Flat (promiser, reported-accepted) pairs: a group has a handful of
+    /// members, so linear scans beat tree nodes on every hot path.
+    promises: Vec<(ProcessId, Option<(Ballot, V)>)>,
     sent_accept: bool,
     /// The exact value the Accept for `ballot` carried — kept so a
     /// retransmission ([`GroupConsensus::tick`]) re-sends the *same* value
@@ -194,7 +196,9 @@ struct Instance<V> {
     /// retransmission — the same ballot must re-ship the same value).
     sent_accept0_value: Option<V>,
     prepare: Option<PrepareState<V>>,
-    accepted_votes: BTreeMap<Ballot, BTreeSet<ProcessId>>,
+    /// Flat per-ballot vote lists (see `PrepareState::promises` on why
+    /// flat beats trees at group scale).
+    accepted_votes: Vec<(Ballot, Vec<ProcessId>)>,
 }
 
 impl<V> Instance<V> {
@@ -208,7 +212,17 @@ impl<V> Instance<V> {
             sent_accept0: false,
             sent_accept0_value: None,
             prepare: None,
-            accepted_votes: BTreeMap::new(),
+            accepted_votes: Vec::new(),
+        }
+    }
+
+    /// The vote list of `ballot`, created on first use.
+    fn votes_mut(&mut self, ballot: Ballot) -> &mut Vec<ProcessId> {
+        if let Some(i) = self.accepted_votes.iter().position(|(b, _)| *b == ballot) {
+            &mut self.accepted_votes[i].1
+        } else {
+            self.accepted_votes.push((ballot, Vec::new()));
+            &mut self.accepted_votes.last_mut().expect("just pushed").1
         }
     }
 
@@ -264,14 +278,17 @@ pub struct GroupConsensus<V> {
     members: Vec<ProcessId>,
     majority: usize,
     suspected: BTreeSet<ProcessId>,
-    instances: BTreeMap<u64, Instance<V>>,
+    /// Point-query only (hot path); anything that must *iterate*
+    /// instances goes through a sorted key snapshot or the `active` index.
+    instances: FxHashMap<u64, Instance<V>>,
     /// Undecided instances with local involvement (a candidate, an
     /// accepted value, or a prepare in flight). Kept so the retry-mode hot
     /// path — [`has_unfinished`](Self::has_unfinished) on every event,
     /// [`tick`](Self::tick) on every retransmission interval — costs
     /// O(in-flight), not O(every instance ever decided).
     active: BTreeSet<u64>,
-    decisions: BTreeMap<u64, V>,
+    /// Point-query only (see `instances`).
+    decisions: FxHashMap<u64, V>,
     undrained: Vec<(u64, V)>,
     /// Batch combiner for forwarded proposals; see [`MergeFn`].
     merge: Option<MergeFn<V>>,
@@ -295,9 +312,9 @@ impl<V: Value> GroupConsensus<V> {
             members,
             majority,
             suspected: BTreeSet::new(),
-            instances: BTreeMap::new(),
+            instances: FxHashMap::default(),
             active: BTreeSet::new(),
-            decisions: BTreeMap::new(),
+            decisions: FxHashMap::default(),
             undrained: Vec::new(),
             merge: None,
         }
@@ -406,13 +423,15 @@ impl<V: Value> GroupConsensus<V> {
             return;
         }
         let coord = self.coordinator();
-        let pending: Vec<u64> = self
+        let mut pending: Vec<u64> = self
             .instances
             .iter()
             .filter(|(k, i)| !i.decided && !self.decisions.contains_key(k))
             .filter(|(_, i)| i.has_candidate() || i.accepted.is_some())
             .map(|(&k, _)| k)
             .collect();
+        // The instance table hashes; re-forwarding order must not.
+        pending.sort_unstable();
         for k in pending {
             if coord == self.me {
                 self.drive_as_coordinator(k, sink);
@@ -513,15 +532,19 @@ impl<V: Value> GroupConsensus<V> {
                 if ps.ballot != ballot || ps.sent_accept {
                     return;
                 }
-                ps.promises.insert(from, accepted);
+                match ps.promises.iter_mut().find(|(q, _)| *q == from) {
+                    Some(slot) => slot.1 = accepted,
+                    None => ps.promises.push((from, accepted)),
+                }
                 if ps.promises.len() >= majority {
                     // Adopt the highest accepted value among the promises
                     // (Paxos safety), else fall back to our own candidate or
-                    // locally accepted value.
+                    // locally accepted value. Ties in ballot carry the same
+                    // value (one ballot, one value), so scan order is moot.
                     let adopted = ps
                         .promises
-                        .values()
-                        .flatten()
+                        .iter()
+                        .filter_map(|(_, a)| a.as_ref())
                         .max_by_key(|(b, _)| *b)
                         .map(|(_, v)| v.clone());
                     let ballot = ps.ballot;
@@ -582,20 +605,19 @@ impl<V: Value> GroupConsensus<V> {
                     // runs — stay silent, keeping clean-run message counts
                     // exactly the paper's.
                     let v = v.clone();
-                    let votes = self
-                        .instance_mut(instance)
-                        .accepted_votes
-                        .entry(ballot)
-                        .or_default();
-                    if !votes.insert(from) {
+                    let votes = self.instance_mut(instance).votes_mut(ballot);
+                    if votes.contains(&from) {
                         sink.push(from, ConsensusMsg::Decide { instance, value: v });
+                    } else {
+                        votes.push(from);
                     }
                     return;
                 }
                 let majority = self.majority;
-                let inst = self.instance_mut(instance);
-                let votes = inst.accepted_votes.entry(ballot).or_default();
-                votes.insert(from);
+                let votes = self.instance_mut(instance).votes_mut(ballot);
+                if !votes.contains(&from) {
+                    votes.push(from);
+                }
                 if votes.len() >= majority {
                     self.learn(instance, value);
                 }
@@ -647,8 +669,8 @@ impl<V: Value> GroupConsensus<V> {
             if !ps.sent_accept && ps.promises.len() >= majority {
                 let adopted = ps
                     .promises
-                    .values()
-                    .flatten()
+                    .iter()
+                    .filter_map(|(_, a)| a.as_ref())
                     .max_by_key(|(b, _)| *b)
                     .map(|(_, v)| v.clone())
                     .unwrap_or(value);
@@ -678,7 +700,7 @@ impl<V: Value> GroupConsensus<V> {
         };
         inst.prepare = Some(PrepareState {
             ballot,
-            promises: BTreeMap::new(),
+            promises: Vec::new(),
             sent_accept: false,
             sent_value: None,
         });
@@ -689,7 +711,8 @@ impl<V: Value> GroupConsensus<V> {
     /// Debug/inspection: one line per undecided instance with local state
     /// (candidate, accepted ballot, prepare progress, promised ballot).
     pub fn debug_unfinished(&self) -> Vec<(u64, String)> {
-        self.instances
+        let mut out: Vec<(u64, String)> = self
+            .instances
             .iter()
             .filter(|(k, _)| !self.decisions.contains_key(k))
             .map(|(&k, i)| {
@@ -706,7 +729,9 @@ impl<V: Value> GroupConsensus<V> {
                 );
                 (k, desc)
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
     }
 
     /// Whether any instance this member is involved in (as proposer,

@@ -31,17 +31,31 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_types::{
-    AppMessage, BatchConfig, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+    AppMessage, BatchConfig, Context, FxHashMap, FxHashSet, GroupId, MessageId, Outbox, ProcessId,
+    Protocol, SharedBatch,
 };
+
+/// A round's message bundle — the value one consensus instance decides and
+/// one `(K, msgSet)` exchange ships. `Arc`-shared ([`SharedBatch`]): the
+/// intra-group `Accept`/`Accepted`/`Decide` fan-out and the inter-group
+/// bundle broadcast clone a refcount, never the messages, so a 64-message
+/// round costs one allocation however many processes it reaches.
+pub type RoundBundle = SharedBatch<AppMessage>;
 
 /// Union-by-id combiner installed on the consensus engine: bundles
 /// forwarded by other members fold into the coordinator's round proposal,
 /// so one round carries every message any group member has R-Delivered.
-fn merge_bundles(acc: &mut Vec<AppMessage>, more: Vec<AppMessage>) {
-    for m in more {
-        if !acc.iter().any(|x| x.id == m.id) {
-            acc.push(m);
-        }
+/// Copy-on-write: the accumulator's messages are copied only if another
+/// handle to the batch is still live.
+pub fn merge_bundles(acc: &mut RoundBundle, more: RoundBundle) {
+    let mut have: BTreeSet<MessageId> = acc.iter().map(|m| m.id).collect();
+    let fresh: Vec<AppMessage> = more
+        .iter()
+        .filter(|m| have.insert(m.id)) // also dedups within `more`
+        .cloned()
+        .collect();
+    if !fresh.is_empty() {
+        std::sync::Arc::make_mut(acc).extend(fresh);
     }
 }
 
@@ -57,14 +71,17 @@ pub enum BroadcastMsg {
     /// Intra-group dissemination of a freshly broadcast message (line 5's
     /// R-MCast restricted to the caster's group).
     Rm(AppMessage),
-    /// Intra-group consensus traffic (bundle agreement).
-    Cons(ConsensusMsg<Vec<AppMessage>>),
+    /// Intra-group consensus traffic (bundle agreement). The value is an
+    /// `Arc`-shared [`RoundBundle`], so `Accept`/`Accepted`/`Decide`
+    /// copies carrying a large bundle cost a refcount each.
+    Cons(ConsensusMsg<RoundBundle>),
     /// `(K, msgSet)`: the sender's group bundle for round `K` (line 15).
     Bundle {
         /// Round number.
         round: u64,
-        /// The group's decided bundle (may be empty).
-        msgs: Vec<AppMessage>,
+        /// The group's decided bundle (may be empty), shared across every
+        /// remote recipient of the fan-out.
+        msgs: RoundBundle,
     },
     /// Receipt acknowledgement for a round bundle — sent only in retry
     /// mode ([`RoundBroadcast::with_retry`]), so that bundle senders can
@@ -115,16 +132,18 @@ pub struct RoundBroadcast {
     /// Payload bytes pooled in `rdelivered` (incremental, so the byte
     /// trigger costs O(1) per arrival).
     rdelivered_bytes: usize,
-    adelivered: BTreeSet<MessageId>,
-    /// `Msgs`: received bundles, round → group → bundle.
-    bundles: BTreeMap<u64, BTreeMap<GroupId, Vec<AppMessage>>>,
+    adelivered: FxHashSet<MessageId>,
+    /// `Msgs`: received bundles, round → group → bundle. The outer map is
+    /// point-keyed by round; the inner stays ordered because
+    /// `finish_round` folds it.
+    bundles: FxHashMap<u64, BTreeMap<GroupId, RoundBundle>>,
     /// Round whose own bundle is decided and sent; waiting for the others.
     waiting_bundles: Option<u64>,
-    cons: GroupConsensus<Vec<AppMessage>>,
-    buffered_decisions: BTreeMap<u64, Vec<AppMessage>>,
+    cons: GroupConsensus<RoundBundle>,
+    buffered_decisions: FxHashMap<u64, RoundBundle>,
     /// R-Delivered messages by origin, for crash-triggered intra-group relay.
-    by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
-    relayed: BTreeSet<MessageId>,
+    by_origin: FxHashMap<ProcessId, Vec<AppMessage>>,
+    relayed: FxHashSet<MessageId>,
     /// Batch policy gating round starts (see type docs); `max_delay` is the
     /// pacing window, `max_msgs`/`max_bytes` flush a backlog early.
     batch: BatchConfig,
@@ -148,9 +167,17 @@ pub struct RoundBroadcast {
     retry_armed: bool,
     /// Retry mode only: bundles this process sent, per round, with the
     /// remote recipients that have not acked yet.
-    sent_bundles: BTreeMap<u64, (Vec<AppMessage>, BTreeSet<ProcessId>)>,
+    sent_bundles: BTreeMap<u64, (RoundBundle, BTreeSet<ProcessId>)>,
+    /// Per-process secondary index over `sent_bundles`: debtor → rounds it
+    /// still owes an ack for. A crash notification touches exactly the
+    /// crashed process's rounds instead of scanning every outstanding
+    /// bundle.
+    bundle_debtors: BTreeMap<ProcessId, BTreeSet<u64>>,
     /// Processes reported crashed: never tracked as bundle-ack debtors.
     crashed: BTreeSet<ProcessId>,
+    /// Reusable buffer for consensus engine calls — taken per handler,
+    /// drained by `flush_cons`, put back; no allocation per event.
+    sink_buf: MsgSink<RoundBundle>,
 }
 
 impl RoundBroadcast {
@@ -166,13 +193,13 @@ impl RoundBroadcast {
             barrier: 0,
             rdelivered: BTreeMap::new(),
             rdelivered_bytes: 0,
-            adelivered: BTreeSet::new(),
-            bundles: BTreeMap::new(),
+            adelivered: FxHashSet::default(),
+            bundles: FxHashMap::default(),
             waiting_bundles: None,
             cons: GroupConsensus::new(me, members).with_merge(merge_bundles),
-            buffered_decisions: BTreeMap::new(),
-            by_origin: BTreeMap::new(),
-            relayed: BTreeSet::new(),
+            buffered_decisions: FxHashMap::default(),
+            by_origin: FxHashMap::default(),
+            relayed: FxHashSet::default(),
             batch: BatchConfig::disabled(),
             timer_armed: false,
             idle_rounds: 1,
@@ -180,7 +207,9 @@ impl RoundBroadcast {
             retry: None,
             retry_armed: false,
             sent_bundles: BTreeMap::new(),
+            bundle_debtors: BTreeMap::new(),
             crashed: BTreeSet::new(),
+            sink_buf: MsgSink::new(),
         }
     }
 
@@ -266,11 +295,11 @@ impl RoundBroadcast {
 
     fn flush_cons(
         &mut self,
-        sink: MsgSink<Vec<AppMessage>>,
+        sink: &mut MsgSink<RoundBundle>,
         ctx: &Context,
         out: &mut Outbox<BroadcastMsg>,
     ) {
-        for (to, m) in sink.msgs {
+        for (to, m) in sink.msgs.drain(..) {
             out.send(to, BroadcastMsg::Cons(m));
         }
         self.drain_decisions(ctx, out);
@@ -299,11 +328,12 @@ impl RoundBroadcast {
         if !(self.has_undelivered() || self.k <= self.barrier) {
             return;
         }
-        let proposal: Vec<AppMessage> = self.rdelivered.values().cloned().collect();
-        let mut sink = MsgSink::new();
+        let proposal: RoundBundle = RoundBundle::new(self.rdelivered.values().cloned().collect());
+        let mut sink = std::mem::take(&mut self.sink_buf);
         self.cons.propose(self.k, proposal, &mut sink);
         self.prop_k = self.k + 1;
-        self.flush_cons(sink, ctx, out);
+        self.flush_cons(&mut sink, ctx, out);
+        self.sink_buf = sink;
     }
 
     /// Entry point for the line-11 guard: either propose now (eager mode or
@@ -357,19 +387,21 @@ impl RoundBroadcast {
     /// One retransmission round: re-drive undecided consensus instances and
     /// re-send every unacked round bundle.
     fn retransmit(&mut self, ctx: &Context, out: &mut Outbox<BroadcastMsg>) {
-        let mut sink = MsgSink::new();
+        let mut sink = std::mem::take(&mut self.sink_buf);
         self.cons.tick(&mut sink);
-        self.flush_cons(sink, ctx, out);
+        self.flush_cons(&mut sink, ctx, out);
+        self.sink_buf = sink;
         for (&round, (msgs, unacked)) in &self.sent_bundles {
-            for &q in unacked {
-                out.send(
-                    q,
-                    BroadcastMsg::Bundle {
-                        round,
-                        msgs: msgs.clone(),
-                    },
-                );
-            }
+            // One shared body for the whole retransmission fan-out; the
+            // unacked set iterates in process order, as the per-`send`
+            // loop did.
+            out.send_many(
+                unacked.iter().copied(),
+                BroadcastMsg::Bundle {
+                    round,
+                    msgs: RoundBundle::clone(msgs),
+                },
+            );
         }
     }
 
@@ -389,8 +421,16 @@ impl RoundBroadcast {
                 let Some(mut decided) = self.buffered_decisions.remove(&self.k) else {
                     return;
                 };
-                decided.sort_by_key(|m| m.id);
-                decided.dedup_by_key(|m| m.id);
+                // Copy-on-write normalization: the consensus engine keeps
+                // its own handle on the decided value (for Decide catch-up
+                // replies), so make_mut copies once — the same copy the
+                // pre-`Arc` representation paid — and every fan-out below
+                // shares the normalized batch for free.
+                {
+                    let v = std::sync::Arc::make_mut(&mut decided);
+                    v.sort_by_key(|m| m.id);
+                    v.dedup_by_key(|m| m.id);
+                }
                 // Line 15: send (K, msgSet′) to every process outside our
                 // group.
                 let remote: Vec<ProcessId> = ctx
@@ -405,14 +445,18 @@ impl RoundBroadcast {
                         .filter(|q| !self.crashed.contains(q))
                         .collect();
                     if !unacked.is_empty() {
-                        self.sent_bundles.insert(self.k, (decided.clone(), unacked));
+                        for &q in &unacked {
+                            self.bundle_debtors.entry(q).or_default().insert(self.k);
+                        }
+                        self.sent_bundles
+                            .insert(self.k, (RoundBundle::clone(&decided), unacked));
                     }
                 }
                 out.send_many(
                     remote,
                     BroadcastMsg::Bundle {
                         round: self.k,
-                        msgs: decided.clone(),
+                        msgs: RoundBundle::clone(&decided),
                     },
                 );
                 // Line 17: record our own bundle.
@@ -444,7 +488,9 @@ impl RoundBroadcast {
         let per_group = self.bundles.remove(&round).expect("round complete");
         let mut to_deliver: Vec<AppMessage> = per_group
             .into_values()
-            .flatten()
+            // Unique handles (typical for remote bundles) move their
+            // messages out; shared ones copy, as before the Arc.
+            .flat_map(|b| std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()))
             .filter(|m| !self.adelivered.contains(&m.id))
             .collect();
         to_deliver.sort_by_key(|m| m.id);
@@ -499,9 +545,10 @@ impl Protocol for RoundBroadcast {
         match msg {
             BroadcastMsg::Rm(m) => self.on_rdeliver(m, ctx, out),
             BroadcastMsg::Cons(c) => {
-                let mut sink = MsgSink::new();
+                let mut sink = std::mem::take(&mut self.sink_buf);
                 self.cons.on_message(from, c, &mut sink);
-                self.flush_cons(sink, ctx, out);
+                self.flush_cons(&mut sink, ctx, out);
+                self.sink_buf = sink;
             }
             BroadcastMsg::Bundle { round, msgs } => {
                 // Retry mode: ack every copy (the sender may have missed an
@@ -522,6 +569,12 @@ impl Protocol for RoundBroadcast {
                 self.advance(ctx, out);
             }
             BroadcastMsg::BundleAck { round } => {
+                if let Some(rounds) = self.bundle_debtors.get_mut(&from) {
+                    rounds.remove(&round);
+                    if rounds.is_empty() {
+                        self.bundle_debtors.remove(&from);
+                    }
+                }
                 if let Some((_, unacked)) = self.sent_bundles.get_mut(&round) {
                     unacked.remove(&from);
                     if unacked.is_empty() {
@@ -559,12 +612,20 @@ impl Protocol for RoundBroadcast {
         out: &mut Outbox<BroadcastMsg>,
     ) {
         // A crashed process never acks its bundles — drop it from every
-        // unacked set and never track it again.
+        // unacked set and never track it again. The debtor index points
+        // straight at the rounds it owes, so this costs O(its debts), not
+        // a scan of every outstanding bundle.
         self.crashed.insert(crashed);
-        self.sent_bundles.retain(|_, (_, unacked)| {
-            unacked.remove(&crashed);
-            !unacked.is_empty()
-        });
+        if let Some(rounds) = self.bundle_debtors.remove(&crashed) {
+            for round in rounds {
+                if let Some((_, unacked)) = self.sent_bundles.get_mut(&round) {
+                    unacked.remove(&crashed);
+                    if unacked.is_empty() {
+                        self.sent_bundles.remove(&round);
+                    }
+                }
+            }
+        }
         // Intra-group relay of messages whose caster crashed (reliable
         // multicast agreement).
         if let Some(msgs) = self.by_origin.get(&crashed).cloned() {
@@ -582,9 +643,10 @@ impl Protocol for RoundBroadcast {
             }
         }
         if ctx.topology().group_of(crashed) == self.group {
-            let mut sink = MsgSink::new();
+            let mut sink = std::mem::take(&mut self.sink_buf);
             self.cons.on_suspect(crashed, &mut sink);
-            self.flush_cons(sink, ctx, out);
+            self.flush_cons(&mut sink, ctx, out);
+            self.sink_buf = sink;
         }
         self.arm_retry(out);
     }
@@ -614,6 +676,11 @@ mod tests {
         for a in out.drain() {
             match a {
                 Action::Send { to, msg } => sends.push((to, msg)),
+                // Expand shared fan-outs to the per-destination copies a
+                // host would deliver.
+                Action::SendMany { tos, msg } => {
+                    sends.extend(tos.into_iter().map(|to| (to, (*msg).clone())))
+                }
                 Action::Deliver(m) => delivers.push(m.id),
                 _ => {}
             }
@@ -661,7 +728,7 @@ mod tests {
             ProcessId(1),
             BroadcastMsg::Bundle {
                 round: 3,
-                msgs: vec![],
+                msgs: RoundBundle::new(vec![]),
             },
             &ctx(0, &topo),
             &mut out,
@@ -706,7 +773,7 @@ mod tests {
             ProcessId(1),
             BroadcastMsg::Bundle {
                 round: 1,
-                msgs: vec![],
+                msgs: RoundBundle::new(vec![]),
             },
             &ctx(0, &topo),
             &mut out,
@@ -719,7 +786,7 @@ mod tests {
             ProcessId(2),
             BroadcastMsg::Bundle {
                 round: 1,
-                msgs: vec![],
+                msgs: RoundBundle::new(vec![]),
             },
             &ctx(0, &topo),
             &mut out,
@@ -746,7 +813,7 @@ mod tests {
             ProcessId(1),
             BroadcastMsg::Bundle {
                 round: 1,
-                msgs: vec![b.clone(), a.clone(), a.clone()],
+                msgs: RoundBundle::new(vec![b.clone(), a.clone(), a.clone()]),
             },
             &ctx(0, &topo),
             &mut out,

@@ -56,7 +56,8 @@ use std::time::Duration;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
 use wamcast_types::{
-    AppMessage, BatchConfig, Context, GroupId, MessageId, Outbox, ProcessId, Protocol,
+    AppMessage, BatchConfig, Context, FxHashMap, FxHashSet, GroupId, MessageId, Outbox, ProcessId,
+    Protocol,
 };
 
 /// Timer token of the batch flush timer (see [`MulticastConfig::batch`]).
@@ -79,9 +80,10 @@ pub enum Stage {
 }
 
 /// A shared, immutable `msgSet` batch — what one consensus instance
-/// decides. Cloning is a refcount bump, which keeps large batches cheap on
-/// the intra-group `Accept`/`Accepted` fan-out.
-pub type MsgBatch = std::sync::Arc<Vec<MsgEntry>>;
+/// decides. Cloning is a refcount bump ([`wamcast_types::SharedBatch`]),
+/// which keeps large batches cheap on the intra-group `Accept`/`Accepted`
+/// fan-out and on the inter-group `(TS, batch)` exchange.
+pub type MsgBatch = wamcast_types::SharedBatch<MsgEntry>;
 
 /// One message together with its protocol fields — the unit that consensus
 /// decides on (`msgSet` entries carry `dest`, `id`, `ts` and `stage`; §4.2).
@@ -191,7 +193,27 @@ struct Pending {
     ts: u64,
     stage: Stage,
     /// Timestamp proposals received from other groups via `(TS, m)`.
-    remote_proposals: BTreeMap<GroupId, u64>,
+    /// A message addresses at most a handful of groups, so a flat vector
+    /// beats any tree/hash map: lookups are a short linear scan.
+    remote_proposals: Vec<(GroupId, u64)>,
+}
+
+impl Pending {
+    /// The recorded proposal of group `g`, if any.
+    fn proposal_of(&self, g: GroupId) -> Option<u64> {
+        self.remote_proposals
+            .iter()
+            .find(|&&(pg, _)| pg == g)
+            .map(|&(_, ts)| ts)
+    }
+
+    /// Records (or overwrites) group `g`'s proposal.
+    fn set_proposal(&mut self, g: GroupId, ts: u64) {
+        match self.remote_proposals.iter_mut().find(|(pg, _)| *pg == g) {
+            Some(slot) => slot.1 = ts,
+            None => self.remote_proposals.push((g, ts)),
+        }
+    }
 }
 
 /// Algorithm A1 — genuine atomic multicast (code of process p, §4.2).
@@ -208,7 +230,9 @@ pub struct GenuineMulticast {
     k: u64,
     /// `propK`: at most one proposal per instance (line 17).
     prop_k: u64,
-    pending: BTreeMap<MessageId, Pending>,
+    /// Point-query only; ordered walks go through `by_ts`, `unproposed`
+    /// and `s1_waiting`.
+    pending: FxHashMap<MessageId, Pending>,
     /// Delivery-order index over `pending`: the `(ts, id)` pairs of every
     /// pending message. Makes the line-3 minimality test O(log n) per
     /// delivery instead of a full scan (the hot path under load).
@@ -216,16 +240,21 @@ pub struct GenuineMulticast {
     /// Pending stage-s0/s2 messages — the unproposed batch, and exactly the
     /// `msgSet` the next consensus proposal carries.
     unproposed: BTreeSet<MessageId>,
+    /// Stage index over `pending`: the messages currently in stage s1
+    /// (proposal exchanged, remote proposals outstanding). Retry-mode
+    /// retransmission re-sends `(TS, m)` for exactly these, so a tick
+    /// walks this set instead of scanning the whole pending pool.
+    s1_waiting: BTreeSet<MessageId>,
     /// Payload bytes of the unproposed batch.
     unproposed_bytes: usize,
-    adelivered: BTreeSet<MessageId>,
+    adelivered: FxHashSet<MessageId>,
     rmcast: RmcastEngine,
     /// Used instead of `rmcast` when `cfg.uniform_dissemination` is set.
     urmcast: UniformRmcastEngine,
     cons: GroupConsensus<MsgBatch>,
     /// Decisions whose instance number is ahead of `K` (link jitter can
     /// reorder consensus learning across instances).
-    buffered_decisions: BTreeMap<u64, MsgBatch>,
+    buffered_decisions: FxHashMap<u64, MsgBatch>,
     /// Whether a batch flush timer is currently armed.
     flush_armed: bool,
     /// Whether the loss-recovery retransmission timer is currently armed.
@@ -239,9 +268,15 @@ pub struct GenuineMulticast {
     /// `SENT_PROPOSAL_CAP` multicasts goes unanswered here, but nudges
     /// arrive within a message's retransmission lifetime, orders of
     /// magnitude sooner.
-    sent_proposals: BTreeMap<MessageId, u64>,
+    sent_proposals: FxHashMap<MessageId, u64>,
     /// Insertion order of `sent_proposals`, for oldest-first eviction.
     sent_proposal_order: std::collections::VecDeque<MessageId>,
+    /// Reusable buffer for reliable-multicast engine calls: taken at the
+    /// start of a handler, drained by `flush_rmcast`, put back after — no
+    /// allocation per message event.
+    rm_buf: RmcastOut,
+    /// Reusable buffer for consensus engine calls (same pattern).
+    sink_buf: MsgSink<MsgBatch>,
 }
 
 /// Retention cap for [`GenuineMulticast`]'s remembered `(TS, m)` proposals
@@ -251,8 +286,10 @@ const SENT_PROPOSAL_CAP: usize = 4096;
 
 /// Union-by-id combiner installed on the consensus engine: forwarded
 /// `msgSet` batches fold into the coordinator's proposal, so one instance
-/// decides every message any group member has disseminated.
-fn merge_msg_sets(acc: &mut MsgBatch, more: MsgBatch) {
+/// decides every message any group member has disseminated. Copy-on-write
+/// over the shared batch — public so the engine benchmarks can measure
+/// the batch-merge hot path directly.
+pub fn merge_msg_sets(acc: &mut MsgBatch, more: MsgBatch) {
     let have: BTreeSet<MessageId> = acc.iter().map(|e| e.msg.id).collect();
     let fresh: Vec<MsgEntry> = more
         .iter()
@@ -292,19 +329,22 @@ impl GenuineMulticast {
             cfg,
             k: 1,
             prop_k: 1,
-            pending: BTreeMap::new(),
+            pending: FxHashMap::default(),
             by_ts: BTreeSet::new(),
             unproposed: BTreeSet::new(),
+            s1_waiting: BTreeSet::new(),
             unproposed_bytes: 0,
-            adelivered: BTreeSet::new(),
+            adelivered: FxHashSet::default(),
             rmcast,
             urmcast: UniformRmcastEngine::new(me),
             cons: GroupConsensus::new(me, members).with_merge(merge_msg_sets),
-            buffered_decisions: BTreeMap::new(),
+            buffered_decisions: FxHashMap::default(),
             flush_armed: false,
             retry_armed: false,
-            sent_proposals: BTreeMap::new(),
+            sent_proposals: FxHashMap::default(),
             sent_proposal_order: std::collections::VecDeque::new(),
+            rm_buf: RmcastOut::new(),
+            sink_buf: MsgSink::new(),
         }
     }
 
@@ -335,22 +375,27 @@ impl GenuineMulticast {
     // Plumbing: route sub-engine output into the host outbox.
     // ------------------------------------------------------------------
 
-    fn flush_rmcast(&mut self, rm_out: RmcastOut, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
-        for (to, m) in rm_out.sends {
+    fn flush_rmcast(
+        &mut self,
+        rm_out: &mut RmcastOut,
+        ctx: &Context,
+        out: &mut Outbox<MulticastMsg>,
+    ) {
+        for (to, m) in rm_out.sends.drain(..) {
             out.send(to, MulticastMsg::Rm(m));
         }
-        for m in rm_out.delivered {
+        for m in rm_out.delivered.drain(..) {
             self.on_rdeliver(m, ctx, out);
         }
     }
 
     fn flush_cons(
         &mut self,
-        sink: MsgSink<MsgBatch>,
+        sink: &mut MsgSink<MsgBatch>,
         ctx: &Context,
         out: &mut Outbox<MulticastMsg>,
     ) {
-        for (to, m) in sink.msgs {
+        for (to, m) in sink.msgs.drain(..) {
             out.send(to, MulticastMsg::Cons(m));
         }
         self.drain_decisions(ctx, out);
@@ -374,7 +419,7 @@ impl GenuineMulticast {
             Pending {
                 ts: self.k,
                 stage: Stage::S0,
-                remote_proposals: BTreeMap::new(),
+                remote_proposals: Vec::new(),
                 msg: m,
             },
         );
@@ -429,10 +474,11 @@ impl GenuineMulticast {
         if msg_set.is_empty() {
             return;
         }
-        let mut sink = MsgSink::new();
+        let mut sink = std::mem::take(&mut self.sink_buf);
         self.cons.propose(self.k, MsgBatch::new(msg_set), &mut sink);
         self.prop_k = self.k + 1;
-        self.flush_cons(sink, ctx, out);
+        self.flush_cons(&mut sink, ctx, out);
+        self.sink_buf = sink;
     }
 
     /// Pulls decided instances from the consensus engine and processes them
@@ -512,20 +558,25 @@ impl GenuineMulticast {
             max_ts = max_ts.max(entry.ts);
             // Line 30: add the message or update its fields (keeping the
             // delivery-order index and batch counters in sync). The decision
-            // value may teach us a message we never R-Delivered.
-            let remote_proposals = match self.pending.get(&id) {
+            // value may teach us a message we never R-Delivered. Remove +
+            // re-insert moves the recorded proposals instead of cloning
+            // them.
+            let remote_proposals = match self.pending.remove(&id) {
                 Some(old) => {
                     self.by_ts.remove(&(old.ts, id));
                     if matches!(old.stage, Stage::S0 | Stage::S2) && self.unproposed.remove(&id) {
                         self.unproposed_bytes -= old.msg.payload.len();
                     }
-                    old.remote_proposals.clone()
+                    old.remote_proposals
                 }
-                None => BTreeMap::new(),
+                None => Vec::new(),
             };
             self.by_ts.insert((entry.ts, id));
             if entry.stage == Stage::S1 {
                 entered_s1.push(id);
+                self.s1_waiting.insert(id);
+            } else {
+                self.s1_waiting.remove(&id);
             }
             self.pending.insert(
                 id,
@@ -539,16 +590,17 @@ impl GenuineMulticast {
             // Mark as seen so a late R-MCast copy is not re-inserted at s0
             // (the pending/adelivered checks cover the uniform engine).
             if !self.cfg.uniform_dissemination {
-                let mut rm_out = RmcastOut::new();
-                self.rmcast
-                    .accept(entry.msg.clone(), ctx.topology(), &mut rm_out);
+                self.rmcast.mark_seen(&entry.msg, ctx.topology());
             }
         }
         for (g, entries) in ts_batches {
+            // One wire message per destination *group*, one shared body per
+            // member fan-out: the engine clones a refcount per member.
             let batch = MsgBatch::new(entries);
-            for &q in ctx.topology().members(g) {
-                out.send(q, MulticastMsg::Ts(MsgBatch::clone(&batch)));
-            }
+            out.send_many(
+                ctx.topology().members(g).iter().copied(),
+                MulticastMsg::Ts(batch),
+            );
         }
         // Line 31: K ← max(max decided ts, K) + 1.
         self.k = self.k.max(max_ts) + 1;
@@ -576,17 +628,20 @@ impl GenuineMulticast {
         if p.stage != Stage::S1 {
             return;
         }
-        let needed: Vec<GroupId> = p.msg.dest.iter().filter(|&g| g != self.group).collect();
-        if !needed.iter().all(|g| p.remote_proposals.contains_key(g)) {
-            return;
+        // One pass over the destination bitset, no allocation: bail on the
+        // first group whose proposal is still missing.
+        let mut max_remote = 0u64;
+        for g in p.msg.dest.iter() {
+            if g == self.group {
+                continue;
+            }
+            match p.proposal_of(g) {
+                Some(ts) => max_remote = max_remote.max(ts),
+                None => return,
+            }
         }
-        let max_remote = needed
-            .iter()
-            .filter_map(|g| p.remote_proposals.get(g))
-            .copied()
-            .max()
-            .unwrap_or(0);
         let own = p.ts;
+        self.s1_waiting.remove(&id); // leaving s1 either way below
         let p = self.pending.get_mut(&id).expect("checked above");
         if self.cfg.skip_stages && own >= max_remote {
             // Line 35–36: our clock is already past the final timestamp
@@ -625,10 +680,24 @@ impl GenuineMulticast {
         let mut replies: Vec<MsgEntry> = Vec::new();
         for entry in entries.iter() {
             let id = entry.msg.id;
+            // Duplicate-copy fast path: every member of the deciding group
+            // sends the same (TS, batch), so all but the first copy find
+            // the proposal already recorded (or the message long
+            // A-Delivered) and nothing below could change any state —
+            // skip the re-walk. Nudges still fall through: they may need
+            // a reply even when nothing changes locally.
+            if !nudge
+                && self.pending.get(&id).map_or_else(
+                    || self.adelivered.contains(&id),
+                    |p| p.proposal_of(sender_group) == Some(entry.ts),
+                )
+            {
+                continue;
+            }
             // Line 10: a (TS, m) message also discloses m itself.
             self.on_rdeliver(entry.msg.clone(), ctx, out);
             if let Some(p) = self.pending.get_mut(&id) {
-                p.remote_proposals.insert(sender_group, entry.ts);
+                p.set_proposal(sender_group, entry.ts);
             }
             self.try_resolve_s1(id, ctx, out);
             if nudge {
@@ -686,17 +755,20 @@ impl GenuineMulticast {
     /// still missing a remote proposal, and re-send unacked
     /// reliable-multicast copies.
     fn retransmit(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
-        let mut sink = MsgSink::new();
+        let mut sink = std::mem::take(&mut self.sink_buf);
         self.cons.tick(&mut sink);
-        self.flush_cons(sink, ctx, out);
+        self.flush_cons(&mut sink, ctx, out);
+        self.sink_buf = sink;
 
+        // Only stage-s1 messages can be stuck on a lost (TS, m): walk the
+        // s1 index (id order, same order the full pending scan produced),
+        // not the whole pending pool.
         let mut per_group: BTreeMap<GroupId, Vec<MsgEntry>> = BTreeMap::new();
-        for p in self.pending.values() {
-            if p.stage != Stage::S1 {
-                continue;
-            }
+        for id in &self.s1_waiting {
+            let p = &self.pending[id];
+            debug_assert_eq!(p.stage, Stage::S1, "s1 index out of sync");
             for g in p.msg.dest.iter() {
-                if g == self.group || p.remote_proposals.contains_key(&g) {
+                if g == self.group || p.proposal_of(g).is_some() {
                     continue;
                 }
                 per_group.entry(g).or_default().push(MsgEntry {
@@ -708,14 +780,16 @@ impl GenuineMulticast {
         }
         for (g, entries) in per_group {
             let batch = MsgBatch::new(entries);
-            for &q in ctx.topology().members(g) {
-                out.send(q, MulticastMsg::TsNudge(MsgBatch::clone(&batch)));
-            }
+            out.send_many(
+                ctx.topology().members(g).iter().copied(),
+                MulticastMsg::TsNudge(batch),
+            );
         }
 
-        let mut rm_out = RmcastOut::new();
+        let mut rm_out = std::mem::take(&mut self.rm_buf);
         self.rmcast.tick(&mut rm_out);
-        self.flush_rmcast(rm_out, ctx, out);
+        self.flush_rmcast(&mut rm_out, ctx, out);
+        self.rm_buf = rm_out;
     }
 
     /// Lines 3–7: A-Deliver every stage-s3 message that is minimal in
@@ -734,6 +808,7 @@ impl GenuineMulticast {
             }
             self.by_ts.remove(&(min_ts, min_id));
             let p = self.pending.remove(&min_id).expect("present");
+            debug_assert!(!self.s1_waiting.contains(&min_id), "delivering s1 msg");
             self.adelivered.insert(min_id);
             out.deliver(p.msg);
         }
@@ -746,13 +821,14 @@ impl Protocol for GenuineMulticast {
     /// Line 9: to A-MCast `m`, R-MCast it to the processes of `m.dest`.
     fn on_cast(&mut self, msg: AppMessage, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
         debug_assert_eq!(msg.id.origin, self.me);
-        let mut rm_out = RmcastOut::new();
+        let mut rm_out = std::mem::take(&mut self.rm_buf);
         if self.cfg.uniform_dissemination {
             self.urmcast.rmcast(msg, ctx.topology(), &mut rm_out);
         } else {
             self.rmcast.rmcast(msg, ctx.topology(), &mut rm_out);
         }
-        self.flush_rmcast(rm_out, ctx, out);
+        self.flush_rmcast(&mut rm_out, ctx, out);
+        self.rm_buf = rm_out;
         self.arm_retry(out);
     }
 
@@ -765,7 +841,7 @@ impl Protocol for GenuineMulticast {
     ) {
         match msg {
             MulticastMsg::Rm(rm) => {
-                let mut rm_out = RmcastOut::new();
+                let mut rm_out = std::mem::take(&mut self.rm_buf);
                 if self.cfg.uniform_dissemination {
                     self.urmcast
                         .on_message(from, rm, ctx.topology(), &mut rm_out);
@@ -773,12 +849,14 @@ impl Protocol for GenuineMulticast {
                     self.rmcast
                         .on_message(from, rm, ctx.topology(), &mut rm_out);
                 }
-                self.flush_rmcast(rm_out, ctx, out);
+                self.flush_rmcast(&mut rm_out, ctx, out);
+                self.rm_buf = rm_out;
             }
             MulticastMsg::Cons(c) => {
-                let mut sink = MsgSink::new();
+                let mut sink = std::mem::take(&mut self.sink_buf);
                 self.cons.on_message(from, c, &mut sink);
-                self.flush_cons(sink, ctx, out);
+                self.flush_cons(&mut sink, ctx, out);
+                self.sink_buf = sink;
             }
             MulticastMsg::Ts(entries) => {
                 self.on_ts(from, &entries, false, ctx, out);
@@ -816,15 +894,17 @@ impl Protocol for GenuineMulticast {
     ) {
         // Reliable multicast relays messages whose origin crashed (and, in
         // ack mode, stops retransmitting to the crashed process).
-        let mut rm_out = RmcastOut::new();
+        let mut rm_out = std::mem::take(&mut self.rm_buf);
         self.rmcast
             .on_crash_notification(crashed, ctx.topology(), &mut rm_out);
-        self.flush_rmcast(rm_out, ctx, out);
+        self.flush_rmcast(&mut rm_out, ctx, out);
+        self.rm_buf = rm_out;
         // Consensus re-coordinates if the crashed process led our group.
         if ctx.topology().group_of(crashed) == self.group {
-            let mut sink = MsgSink::new();
+            let mut sink = std::mem::take(&mut self.sink_buf);
             self.cons.on_suspect(crashed, &mut sink);
-            self.flush_cons(sink, ctx, out);
+            self.flush_cons(&mut sink, ctx, out);
+            self.sink_buf = sink;
         }
         self.arm_retry(out);
     }

@@ -54,8 +54,8 @@ impl NonGenuineMulticast {
                         out.deliver(m);
                     }
                 }
-                Action::Send { to, msg } => out.send(to, msg),
-                Action::Timer { after, kind } => out.set_timer(after, kind),
+                // Sends (shared fan-outs included) and timers pass through.
+                other => out.emit(other),
             }
         }
     }

@@ -53,8 +53,9 @@ impl<P: Protocol, S: StateMachine> WithApply<P, S> {
                     self.sm.apply(&m);
                     out.deliver(m);
                 }
-                Action::Send { to, msg } => out.send(to, msg),
-                Action::Timer { after, kind } => out.set_timer(after, kind),
+                // Everything else — plain sends, shared fan-outs, timers —
+                // passes through verbatim.
+                other => out.emit(other),
             }
         }
     }

@@ -41,7 +41,9 @@ pub mod abcast;
 pub mod amcast;
 pub mod apply;
 
-pub use abcast::{BroadcastMsg, RoundBroadcast};
+pub use abcast::{merge_bundles, BroadcastMsg, RoundBroadcast, RoundBundle};
 pub use amcast::nongenuine::NonGenuineMulticast;
-pub use amcast::{GenuineMulticast, MulticastConfig, MulticastMsg, Stage};
+pub use amcast::{
+    merge_msg_sets, GenuineMulticast, MsgBatch, MsgEntry, MulticastConfig, MulticastMsg, Stage,
+};
 pub use apply::WithApply;

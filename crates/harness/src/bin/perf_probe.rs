@@ -1,0 +1,164 @@
+//! E12 — engine perf probe: measure, snapshot, and gate.
+//!
+//! Measures the two tracked engine numbers (see `wamcast_harness::perf`):
+//! sim-events/sec on the `3x3 a1-batched` probe scenario and the
+//! wall-clock of a `scenario_fuzz` sweep under the parallel driver, then
+//! writes `BENCH_engine.json` carrying the fresh measurement, the
+//! checked-in pre-overhaul reference, and the speedups.
+//!
+//! ```text
+//! perf_probe                      # full probe: 2000-run sweep, 9 repeats
+//! perf_probe --quick              # CI shape: 200-run sweep, 5 repeats
+//! perf_probe --gate BENCH_engine.json   # also fail (exit 1) if events/sec
+//!                                 # regressed >20% vs the snapshot, or the
+//!                                 # probe's event count drifted
+//! perf_probe --threads 8 --out path.json --seed 1
+//! ```
+//!
+//! The gate compares fresh events/sec against the snapshot's — hardware
+//! differences between the machine that wrote the snapshot and the one
+//! gating are the caller's concern (CI regenerates its own snapshot on
+//! first run of a new runner class; see `.github/workflows/ci.yml`).
+
+use std::process::ExitCode;
+use wamcast_harness::cli::parse_u64;
+use wamcast_harness::parallel::default_threads;
+use wamcast_harness::perf::{probe_events, probe_fuzz_sweep, PerfSnapshot};
+
+/// Pre-overhaul reference measurements, checked in at build time.
+const PRE_OVERHAUL: &str = include_str!("../../data/BENCH_engine_pre.json");
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_engine.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut threads = default_threads().max(8);
+    let mut seed = 1u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--quick" => quick = true,
+                "--out" => out = grab("--out")?,
+                "--gate" => gate = Some(grab("--gate")?),
+                "--threads" => threads = parse_u64("--threads", &grab("--threads")?)? as usize,
+                "--seed" => seed = parse_u64("--seed", &grab("--seed")?)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("perf_probe: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let (fuzz_runs, repeats) = if quick { (200, 5) } else { (2000, 9) };
+    println!(
+        "perf_probe: events probe ({repeats} repeats) + {fuzz_runs}-run fuzz sweep on {threads} thread(s)"
+    );
+
+    let ev = probe_events(repeats);
+    println!(
+        "  3x3 a1-batched: {} steps in {:?}  ->  {:.0} events/sec",
+        ev.steps,
+        ev.wall,
+        ev.events_per_sec()
+    );
+    let fuzz_wall = probe_fuzz_sweep(fuzz_runs, seed, threads);
+    println!(
+        "  fuzz sweep: {fuzz_runs} runs in {:.3} s  ({:.0} runs/sec)",
+        fuzz_wall.as_secs_f64(),
+        fuzz_runs as f64 / fuzz_wall.as_secs_f64()
+    );
+
+    let current = PerfSnapshot {
+        events_per_sec: ev.events_per_sec(),
+        probe_steps: ev.steps,
+        fuzz_runs,
+        fuzz_threads: threads,
+        fuzz_wall_s: fuzz_wall.as_secs_f64(),
+    };
+
+    let pre =
+        PerfSnapshot::from_json(PRE_OVERHAUL).filter(|p| p.events_per_sec > 0.0 && p.fuzz_runs > 0);
+    let mut json = String::from(
+        "{\n  \"schema\": 1,\n  \"scenario\": \"3x3 a1-batched probe + scenario_fuzz sweep\",\n",
+    );
+    json.push_str(&format!("  \"current\": {},\n", current.to_json("    ")));
+    if let Some(pre) = &pre {
+        // The pre snapshot's sweep may have a different length (the quick
+        // probe sweeps 200); compare per-run wall so the ratio is honest.
+        let per_run_pre = pre.fuzz_wall_s / pre.fuzz_runs as f64;
+        let per_run_now = current.fuzz_wall_s / current.fuzz_runs as f64;
+        json.push_str(&format!("  \"pre_overhaul\": {},\n", pre.to_json("    ")));
+        json.push_str(&format!(
+            "  \"speedup\": {{\n    \"events_per_sec\": {:.2},\n    \"fuzz_wall_per_run\": {:.2}\n  }}\n",
+            current.events_per_sec / pre.events_per_sec,
+            per_run_pre / per_run_now
+        ));
+        println!(
+            "  vs pre-overhaul engine: {:.2}x events/sec, {:.2}x fuzz wall-clock per run",
+            current.events_per_sec / pre.events_per_sec,
+            per_run_pre / per_run_now
+        );
+    } else {
+        json.push_str("  \"pre_overhaul\": null,\n  \"speedup\": null\n");
+    }
+    json.push('}');
+    json.push('\n');
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf_probe: could not write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("  snapshot written to {out}");
+    // Gating reuses the measurement just taken (and written), so one
+    // invocation serves both the artifact and the pass/fail verdict.
+    match gate {
+        Some(path) => run_gate(&path, &current),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// `--gate`: fail if fresh events/sec fell more than 20% below the
+/// snapshot's `current.events_per_sec`.
+fn run_gate(path: &str, current: &PerfSnapshot) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_probe: could not read gate snapshot {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The snapshot file nests the tracked numbers under "current"; taking
+    // the first occurrence of each key reads exactly that object.
+    let Some(snap) = PerfSnapshot::from_json(&text) else {
+        eprintln!("perf_probe: gate snapshot {path} is missing perf fields");
+        return ExitCode::from(2);
+    };
+    // Schedule drift first: events/sec is only comparable over the same
+    // workload, and the probe's step count is pinned by determinism.
+    if current.probe_steps != snap.probe_steps {
+        eprintln!(
+            "perf_probe: SCHEDULE DRIFT — probe dispatched {} events, snapshot recorded {}; \
+             the probe scenario changed, regenerate the snapshot (and say so in the PR)",
+            current.probe_steps, snap.probe_steps
+        );
+        return ExitCode::from(1);
+    }
+    let floor = snap.events_per_sec * 0.8;
+    println!(
+        "  gate: measured {:.0} events/sec vs snapshot {:.0} (floor {:.0})",
+        current.events_per_sec, snap.events_per_sec, floor
+    );
+    if current.events_per_sec < floor {
+        eprintln!("perf_probe: REGRESSION — events/sec dropped >20% below the checked-in snapshot");
+        return ExitCode::from(1);
+    }
+    println!("  gate passed");
+    ExitCode::SUCCESS
+}

@@ -16,9 +16,15 @@
 //!
 //! ```text
 //! scenario_fuzz [--arm smr] [--runs N] [--seed S]      # sweep (default 200 / 1)
+//! scenario_fuzz --threads 8 --runs 2000                # parallel sweep
 //! scenario_fuzz [--arm smr] --replay --seed S [--plan-hash H]
 //! scenario_fuzz --runs 50 [--arm smr] --inject-bug     # prove violations are caught
 //! ```
+//!
+//! `--threads N` fans independent seeds across N worker threads (each run
+//! stays single-threaded and deterministic inside); results are aggregated
+//! in seed order, so the totals, the first-reported violation and the
+//! failure artifact are byte-identical to the sequential sweep's.
 //!
 //! `--inject-bug` plants the arm's deliberate defect (a delivery-swallowing
 //! wrapper, or a lost-apply state-machine bug) to prove the checks can
@@ -92,6 +98,7 @@ fn run_one(arm: Arm, spec: &RunSpec, inject_bug: bool) -> RunResult {
 
 fn main() -> ExitCode {
     let mut arm = Arm::Delivery;
+    let mut threads = 1usize;
     let parsed = cli::parse_common(200, "scenario-fuzz-failure.txt", |flag, grab| {
         if flag == "--arm" {
             arm = match grab(flag)?.as_str() {
@@ -99,6 +106,9 @@ fn main() -> ExitCode {
                 "smr" => Arm::Smr,
                 other => return Err(format!("--arm: unknown arm {other} (delivery|smr)")),
             };
+            Ok(true)
+        } else if flag == "--threads" {
+            threads = cli::parse_u64(flag, &grab(flag)?)? as usize;
             Ok(true)
         } else {
             Ok(false)
@@ -118,58 +128,52 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "scenario_fuzz: {} runs from seed {}, arm {} (fault distribution: {:?})\n",
+        "scenario_fuzz: {} runs from seed {}, arm {} on {} thread(s) (fault distribution: {:?})\n",
         args.runs,
         args.seed,
         arm.name(),
+        threads.max(1),
         faults
     );
     let mut totals = (0usize, 0usize, 0u64, 0u64, 0usize);
-    for i in 0..args.runs {
-        let seed = args.seed.wrapping_add(i);
-        let spec = RunSpec::derive(seed, &faults);
-        let outcome = run_one(arm, &spec, args.inject_bug);
+    let tally = |totals: &mut (usize, usize, u64, u64, usize), outcome: &RunResult| {
         totals.0 += outcome.casts;
         totals.1 += outcome.deliveries_or_committed;
         totals.2 += outcome.dropped;
         totals.3 += outcome.duplicated;
         totals.4 += outcome.crashes;
-        if !outcome.violations.is_empty() {
-            let mut replay_cmd = spec.replay_command();
-            if arm == Arm::Smr {
-                replay_cmd.push_str(" --arm smr");
+    };
+    if threads <= 1 {
+        // Sequential sweep: stop at the first violation, as before.
+        for i in 0..args.runs {
+            let seed = args.seed.wrapping_add(i);
+            let spec = RunSpec::derive(seed, &faults);
+            let outcome = run_one(arm, &spec, args.inject_bug);
+            tally(&mut totals, &outcome);
+            if !outcome.violations.is_empty() {
+                return report_violation(seed, &spec, &outcome, arm, &args);
             }
-            if args.inject_bug {
-                // The replay must rebuild the same (broken) system, or it
-                // would report "no violations" for a real finding.
-                replay_cmd.push_str(" --inject-bug");
+            if (i + 1) % 50 == 0 {
+                println!("  {}/{} runs clean…", i + 1, args.runs);
             }
-            let mut report = String::new();
-            report.push_str(&format!(
-                "scenario_fuzz: VIOLATION at seed {seed} (arm {}, {} on {}x{}):\n",
-                arm.name(),
-                spec.protocol.name(),
-                spec.topo.0,
-                spec.topo.1
-            ));
-            for v in &outcome.violations {
-                report.push_str(&format!("  {v}\n"));
-            }
-            report.push_str(&format!("replay: {replay_cmd}\n"));
-            report.push_str(&format!("plan: {:#?}\n", spec.plan));
-            eprint!("{report}");
-            if let Err(e) = std::fs::write(&args.artifact, &report) {
-                eprintln!("scenario_fuzz: could not write {}: {e}", args.artifact);
-            } else {
-                eprintln!(
-                    "scenario_fuzz: failure details written to {}",
-                    args.artifact
-                );
-            }
-            return ExitCode::from(1);
         }
-        if (i + 1) % 50 == 0 {
-            println!("  {}/{} runs clean…", i + 1, args.runs);
+    } else {
+        // Parallel sweep: every run executes independently (same
+        // derivation, same checks) and the outcomes come back in seed
+        // order, so the totals and the first reported violation match the
+        // sequential sweep's byte for byte (the sweep just no longer stops
+        // early on a violation).
+        let outcomes = wamcast_harness::parallel::run_indexed(args.runs, threads, |i| {
+            let seed = args.seed.wrapping_add(i);
+            let spec = RunSpec::derive(seed, &faults);
+            let outcome = run_one(arm, &spec, args.inject_bug);
+            (seed, spec, outcome)
+        });
+        for (seed, spec, outcome) in &outcomes {
+            tally(&mut totals, outcome);
+            if !outcome.violations.is_empty() {
+                return report_violation(*seed, spec, outcome, arm, &args);
+            }
         }
     }
 
@@ -204,6 +208,48 @@ fn main() -> ExitCode {
         ),
     }
     ExitCode::SUCCESS
+}
+
+/// Prints and persists a violation report; always returns exit code 1.
+fn report_violation(
+    seed: u64,
+    spec: &RunSpec,
+    outcome: &RunResult,
+    arm: Arm,
+    args: &CommonArgs,
+) -> ExitCode {
+    let mut replay_cmd = spec.replay_command();
+    if arm == Arm::Smr {
+        replay_cmd.push_str(" --arm smr");
+    }
+    if args.inject_bug {
+        // The replay must rebuild the same (broken) system, or it would
+        // report "no violations" for a real finding.
+        replay_cmd.push_str(" --inject-bug");
+    }
+    let mut report = String::new();
+    report.push_str(&format!(
+        "scenario_fuzz: VIOLATION at seed {seed} (arm {}, {} on {}x{}):\n",
+        arm.name(),
+        spec.protocol.name(),
+        spec.topo.0,
+        spec.topo.1
+    ));
+    for v in &outcome.violations {
+        report.push_str(&format!("  {v}\n"));
+    }
+    report.push_str(&format!("replay: {replay_cmd}\n"));
+    report.push_str(&format!("plan: {:#?}\n", spec.plan));
+    eprint!("{report}");
+    if let Err(e) = std::fs::write(&args.artifact, &report) {
+        eprintln!("scenario_fuzz: could not write {}: {e}", args.artifact);
+    } else {
+        eprintln!(
+            "scenario_fuzz: failure details written to {}",
+            args.artifact
+        );
+    }
+    ExitCode::from(1)
 }
 
 fn replay(arm: Arm, args: &CommonArgs, faults: &FaultConfig) -> ExitCode {

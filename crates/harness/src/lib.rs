@@ -24,6 +24,8 @@
 pub mod cli;
 pub mod figure1;
 pub mod measure;
+pub mod parallel;
+pub mod perf;
 pub mod scenario;
 pub mod smr;
 pub mod sweeps;
@@ -33,7 +35,7 @@ pub mod workload;
 
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
-pub use scenario::{run_scenario, ProtocolKind, RunSpec, ScenarioOutcome};
+pub use scenario::{run_scenario, run_scenario_full, ProtocolKind, RunSpec, ScenarioOutcome};
 pub use smr::{
     run_smr_net, run_smr_scenario, run_smr_sim, smr_throughput_once, InjectedBug, SmrConfig,
     SmrOutcome, SmrThroughputCell,

@@ -28,6 +28,8 @@
 //! replay line.
 
 use crate::workload::{all_group_pairs, poisson};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_sim::{invariants, FaultConfig, FaultPlan, RunError, SimConfig, Simulation};
@@ -82,6 +84,23 @@ pub struct RunSpec {
 /// there (a 2-member group tolerates none).
 const TOPOLOGIES: [(usize, usize); 4] = [(3, 2), (2, 3), (3, 3), (4, 2)];
 
+/// An immutable, process-wide shared topology for shape `(k, d)`.
+///
+/// Sweep drivers run thousands of seeds over the same handful of shapes;
+/// a topology is immutable, so one `Arc` per shape serves every run (and,
+/// under the parallel driver, every worker thread) instead of rebuilding
+/// the member tables per seed.
+pub fn shared_topology(k: usize, d: usize) -> Arc<Topology> {
+    type Cache = Mutex<BTreeMap<(usize, usize), Arc<Topology>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().expect("topology cache poisoned");
+    Arc::clone(
+        map.entry((k, d))
+            .or_insert_with(|| Arc::new(Topology::symmetric(k, d))),
+    )
+}
+
 impl RunSpec {
     /// Derives the spec for `seed` under the given fault distribution.
     pub fn derive(seed: u64, faults: &FaultConfig) -> RunSpec {
@@ -91,7 +110,7 @@ impl RunSpec {
             1 => ProtocolKind::A1Batched,
             _ => ProtocolKind::A2,
         };
-        let plan = faults.compile(&Topology::symmetric(topo.0, topo.1), seed);
+        let plan = faults.compile(&shared_topology(topo.0, topo.1), seed);
         RunSpec {
             seed,
             topo,
@@ -142,6 +161,18 @@ impl ScenarioOutcome {
 /// [`DeliveryDropper`] bug (process 1 silently skips every n-th delivery)
 /// to prove the harness catches protocol violations.
 pub fn run_scenario(spec: &RunSpec, broken_every: Option<u64>) -> ScenarioOutcome {
+    run_scenario_full(spec, broken_every).0
+}
+
+/// [`run_scenario`], additionally returning the run's full
+/// [`wamcast_sim::RunMetrics`]. The engine-determinism regression corpus
+/// (`tests/engine_determinism.rs`) fingerprints every recorded observable
+/// of these metrics against checked-in goldens, which is what pins an
+/// engine swap to byte-identical schedules.
+pub fn run_scenario_full(
+    spec: &RunSpec,
+    broken_every: Option<u64>,
+) -> (ScenarioOutcome, wamcast_sim::RunMetrics) {
     match spec.protocol {
         ProtocolKind::A1 => run_with(spec, broken_every, |p, t| {
             GenuineMulticast::new(p, t, MulticastConfig::default().with_retry(RETRY_INTERVAL))
@@ -166,9 +197,32 @@ fn run_with<P: Protocol>(
     spec: &RunSpec,
     broken_every: Option<u64>,
     mut factory: impl FnMut(ProcessId, &Topology) -> P,
-) -> ScenarioOutcome {
+) -> (ScenarioOutcome, wamcast_sim::RunMetrics) {
+    // The bug-injection wrapper intercepts (and re-buffers) every action
+    // of every handler; sweeps with the bug off — the overwhelmingly
+    // common case — host the protocol bare. With `every = None` the
+    // wrapper is action-for-action transparent, so both paths produce
+    // identical schedules (pinned by the engine-determinism corpus).
+    match broken_every {
+        None => drive(spec, factory),
+        Some(_) => drive(spec, |p, t| DeliveryDropper {
+            inner: factory(p, t),
+            every: if p == ProcessId(1) {
+                broken_every
+            } else {
+                None
+            },
+            delivered: 0,
+        }),
+    }
+}
+
+fn drive<P: Protocol>(
+    spec: &RunSpec,
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+) -> (ScenarioOutcome, wamcast_sim::RunMetrics) {
     let (k, d) = spec.topo;
-    let topo = Topology::symmetric(k, d);
+    let topo = shared_topology(k, d);
 
     // Workload: ~30 casts over one second. A2 is a broadcast algorithm —
     // every message goes to all groups; A1 mixes group pairs with full
@@ -199,15 +253,7 @@ fn run_with<P: Protocol>(
         .with_send_log(false)
         .with_max_steps(20_000_000)
         .with_faults(spec.plan.clone());
-    let mut sim = Simulation::new(topo, cfg, |p, t| DeliveryDropper {
-        inner: factory(p, t),
-        every: if p == ProcessId(1) {
-            broken_every
-        } else {
-            None
-        },
-        delivered: 0,
-    });
+    let mut sim = Simulation::new_shared(topo, cfg, factory);
 
     let mut cast_ids = Vec::with_capacity(casts.len());
     for c in &casts {
@@ -231,8 +277,8 @@ fn run_with<P: Protocol>(
         .merge(invariants::check_genuineness(sim.topology(), sim.metrics()));
     violations.extend(report.violations);
 
-    let m = sim.metrics();
-    ScenarioOutcome {
+    let m = sim.into_metrics();
+    let outcome = ScenarioOutcome {
         violations,
         casts: cast_ids.len(),
         deliveries: m.delivered_seq.iter().map(Vec::len).sum(),
@@ -240,7 +286,8 @@ fn run_with<P: Protocol>(
         duplicated: m.duplicated_sends,
         crashes: spec.plan.crashes.len(),
         end_time: m.end_time,
-    }
+    };
+    (outcome, m)
 }
 
 /// Test-only adversarial wrapper: forwards every handler to the inner
@@ -268,8 +315,8 @@ impl<P: Protocol> DeliveryDropper<P> {
                     }
                     out.deliver(m);
                 }
-                wamcast_types::Action::Send { to, msg } => out.send(to, msg),
-                wamcast_types::Action::Timer { after, kind } => out.set_timer(after, kind),
+                // Sends (shared fan-outs included) pass through verbatim.
+                other => out.emit(other),
             }
         }
     }

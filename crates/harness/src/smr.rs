@@ -252,7 +252,10 @@ pub fn run_smr_sim(
     bug: Option<InjectedBug>,
 ) -> SmrOutcome {
     let (k, d) = shape;
-    let topo = Topology::symmetric(k, d);
+    // One shared immutable topology per shape across the whole sweep (the
+    // ShardMap is a `Copy` wrapper over the shard count — nothing to
+    // share).
+    let topo = crate::scenario::shared_topology(k, d);
     let shards = ShardMap::new(k);
     let mut handles: Vec<SharedKv> = Vec::with_capacity(k * d);
     let sim_cfg = SimConfig::default()
@@ -262,7 +265,7 @@ pub fn run_smr_sim(
         .with_faults(plan.clone());
     let mcfg = multicast_config(cfg);
     let started = Instant::now();
-    let mut sim = Simulation::new(topo, sim_cfg, |p, t| {
+    let mut sim = Simulation::new_shared(topo, sim_cfg, |p, t| {
         let kv = shared_replica(t.group_of(p), shards);
         handles.push(Arc::clone(&kv));
         let tap = BuggyKv::new(kv, bug.and_then(|b| b.bug_for(p, t)));

@@ -45,8 +45,8 @@ use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wamcast_types::{
-    Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, MessageId, Outbox, Payload,
-    ProcessId, Protocol, SimTime, Topology,
+    Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, MessageId, MsgSlot, Outbox,
+    Payload, ProcessId, Protocol, SimTime, Topology,
 };
 
 /// The lossy-channel adversary shared by every thread of a faulty cluster:
@@ -78,7 +78,13 @@ impl LossyLinks {
 }
 
 enum Ev<M> {
-    Msg { from: ProcessId, msg: M },
+    /// A protocol message. Fan-out copies ([`Action::SendMany`]) share one
+    /// `Arc`-held body across every destination's channel — the threaded
+    /// runtime stores one allocation per logical send, like the simulator.
+    Msg {
+        from: ProcessId,
+        msg: MsgSlot<M>,
+    },
     Cast(AppMessage),
     CrashNotify(ProcessId),
     Shutdown,
@@ -372,23 +378,32 @@ fn run_process<P: Protocol + Send + 'static>(
         let ctx = Context::new(pid, Arc::clone(&topo), now(start));
         let mut out = Outbox::new();
         f(proto, &ctx, &mut out);
+        // One channel send per destination; the fault fate is drawn per
+        // copy, exactly as the per-destination `Send` expansion would.
+        let ship = |to: ProcessId, msg: MsgSlot<P::Msg>| {
+            if !alive[to.index()].load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(l) = &faults {
+                let fate = l.fate(pid, to);
+                if fate.dropped {
+                    return;
+                }
+                if fate.duplicate.is_some() {
+                    let _ = senders[to.index()].send(Ev::Msg {
+                        from: pid,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            let _ = senders[to.index()].send(Ev::Msg { from: pid, msg });
+        };
         for action in out.drain() {
             match action {
-                Action::Send { to, msg } => {
-                    if alive[to.index()].load(Ordering::SeqCst) {
-                        if let Some(l) = &faults {
-                            let fate = l.fate(pid, to);
-                            if fate.dropped {
-                                continue;
-                            }
-                            if fate.duplicate.is_some() {
-                                let _ = senders[to.index()].send(Ev::Msg {
-                                    from: pid,
-                                    msg: msg.clone(),
-                                });
-                            }
-                        }
-                        let _ = senders[to.index()].send(Ev::Msg { from: pid, msg });
+                Action::Send { to, msg } => ship(to, MsgSlot::Owned(msg)),
+                Action::SendMany { tos, msg } => {
+                    for &to in &tos {
+                        ship(to, MsgSlot::Shared(std::sync::Arc::clone(&msg)));
                     }
                 }
                 Action::Deliver(m) => delivered[pid.index()]
@@ -427,13 +442,18 @@ fn run_process<P: Protocol + Send + 'static>(
         };
         match ev {
             Ev::Msg { from, msg } => {
+                // `step` invokes the handler exactly once; the Option dance
+                // moves the body out of the FnMut without a deep copy.
+                let mut slot = Some(msg);
                 step(&mut proto, &mut timers, &mut |p, c, o| {
-                    p.on_message(from, msg.clone(), c, o)
+                    let m = slot.take().expect("one invocation per step").take();
+                    p.on_message(from, m, c, o)
                 });
             }
             Ev::Cast(m) => {
+                let mut cast = Some(m);
                 step(&mut proto, &mut timers, &mut |p, c, o| {
-                    p.on_cast(m.clone(), c, o)
+                    p.on_cast(cast.take().expect("one invocation per step"), c, o)
                 });
             }
             Ev::CrashNotify(of) => {

@@ -2,7 +2,7 @@
 
 use crate::{RmcastMsg, RmcastOut};
 use std::collections::{BTreeMap, BTreeSet};
-use wamcast_types::{AppMessage, MessageId, ProcessId, Topology};
+use wamcast_types::{AppMessage, FxHashMap, FxHashSet, MessageId, ProcessId, Topology};
 
 /// Non-uniform reliable multicast engine (§2.2).
 ///
@@ -47,16 +47,23 @@ use wamcast_types::{AppMessage, MessageId, ProcessId, Topology};
 #[derive(Clone, Debug)]
 pub struct RmcastEngine {
     me: ProcessId,
-    seen: BTreeSet<MessageId>,
-    /// Delivered messages kept by origin for crash-triggered relay.
-    by_origin: BTreeMap<ProcessId, Vec<AppMessage>>,
-    relayed: BTreeSet<MessageId>,
+    /// Point-query only (the dedup hot path).
+    seen: FxHashSet<MessageId>,
+    /// Delivered messages kept by origin for crash-triggered relay
+    /// (point-keyed; the per-origin `Vec` preserves delivery order).
+    by_origin: FxHashMap<ProcessId, Vec<AppMessage>>,
+    relayed: FxHashSet<MessageId>,
     /// Retransmission mode (see [`with_acks`](Self::with_acks)).
     ack_mode: bool,
     /// Per message: the copy plus the recipients that have not acked yet.
     /// Only populated in ack mode, by this process's own sends (origin
     /// casts and crash relays).
     outstanding: BTreeMap<MessageId, (AppMessage, BTreeSet<ProcessId>)>,
+    /// Per-process secondary index over `outstanding`: debtor → messages
+    /// it still owes an ack for. A crash notification used to `retain`
+    /// over *every* outstanding entry; with the index it touches exactly
+    /// the crashed process's debts.
+    debtors: BTreeMap<ProcessId, BTreeSet<MessageId>>,
     /// Processes reported crashed: never tracked as ack debtors (a send to
     /// one *after* its crash notification must not wait forever).
     crashed: BTreeSet<ProcessId>,
@@ -67,11 +74,12 @@ impl RmcastEngine {
     pub fn new(me: ProcessId) -> Self {
         RmcastEngine {
             me,
-            seen: BTreeSet::new(),
-            by_origin: BTreeMap::new(),
-            relayed: BTreeSet::new(),
+            seen: FxHashSet::default(),
+            by_origin: FxHashMap::default(),
+            relayed: FxHashSet::default(),
             ack_mode: false,
             outstanding: BTreeMap::new(),
+            debtors: BTreeMap::new(),
             crashed: BTreeSet::new(),
         }
     }
@@ -109,13 +117,21 @@ impl RmcastEngine {
     /// Removes `crashed` from every unacked recipient set — and from all
     /// future tracking: a crashed process will never ack, and
     /// retransmitting to it would keep the timer armed forever (breaking
-    /// quiescence).
+    /// quiescence). Costs O(the crashed process's debts) via the debtor
+    /// index, not a scan of every outstanding message.
     pub fn prune_crashed(&mut self, crashed: ProcessId) {
         self.crashed.insert(crashed);
-        self.outstanding.retain(|_, (_, waiting)| {
-            waiting.remove(&crashed);
-            !waiting.is_empty()
-        });
+        let Some(owed) = self.debtors.remove(&crashed) else {
+            return;
+        };
+        for id in owed {
+            if let Some((_, waiting)) = self.outstanding.get_mut(&id) {
+                waiting.remove(&crashed);
+                if waiting.is_empty() {
+                    self.outstanding.remove(&id);
+                }
+            }
+        }
     }
 
     fn track(&mut self, m: &AppMessage, recipients: impl IntoIterator<Item = ProcessId>) {
@@ -126,9 +142,11 @@ impl RmcastEngine {
             .outstanding
             .entry(m.id)
             .or_insert_with(|| (m.clone(), BTreeSet::new()));
-        entry
-            .1
-            .extend(recipients.into_iter().filter(|q| !self.crashed.contains(q)));
+        for q in recipients {
+            if !self.crashed.contains(&q) && entry.1.insert(q) {
+                self.debtors.entry(q).or_default().insert(m.id);
+            }
+        }
         if entry.1.is_empty() {
             self.outstanding.remove(&m.id);
         }
@@ -174,7 +192,14 @@ impl RmcastEngine {
             }
             RmcastMsg::Ack(id) => {
                 if let Some((_, waiting)) = self.outstanding.get_mut(&id) {
-                    waiting.remove(&from);
+                    if waiting.remove(&from) {
+                        if let Some(owed) = self.debtors.get_mut(&from) {
+                            owed.remove(&id);
+                            if owed.is_empty() {
+                                self.debtors.remove(&from);
+                            }
+                        }
+                    }
                     if waiting.is_empty() {
                         self.outstanding.remove(&id);
                     }
@@ -191,6 +216,19 @@ impl RmcastEngine {
         }
         self.record_delivery(&m);
         out.delivered.push(m);
+    }
+
+    /// [`accept`](Self::accept) minus the output: records `m` as
+    /// seen/delivered without emitting the R-Deliver. For callers that
+    /// learned `m` through a channel that already delivered it (A1's
+    /// decision values) and only need the duplicate-suppression state —
+    /// equivalent to `accept` with the out-parameter discarded, without
+    /// allocating one.
+    pub fn mark_seen(&mut self, m: &AppMessage, topo: &Topology) {
+        if !topo.addresses(m.dest, self.me) || !self.seen.insert(m.id) {
+            return;
+        }
+        self.record_delivery(m);
     }
 
     /// Failure-detector notification: the origin of previously delivered

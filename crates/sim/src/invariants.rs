@@ -6,7 +6,7 @@
 //! experiment harness call [`check_all`] on every run so that a protocol
 //! regression surfaces as a named property violation, not a mystery diff.
 
-use crate::RunMetrics;
+use crate::{DeliveryRecord, RunMetrics};
 use wamcast_types::{MessageId, ProcessId, SimTime, Topology};
 
 /// Outcome of checking one run against the specification.
@@ -41,6 +41,22 @@ impl InvariantReport {
         self.violations.extend(other.violations);
         self
     }
+}
+
+/// The delivery table in id order: the map itself hashes (point-query
+/// only), but checkers iterate it, and violation reports must list
+/// findings in a stable order whatever the map's insertion history.
+fn sorted_deliveries(
+    m: &RunMetrics,
+) -> impl Iterator<
+    Item = (
+        MessageId,
+        &std::collections::BTreeMap<ProcessId, DeliveryRecord>,
+    ),
+> {
+    let mut ids: Vec<MessageId> = m.deliveries.keys().copied().collect();
+    ids.sort_unstable();
+    ids.into_iter().map(|id| (id, &m.deliveries[&id]))
 }
 
 /// Runs every applicable checker for the *uniform* variants: uniform
@@ -115,7 +131,7 @@ pub fn check_uniform_agreement(
     correct: &[ProcessId],
 ) -> InvariantReport {
     let mut r = InvariantReport::default();
-    for (&mid, dels) in &m.deliveries {
+    for (mid, dels) in sorted_deliveries(m) {
         if dels.is_empty() {
             continue;
         }
@@ -139,7 +155,7 @@ pub fn check_uniform_agreement(
 /// non-uniform reliable multicast is allowed to give.
 pub fn check_agreement(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
     let mut r = InvariantReport::default();
-    for (&mid, dels) in &m.deliveries {
+    for (mid, dels) in sorted_deliveries(m) {
         let Some(witness) = correct.iter().find(|p| dels.contains_key(p)) else {
             continue; // only crashed processes delivered: vacuous
         };
@@ -196,22 +212,33 @@ pub fn check_prefix_order_among(
     procs: &[ProcessId],
 ) -> InvariantReport {
     let mut r = InvariantReport::default();
-    let project = |p: ProcessId, q: ProcessId| -> Vec<MessageId> {
-        let (gp, gq) = (topo.group_of(p), topo.group_of(q));
-        m.delivered_seq[p.index()]
-            .iter()
-            .copied()
-            .filter(|mid| {
-                m.casts
-                    .get(mid)
-                    .is_some_and(|c| c.dest.contains(gp) && c.dest.contains(gq))
-            })
+    // Annotate every process's delivery sequence with its messages'
+    // destination sets once — O(deliveries) map lookups total — so the
+    // O(pairs) loop below projects with two bit tests per element instead
+    // of re-querying the cast table per pair.
+    let annotated: Vec<Vec<(MessageId, wamcast_types::GroupSet)>> = procs
+        .iter()
+        .map(|p| {
+            m.delivered_seq[p.index()]
+                .iter()
+                .filter_map(|mid| m.casts.get(mid).map(|c| (*mid, c.dest)))
+                .collect()
+        })
+        .collect();
+    let project = |rows: &[(MessageId, wamcast_types::GroupSet)],
+                   gp: wamcast_types::GroupId,
+                   gq: wamcast_types::GroupId|
+     -> Vec<MessageId> {
+        rows.iter()
+            .filter(|(_, dest)| dest.contains(gp) && dest.contains(gq))
+            .map(|&(mid, _)| mid)
             .collect()
     };
     for (pi, &p) in procs.iter().enumerate() {
-        for &q in &procs[pi + 1..] {
-            let sp = project(p, q);
-            let sq = project(q, p);
+        for (qi, &q) in procs.iter().enumerate().skip(pi + 1) {
+            let (gp, gq) = (topo.group_of(p), topo.group_of(q));
+            let sp = project(&annotated[pi], gp, gq);
+            let sq = project(&annotated[qi], gq, gp);
             let k = sp.len().min(sq.len());
             if sp[..k] != sq[..k] {
                 let at = (0..k).find(|&i| sp[i] != sq[i]).unwrap();

@@ -69,11 +69,13 @@
 pub mod invariants;
 mod latency;
 mod metrics;
+pub mod queue;
 mod runtime;
 
 pub use invariants::InvariantReport;
 pub use latency::{LatencyModel, NetConfig};
 pub use metrics::{CastRecord, DeliveryRecord, RunMetrics, SendRecord};
+pub use queue::BucketQueue;
 pub use runtime::{LastEvent, RunError, SimConfig, Simulation};
 // The deterministic generator and the fault-injection adversary live in
 // `wamcast-types` (so `wamcast-net` can share the same adversary); they are

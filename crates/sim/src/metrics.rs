@@ -6,7 +6,7 @@
 //! counts) and the quiescence measurements of §5.
 
 use std::collections::BTreeMap;
-use wamcast_types::{GroupSet, LatencyDegree, MessageId, ProcessId, SimTime};
+use wamcast_types::{FxHashMap, GroupSet, LatencyDegree, MessageId, ProcessId, SimTime};
 
 /// Record of one `A-XCast` event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,8 +53,11 @@ pub struct SendRecord {
 pub struct RunMetrics {
     /// Casts by message id.
     pub casts: BTreeMap<MessageId, CastRecord>,
-    /// Deliveries: message → process → record.
-    pub deliveries: BTreeMap<MessageId, BTreeMap<ProcessId, DeliveryRecord>>,
+    /// Deliveries: message → process → record. The outer map is hashed
+    /// (deterministically — [`FxHashMap`]) because the engine touches it
+    /// once per delivery; readers needing a stable order sort the keys
+    /// (`delivered_seq` already carries every per-process order).
+    pub deliveries: FxHashMap<MessageId, BTreeMap<ProcessId, DeliveryRecord>>,
     /// Per-process delivery sequence `Sₚ` (order of `A-Deliver` events).
     pub delivered_seq: Vec<Vec<MessageId>>,
     /// Total message copies sent on intra-group links.

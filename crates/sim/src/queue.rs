@@ -1,0 +1,333 @@
+//! The two-level calendar/bucket event queue.
+//!
+//! The engine's previous queue was a flat `BinaryHeap<Ev>`: every push and
+//! pop paid an `O(log n)` sift moving whole event structs, even though
+//! discrete-event workloads here are extremely *time-collided* — a
+//! consensus round schedules dozens of arrivals at the identical instant
+//! (constant link models), and they all pop together. [`BucketQueue`]
+//! exploits that: level one is a time-ordered index over level-two
+//! *buckets*, one `Vec` of events per distinct instant.
+//!
+//! The index is a vector of `(instant, bucket)` pairs sorted by instant
+//! **descending**, so the earliest bucket is popped from the back in
+//! `O(1)`, plus two caches: the earliest bucket lives outside the index
+//! entirely (`cur`), and the last-touched index slot is remembered
+//! (`hint`). The hint pays off because schedule bursts collide: a fan-out
+//! of d copies over one link class lands on one future instant, so one
+//! binary search covers d pushes. Measured on the `3x3 a1-batched` probe,
+//! ~80% of pushes append to an existing bucket.
+//!
+//! # Determinism
+//!
+//! Pop order is total and identical to the old heap's: earliest `at`
+//! first, ties broken **LIFO** (largest insertion `seq` first). The heap
+//! got LIFO from its `(at asc, seq desc)` comparator; the bucket gets it
+//! structurally — events of one instant are appended in ascending `seq`
+//! order (the engine's `seq` counter is monotone) and popped from the
+//! back. An event scheduled *at the current instant while it is being
+//! drained* is pushed onto the live bucket's back and pops next, exactly
+//! as a fresh heap maximum would. The engine-swap regression corpus
+//! (`wamcast-harness/tests/engine_determinism.rs`) pins this bit-for-bit
+//! against pre-swap golden fingerprints, and the property tests below
+//! check the order against a model on random interleavings.
+
+use wamcast_types::SimTime;
+
+/// Max spare bucket allocations kept for reuse. Buckets churn once per
+/// distinct timestamp; a small pool makes steady-state pushes
+/// allocation-free without hoarding memory after a burst.
+const SPARE_CAP: usize = 32;
+
+/// A monotone-time priority queue of `(SimTime, seq, T)` entries; see the
+/// [module docs](self) for the structure and the ordering contract.
+///
+/// `seq` values must be unique and assigned in increasing order by the
+/// caller (the engine's global event counter); `push` accepts any `at`,
+/// including instants earlier than the cached front bucket (an external
+/// `cast_at` between run calls), at the cost of one index insertion.
+#[derive(Debug)]
+pub struct BucketQueue<T> {
+    /// Instant of the cached earliest bucket. Meaningful iff `cur` is
+    /// non-empty or the queue is empty (invariant: `cur` is non-empty
+    /// whenever `later` is).
+    cur_at: SimTime,
+    /// The earliest bucket, ascending `seq`; popped from the back.
+    cur: Vec<(u64, T)>,
+    /// Buckets at instants strictly after `cur_at`, sorted by instant
+    /// descending (earliest last, so refills pop from the back).
+    later: Vec<(SimTime, Vec<(u64, T)>)>,
+    /// Index into `later` of the last-touched bucket. Verified by instant
+    /// before use, so a stale hint is a miss, never a wrong append.
+    hint: usize,
+    /// Emptied bucket allocations kept for reuse.
+    spare: Vec<Vec<(u64, T)>>,
+    len: usize,
+}
+
+impl<T> Default for BucketQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BucketQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BucketQueue {
+            cur_at: SimTime::ZERO,
+            cur: Vec::new(),
+            later: Vec::new(),
+            hint: 0,
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A recycled (or fresh) empty bucket.
+    fn fresh_bucket(&mut self) -> Vec<(u64, T)> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Enqueues `item` at instant `at` with insertion number `seq`.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        self.len += 1;
+        if self.cur.is_empty() {
+            // Queue was empty (the cur-nonempty invariant says `later` is
+            // too): start the front bucket here.
+            debug_assert!(self.later.is_empty());
+            self.cur_at = at;
+            self.cur.push((seq, item));
+        } else if at == self.cur_at {
+            debug_assert!(self.cur.last().is_some_and(|&(s, _)| s < seq));
+            self.cur.push((seq, item));
+        } else if at > self.cur_at {
+            self.push_later(at, seq, item);
+        } else {
+            // `at < cur_at`: an external push (cast_at / crash_at between
+            // run calls) before the cached front. Re-file the front bucket
+            // — its instant is strictly below every `later` instant, so it
+            // goes to the very end of the descending index — and start a
+            // fresh front here.
+            let fresh = self.fresh_bucket();
+            let old = std::mem::replace(&mut self.cur, fresh);
+            self.later.push((self.cur_at, old));
+            self.cur_at = at;
+            self.cur.push((seq, item));
+        }
+    }
+
+    /// Push into the descending future index: hint first, then binary
+    /// search, inserting a new bucket on miss.
+    fn push_later(&mut self, at: SimTime, seq: u64, item: T) {
+        if let Some(slot) = self.later.get_mut(self.hint) {
+            if slot.0 == at {
+                debug_assert!(slot.1.last().map_or(true, |&(s, _)| s < seq));
+                slot.1.push((seq, item));
+                return;
+            }
+        }
+        // Descending order: an element sorts before the target position
+        // while its instant is larger, so compare reversed.
+        match self.later.binary_search_by(|probe| at.cmp(&probe.0)) {
+            Ok(i) => {
+                debug_assert!(self.later[i].1.last().map_or(true, |&(s, _)| s < seq));
+                self.later[i].1.push((seq, item));
+                self.hint = i;
+            }
+            Err(i) => {
+                let mut bucket = self.fresh_bucket();
+                bucket.push((seq, item));
+                self.later.insert(i, (at, bucket));
+                self.hint = i;
+            }
+        }
+    }
+
+    /// The next event to pop: `(at, seq, &item)`.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, u64, &T)> {
+        self.cur.last().map(|(seq, item)| (self.cur_at, *seq, item))
+    }
+
+    /// Removes and returns the next event: minimum `at`, ties LIFO
+    /// (maximum `seq`).
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let (seq, item) = self.cur.pop()?;
+        let at = self.cur_at;
+        self.len -= 1;
+        if self.cur.is_empty() {
+            if let Some((t, bucket)) = self.later.pop() {
+                let drained = std::mem::replace(&mut self.cur, bucket);
+                if self.spare.len() < SPARE_CAP {
+                    self.spare.push(drained);
+                }
+                self.cur_at = t;
+            }
+        }
+        Some((at, seq, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn pops_by_time_then_lifo() {
+        let mut q = BucketQueue::new();
+        q.push(ms(5), 0, "a5");
+        q.push(ms(1), 1, "a1");
+        q.push(ms(5), 2, "b5");
+        q.push(ms(1), 3, "b1");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, v)| v).collect();
+        // Time ascending; within an instant the *later* push pops first.
+        assert_eq!(order, ["b1", "a1", "b5", "a5"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_at_current_instant_pops_next() {
+        // The engine's hottest shape: a handler at time t schedules more
+        // work at time t (zero-delay timers, same-instant arrivals).
+        let mut q = BucketQueue::new();
+        q.push(ms(2), 0, 'x');
+        q.push(ms(2), 1, 'y');
+        assert_eq!(q.pop().unwrap().2, 'y');
+        q.push(ms(2), 2, 'z'); // scheduled while the bucket is live
+        assert_eq!(q.pop().unwrap().2, 'z');
+        assert_eq!(q.pop().unwrap().2, 'x');
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_before_cached_front_is_honored() {
+        let mut q = BucketQueue::new();
+        q.push(ms(10), 0, "late");
+        q.push(ms(10), 1, "late2");
+        // External cast lands before the cached front bucket.
+        q.push(ms(3), 2, "early");
+        assert_eq!(q.peek().unwrap().0, ms(3));
+        assert_eq!(q.pop().unwrap().2, "early");
+        assert_eq!(q.pop().unwrap().2, "late2");
+        assert_eq!(q.pop().unwrap().2, "late");
+    }
+
+    #[test]
+    fn interleaved_refill_keeps_bucket_order() {
+        let mut q = BucketQueue::new();
+        q.push(ms(10), 0, 0u32);
+        q.push(ms(5), 1, 1); // evicts the t=10 bucket into the index
+        q.push(ms(10), 2, 2); // appends to the evicted bucket
+        assert_eq!(q.pop().unwrap().2, 1);
+        // Refilled t=10 bucket must still pop LIFO: 2 then 0.
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert_eq!(q.pop().unwrap().2, 0);
+    }
+
+    #[test]
+    fn hint_never_misfiles_across_removals_and_inserts() {
+        // Exercise hint staleness: interleave bucket creation, draining
+        // (index shrink) and re-creation, checking every pop's instant.
+        let mut q = BucketQueue::new();
+        for wave in 0..5u64 {
+            for i in 0..6u64 {
+                q.push(ms(10 + (i % 3) * 10), wave * 100 + i, (wave, i));
+            }
+            // Drain two events; refills shift the index under the hint.
+            q.pop();
+            q.pop();
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _, _)) = q.pop() {
+            assert!(at >= last, "time went backwards");
+            last = at;
+        }
+    }
+
+    /// Model check: against a sorted-by-`(at, Reverse(seq))` reference on
+    /// random interleavings of pushes and pops.
+    #[test]
+    fn matches_reference_model_on_random_schedules() {
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed);
+            let mut q = BucketQueue::new();
+            let mut model: Vec<(SimTime, u64, u64)> = Vec::new(); // (at, seq, item)
+            let mut seq = 0u64;
+            let mut popped = Vec::new();
+            let mut popped_model = Vec::new();
+            let mut horizon = SimTime::ZERO; // pops only move time forward
+            for _ in 0..400 {
+                if rng.next_below(3) < 2 || model.is_empty() {
+                    // Push at an instant ≥ the last popped time (the
+                    // engine never schedules in the past).
+                    let at =
+                        SimTime::from_nanos(horizon.as_nanos() + rng.next_below(5) * 1_000_000);
+                    q.push(at, seq, seq);
+                    model.push((at, seq, seq));
+                    seq += 1;
+                } else {
+                    let got = q.pop().expect("model non-empty");
+                    // Reference: min at, max seq.
+                    let best = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(at, s, _))| (at, std::cmp::Reverse(s)))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let want = model.swap_remove(best);
+                    horizon = got.0;
+                    popped.push(got);
+                    popped_model.push(want);
+                }
+            }
+            while let Some(got) = q.pop() {
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(at, s, _))| (at, std::cmp::Reverse(s)))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                popped_model.push(model.swap_remove(best));
+                popped.push(got);
+            }
+            assert!(model.is_empty());
+            assert_eq!(popped, popped_model, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn len_tracks_through_eviction_and_refill() {
+        let mut q = BucketQueue::new();
+        for i in 0..10 {
+            q.push(ms(i % 3), i, i);
+        }
+        assert_eq!(q.len(), 10);
+        for left in (0..10).rev() {
+            q.pop().unwrap();
+            assert_eq!(q.len(), left);
+        }
+        assert!(q.is_empty());
+        // Reusable after draining.
+        q.push(ms(1), 100, 0);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,14 +1,13 @@
 //! The discrete-event engine.
 
 use crate::metrics::{CastRecord, DeliveryRecord, SendRecord};
+use crate::queue::BucketQueue;
 use crate::{NetConfig, RunMetrics, SplitMix64};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 use wamcast_types::{
     Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, LatencyClock, MessageId,
-    Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
+    MsgSlot, Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
 };
 
 /// Configuration of a simulation run.
@@ -136,46 +135,48 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 enum EvKind<M> {
-    Arrival { from: ProcessId, stamp: u64, msg: M },
-    Timer { kind: u64 },
+    Arrival {
+        from: ProcessId,
+        stamp: u64,
+        msg: MsgSlot<M>,
+    },
+    Timer {
+        kind: u64,
+    },
     Cast(AppMessage),
     Crash,
-    NotifyCrash { of: ProcessId },
+    NotifyCrash {
+        of: ProcessId,
+    },
 }
 
+impl<M> EvKind<M> {
+    fn name(&self) -> &'static str {
+        match self {
+            EvKind::Arrival { .. } => "arrival",
+            EvKind::Timer { .. } => "timer",
+            EvKind::Cast(_) => "cast",
+            EvKind::Crash => "crash",
+            EvKind::NotifyCrash { .. } => "crash-notification",
+        }
+    }
+}
+
+/// One queued event. Time and insertion number live in the
+/// [`BucketQueue`]'s keys; the queue pops earliest-`at` first with ties
+/// broken LIFO (largest insertion seq first): of two messages arriving at
+/// the same instant, the one that spent *less* time in flight is
+/// processed first. Simultaneous events are causally independent (link
+/// delays are positive), so any tie order is a legal asynchronous
+/// schedule; LIFO is chosen because it realizes the canonical runs of the
+/// paper's Theorems 4.1/5.1/5.2, where a group's local consensus pipeline
+/// completes before simultaneously-arriving remote messages are handled.
+/// Under symmetric constant latencies those two chains tie exactly, and
+/// FIFO would systematically pick the schedule with inflated Lamport
+/// stamps (Δ+1).
 struct Ev<M> {
-    at: SimTime,
-    seq: u64,
     target: ProcessId,
     kind: EvKind<M>,
-}
-
-impl<M> PartialEq for Ev<M> {
-    fn eq(&self, o: &Self) -> bool {
-        self.at == o.at && self.seq == o.seq
-    }
-}
-impl<M> Eq for Ev<M> {}
-impl<M> PartialOrd for Ev<M> {
-    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl<M> Ord for Ev<M> {
-    // Reversed so the max-heap pops the *earliest* event. Ties in virtual
-    // time are broken LIFO (largest insertion seq first): of two messages
-    // arriving at the same instant, the one that spent *less* time in
-    // flight is processed first. Simultaneous events are causally
-    // independent (link delays are positive), so any tie order is a legal
-    // asynchronous schedule; LIFO is chosen because it realizes the
-    // canonical runs of the paper's Theorems 4.1/5.1/5.2, where a group's
-    // local consensus pipeline completes before simultaneously-arriving
-    // remote messages are handled. Under symmetric constant latencies those
-    // two chains tie exactly, and FIFO would systematically pick the
-    // schedule with inflated Lamport stamps (Δ+1).
-    fn cmp(&self, o: &Self) -> Ordering {
-        o.at.cmp(&self.at).then(self.seq.cmp(&o.seq))
-    }
 }
 
 /// A deterministic discrete-event simulation hosting one [`Protocol`]
@@ -214,16 +215,22 @@ pub struct Simulation<P: Protocol> {
     procs: Vec<P>,
     alive: Vec<bool>,
     clocks: Vec<LatencyClock>,
-    queue: BinaryHeap<Ev<P::Msg>>,
+    queue: BucketQueue<Ev<P::Msg>>,
     now: SimTime,
     seq: u64,
     rng: SplitMix64,
     /// The fault adversary; `None` when the plan is empty, so the
     /// zero-fault hot path takes a single branch and consumes no state.
+    /// Owns the run's [`FaultPlan`] — the config's copy is moved in here
+    /// at construction, never cloned.
     faults: Option<FaultInjector>,
     metrics: RunMetrics,
     next_app_seq: Vec<u64>,
     started: bool,
+    /// Reused backing storage for per-step action buffers: one handler
+    /// invocation swaps it into an [`Outbox`], drains it, and puts it
+    /// back, so steady-state steps allocate nothing.
+    scratch: Vec<Action<P::Msg>>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -233,27 +240,59 @@ impl<P: Protocol> Simulation<P> {
     pub fn new(
         topo: Topology,
         cfg: SimConfig,
+        factory: impl FnMut(ProcessId, &Topology) -> P,
+    ) -> Self {
+        Self::new_shared(Arc::new(topo), cfg, factory)
+    }
+
+    /// [`new`](Self::new) over an already-shared topology. Sweep drivers
+    /// that run thousands of seeds over the same handful of shapes share
+    /// one immutable [`Topology`] per shape instead of rebuilding it per
+    /// run.
+    pub fn new_shared(
+        topo: Arc<Topology>,
+        mut cfg: SimConfig,
         mut factory: impl FnMut(ProcessId, &Topology) -> P,
     ) -> Self {
-        let topo = Arc::new(topo);
         let n = topo.num_processes();
         let procs = topo
             .processes()
             .map(|p| factory(p, &topo))
             .collect::<Vec<_>>();
         let rng = SplitMix64::new(cfg.seed);
-        let faults = if cfg.fault.is_none() {
+        // The plan is consumed exactly once: schedule its crashes, then
+        // move it into the injector (no clone round-trip; the config slot
+        // is left empty and the injector is the plan's home thereafter).
+        let plan = std::mem::replace(&mut cfg.fault, FaultPlan::none());
+        let mut queue = BucketQueue::new();
+        let mut seq = 0u64;
+        for &(at, p) in &plan.crashes {
+            assert!(
+                p.index() < n,
+                "fault plan crashes unknown process {p} (topology has {n})"
+            );
+            queue.push(
+                at,
+                seq,
+                Ev {
+                    target: p,
+                    kind: EvKind::Crash,
+                },
+            );
+            seq += 1;
+        }
+        let faults = if plan.is_none() {
             None
         } else {
-            Some(FaultInjector::new(cfg.fault.clone(), cfg.seed))
+            Some(FaultInjector::new(plan, cfg.seed))
         };
-        let mut sim = Simulation {
+        Simulation {
             procs,
             alive: vec![true; n],
             clocks: vec![LatencyClock::new(); n],
-            queue: BinaryHeap::new(),
+            queue,
             now: SimTime::ZERO,
-            seq: 0,
+            seq,
             rng,
             faults,
             metrics: RunMetrics::new(n),
@@ -261,16 +300,14 @@ impl<P: Protocol> Simulation<P> {
             started: false,
             topo,
             cfg,
-        };
-        let crashes: Vec<(SimTime, ProcessId)> = sim.cfg.fault.crashes.clone();
-        for (at, p) in crashes {
-            assert!(
-                p.index() < n,
-                "fault plan crashes unknown process {p} (topology has {n})"
-            );
-            sim.push(at, p, EvKind::Crash);
+            scratch: Vec::new(),
         }
-        sim
+    }
+
+    /// The fault plan driving this run, if any (it lives in the injector;
+    /// [`SimConfig::fault`] is drained at construction).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultInjector::plan)
     }
 
     /// The simulated topology.
@@ -350,12 +387,7 @@ impl<P: Protocol> Simulation<P> {
     fn push(&mut self, at: SimTime, target: ProcessId, kind: EvKind<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Ev {
-            at,
-            seq,
-            target,
-            kind,
-        });
+        self.queue.push(at, seq, Ev { target, kind });
     }
 
     fn ensure_started(&mut self) {
@@ -490,11 +522,11 @@ impl<P: Protocol> Simulation<P> {
     ) -> Result<bool, RunError> {
         self.ensure_started();
         while keep_going(self) {
-            let Some(ev) = self.queue.peek() else {
+            let Some((at, _, ev)) = self.queue.peek() else {
                 self.metrics.end_time = self.now;
                 return Ok(true);
             };
-            if ev.at > deadline {
+            if at > deadline {
                 self.metrics.end_time = self.now;
                 return Ok(false);
             }
@@ -504,21 +536,15 @@ impl<P: Protocol> Simulation<P> {
             // by exactly the dropped event).
             if self.metrics.steps >= self.cfg.max_steps {
                 let last_event = LastEvent {
-                    at: ev.at,
+                    at,
                     target: ev.target,
-                    kind: match &ev.kind {
-                        EvKind::Arrival { .. } => "arrival",
-                        EvKind::Timer { .. } => "timer",
-                        EvKind::Cast(_) => "cast",
-                        EvKind::Crash => "crash",
-                        EvKind::NotifyCrash { .. } => "crash-notification",
-                    },
+                    kind: ev.kind.name(),
                 };
                 self.metrics.end_time = self.now;
                 return Err(RunError::StepBudgetExhausted { last_event });
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at;
+            let (at, _, ev) = self.queue.pop().expect("peeked");
+            self.now = at;
             self.dispatch(ev);
         }
         self.metrics.end_time = self.now;
@@ -545,6 +571,9 @@ impl<P: Protocol> Simulation<P> {
             EvKind::Arrival { from, stamp, msg } => {
                 self.clocks[p.index()].observe_receive(stamp);
                 self.metrics.received_any[p.index()] = true;
+                // Fan-out copies share one body: all but the last live
+                // handle unwrap by deep copy, the last by move.
+                let msg = msg.take();
                 self.step(p, |proto, ctx, out| proto.on_message(from, msg, ctx, out));
             }
             EvKind::Timer { kind } => {
@@ -576,93 +605,32 @@ impl<P: Protocol> Simulation<P> {
     /// latencies, records deliveries.
     fn step(&mut self, p: ProcessId, f: impl FnOnce(&mut P, &Context, &mut Outbox<P::Msg>)) {
         let ctx = Context::new(p, Arc::clone(&self.topo), self.now);
-        let mut out = Outbox::new();
+        let mut out = Outbox::with_buffer(std::mem::take(&mut self.scratch));
         f(&mut self.procs[p.index()], &ctx, &mut out);
         self.metrics.steps += 1;
 
-        let actions: Vec<Action<P::Msg>> = out.drain().collect();
-        let any_inter = actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { to, .. } if !self.topo.same_group(p, *to)));
+        let mut actions = out.into_buffer();
+        let any_inter = actions.iter().any(|a| match a {
+            Action::Send { to, .. } => !self.topo.same_group(p, *to),
+            Action::SendMany { tos, .. } => tos.iter().any(|&to| !self.topo.same_group(p, to)),
+            _ => false,
+        });
         let deliver_stamp = self.clocks[p.index()].value();
         let stamp = self.clocks[p.index()].finish_step(any_inter);
 
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => {
-                    let inter = !self.topo.same_group(p, to);
-                    let s = if inter { stamp.inter } else { stamp.intra };
-                    let model = if inter {
-                        self.cfg
-                            .net
-                            .link(self.topo.group_of(p).0, self.topo.group_of(to).0)
-                    } else {
-                        &self.cfg.net.intra
-                    };
-                    let delay = model.sample(&mut self.rng);
-                    if inter {
-                        self.metrics.inter_sends += 1;
-                    } else {
-                        self.metrics.intra_sends += 1;
+                    self.schedule_copy(p, to, stamp, MsgSlot::Owned(msg));
+                }
+                Action::SendMany { tos, msg } => {
+                    // One shared body; destinations are scheduled in `tos`
+                    // order, each with its own latency sample and fault
+                    // fate — observationally the same per-copy sequence as
+                    // the equivalent `Send` loop, minus the deep copies.
+                    for &to in &tos {
+                        self.schedule_copy(p, to, stamp, MsgSlot::Shared(Arc::clone(&msg)));
                     }
-                    self.metrics.sent_any[p.index()] = true;
-                    self.metrics.last_send_time = self.now;
-                    if self.cfg.record_send_log {
-                        self.metrics.send_log.push(SendRecord {
-                            time: self.now,
-                            from: p,
-                            to,
-                            inter_group: inter,
-                        });
-                    }
-                    // The fault adversary acts here, after the send is
-                    // recorded (the copy *was* sent; the network ate it)
-                    // and after the main stream sampled the base delay (so
-                    // the main stream's consumption is identical whatever
-                    // the plan decides). All fault randomness comes from
-                    // the injector's private stream.
-                    if let Some(inj) = self.faults.as_mut() {
-                        let fate = inj.on_send(p, to, self.now);
-                        if fate.dropped {
-                            self.metrics.dropped_sends += 1;
-                            continue;
-                        }
-                        let delay = delay.mul_f64(fate.delay_factor);
-                        if let Some(extra) = fate.duplicate {
-                            self.metrics.duplicated_sends += 1;
-                            let dup_at = self.now + delay.mul_f64(1.0 + extra);
-                            self.push(
-                                dup_at,
-                                to,
-                                EvKind::Arrival {
-                                    from: p,
-                                    stamp: s,
-                                    msg: msg.clone(),
-                                },
-                            );
-                        }
-                        let at = self.now + delay;
-                        self.push(
-                            at,
-                            to,
-                            EvKind::Arrival {
-                                from: p,
-                                stamp: s,
-                                msg,
-                            },
-                        );
-                        continue;
-                    }
-                    let at = self.now + delay;
-                    self.push(
-                        at,
-                        to,
-                        EvKind::Arrival {
-                            from: p,
-                            stamp: s,
-                            msg,
-                        },
-                    );
                 }
                 Action::Deliver(m) => {
                     self.metrics.deliveries.entry(m.id).or_default().insert(
@@ -680,6 +648,92 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+        // Hand the (drained) buffer back for the next step.
+        self.scratch = actions;
+    }
+
+    /// Schedules one message copy `p → to`: stamps it per §2.3, samples the
+    /// link delay from the main stream, accounts it, subjects it to the
+    /// fault adversary, and enqueues the arrival(s).
+    fn schedule_copy(
+        &mut self,
+        p: ProcessId,
+        to: ProcessId,
+        stamp: wamcast_types::EventStamp,
+        msg: MsgSlot<P::Msg>,
+    ) {
+        let inter = !self.topo.same_group(p, to);
+        let s = if inter { stamp.inter } else { stamp.intra };
+        let model = if inter {
+            self.cfg
+                .net
+                .link(self.topo.group_of(p).0, self.topo.group_of(to).0)
+        } else {
+            &self.cfg.net.intra
+        };
+        let delay = model.sample(&mut self.rng);
+        if inter {
+            self.metrics.inter_sends += 1;
+        } else {
+            self.metrics.intra_sends += 1;
+        }
+        self.metrics.sent_any[p.index()] = true;
+        self.metrics.last_send_time = self.now;
+        if self.cfg.record_send_log {
+            self.metrics.send_log.push(SendRecord {
+                time: self.now,
+                from: p,
+                to,
+                inter_group: inter,
+            });
+        }
+        // The fault adversary acts here, after the send is recorded (the
+        // copy *was* sent; the network ate it) and after the main stream
+        // sampled the base delay (so the main stream's consumption is
+        // identical whatever the plan decides). All fault randomness comes
+        // from the injector's private stream.
+        if let Some(inj) = self.faults.as_mut() {
+            let fate = inj.on_send(p, to, self.now);
+            if fate.dropped {
+                self.metrics.dropped_sends += 1;
+                return;
+            }
+            let delay = delay.mul_f64(fate.delay_factor);
+            if let Some(extra) = fate.duplicate {
+                self.metrics.duplicated_sends += 1;
+                let dup_at = self.now + delay.mul_f64(1.0 + extra);
+                self.push(
+                    dup_at,
+                    to,
+                    EvKind::Arrival {
+                        from: p,
+                        stamp: s,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            let at = self.now + delay;
+            self.push(
+                at,
+                to,
+                EvKind::Arrival {
+                    from: p,
+                    stamp: s,
+                    msg,
+                },
+            );
+            return;
+        }
+        let at = self.now + delay;
+        self.push(
+            at,
+            to,
+            EvKind::Arrival {
+                from: p,
+                stamp: s,
+                msg,
+            },
+        );
     }
 }
 

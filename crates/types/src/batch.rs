@@ -12,6 +12,20 @@
 
 use std::time::Duration;
 
+/// A shared, immutable batch body: the unit a consensus instance decides
+/// and a fan-out ships. Cloning bumps a reference count, so a 64-message
+/// batch riding an intra-group `Accept`/`Accepted`/`Decide` broadcast or
+/// an inter-group `(TS, batch)` exchange is stored **once** however many
+/// processes it reaches. Mutation (sorting a decided bundle, folding a
+/// forwarded proposal in via a merge combiner) goes through
+/// [`std::sync::Arc::make_mut`], which copies only when another handle is
+/// still live — exactly the copy the pre-`Arc` representation paid on
+/// every clone.
+///
+/// Used as `SharedBatch<MsgEntry>` by Algorithm A1's `msgSet` proposals
+/// and `SharedBatch<AppMessage>` by Algorithm A2's round bundles.
+pub type SharedBatch<T> = std::sync::Arc<Vec<T>>;
+
 /// Batch-accumulation policy for consensus-amortized protocols.
 ///
 /// A protocol accumulates freshly disseminated messages instead of proposing

@@ -358,6 +358,14 @@ impl LinkFate {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SplitMix64,
+    /// Per-directed-pair index over `plan.drops`: `(from, to)` → the
+    /// matching rules' `(window, prob)`. `on_send` runs once per message
+    /// copy — the hottest fault-layer path — and with the index it walks
+    /// only the rules that can apply to this link instead of every drop
+    /// rule in the plan. Built once at construction; the fate stream is
+    /// bit-identical to the full-scan version (same rules, same order,
+    /// same draws).
+    drop_index: crate::FxHashMap<(ProcessId, ProcessId), Vec<(FaultWindow, f64)>>,
 }
 
 impl FaultInjector {
@@ -365,7 +373,19 @@ impl FaultInjector {
     /// stream.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
         let rng = SplitMix64::new(seed ^ plan.fingerprint() ^ 0xFA17_1A7E_D05E_ED5E);
-        FaultInjector { plan, rng }
+        let mut drop_index: crate::FxHashMap<(ProcessId, ProcessId), Vec<(FaultWindow, f64)>> =
+            crate::FxHashMap::default();
+        for d in &plan.drops {
+            drop_index
+                .entry((d.from, d.to))
+                .or_default()
+                .push((d.window, d.prob));
+        }
+        FaultInjector {
+            plan,
+            rng,
+            drop_index,
+        }
     }
 
     /// The plan being executed.
@@ -393,9 +413,11 @@ impl FaultInjector {
         }
         // Matching drop rules compound: survive all of them or vanish.
         let mut survive = 1.0f64;
-        for d in &self.plan.drops {
-            if d.from == from && d.to == to && d.window.contains(now) {
-                survive *= 1.0 - d.prob.clamp(0.0, 1.0);
+        if let Some(rules) = self.drop_index.get(&(from, to)) {
+            for (window, prob) in rules {
+                if window.contains(now) {
+                    survive *= 1.0 - prob.clamp(0.0, 1.0);
+                }
             }
         }
         if survive < 1.0 && self.rng.next_f64() >= survive {

@@ -1,0 +1,129 @@
+//! A deterministic, dependency-free fast hasher for hot point-query maps.
+//!
+//! The protocol hot paths look up `MessageId`s, instance numbers and
+//! process ids hundreds of times per simulated event. `BTreeMap` pays a
+//! pointer chase per tree level; `std`'s default `HashMap` hasher
+//! (SipHash-1-3 behind a per-process random seed) is built for HashDoS
+//! resistance the simulator does not need — and its random seed would make
+//! map *iteration* order differ between runs, a foot-gun under this
+//! workspace's determinism contract. `FxHasher` is the multiply-rotate
+//! hash used by rustc itself (Firefox lineage): seedless — so identical
+//! runs hash identically — and a handful of cycles per word.
+//!
+//! Usage rule (same as the `proto` module's determinism contract):
+//! [`FxHashMap`]/[`FxHashSet`] are for **point queries only**. Anything a
+//! handler *iterates* keeps a `BTreeMap`/`BTreeSet` or a sorted vector,
+//! because even a deterministic hash map's iteration order is an artifact
+//! of insertion history and capacity growth, not a meaning-bearing order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-Fx multiply constant (64-bit golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Seedless multiply-rotate hasher; see the [module docs](self).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, seedless).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the deterministic fast hasher. Point queries
+/// only — do not iterate in protocol code.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` backed by the deterministic fast hasher. Point queries
+/// only — do not iterate in protocol code.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hashing_is_deterministic_across_builders() {
+        let a = FxBuildHasher::default().hash_one(0xDEAD_BEEFu64);
+        let b = FxBuildHasher::default().hash_one(0xDEAD_BEEFu64);
+        assert_eq!(a, b);
+        assert_ne!(a, FxBuildHasher::default().hash_one(0xDEAD_BEF0u64));
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rules() {
+        // 9 bytes = one full word + one zero-padded tail word.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        h2.write_u64(9);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut m: FxHashMap<crate::MessageId, u32> = FxHashMap::default();
+        let id = crate::MessageId::new(crate::ProcessId(3), 17);
+        m.insert(id, 9);
+        assert_eq!(m.get(&id), Some(&9));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+    }
+}

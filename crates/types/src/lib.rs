@@ -47,6 +47,7 @@ mod batch;
 mod clock;
 mod error;
 pub mod fault;
+pub mod fxhash;
 mod groupset;
 mod ids;
 mod message;
@@ -57,13 +58,15 @@ mod time;
 mod topology;
 
 pub use batch::BatchConfig;
+pub use batch::SharedBatch;
 pub use clock::{EventStamp, LatencyClock, LatencyDegree};
 pub use error::TopologyError;
 pub use fault::{FaultConfig, FaultInjector, FaultPlan, FaultWindow, LinkFate};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use groupset::GroupSet;
 pub use ids::{GroupId, ProcessId};
 pub use message::{AppMessage, MessageId, Payload};
-pub use proto::{Action, Context, Outbox, Protocol};
+pub use proto::{Action, Context, MsgSlot, Outbox, Protocol};
 pub use rng::SplitMix64;
 pub use statemachine::StateMachine;
 pub use time::SimTime;

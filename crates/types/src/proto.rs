@@ -37,6 +37,20 @@ pub enum Action<M> {
         /// Protocol message.
         msg: M,
     },
+    /// Zero-copy fan-out: one logical message addressed to many processes.
+    /// The body is stored **once** behind an `Arc`; hosts hand each
+    /// destination a reference-counted handle instead of a deep copy
+    /// ([`MsgSlot`]). Observationally this is exactly the sequence of
+    /// [`Send`](Self::Send)s over `tos` in order — hosts stamp, sample
+    /// latency and account each destination individually — so replacing a
+    /// clone-per-destination loop with [`Outbox::send_many`] never changes
+    /// a schedule, only its cost.
+    SendMany {
+        /// Destination processes, in send order.
+        tos: Vec<ProcessId>,
+        /// The shared message body.
+        msg: Arc<M>,
+    },
     /// A-Deliver `msg` to the application (a local event).
     Deliver(AppMessage),
     /// Arm a one-shot timer that fires `after` the current instant, carrying
@@ -47,6 +61,43 @@ pub enum Action<M> {
         /// Opaque token returned to [`Protocol::on_timer`].
         kind: u64,
     },
+}
+
+/// How a host-queued message copy holds its body: owned (an ordinary
+/// [`Action::Send`]) or shared (one destination of an
+/// [`Action::SendMany`] fan-out).
+///
+/// Hosts store this in their event queues and call [`take`](Self::take)
+/// at dispatch time. A shared copy whose siblings were already dispatched
+/// (or dropped with a crashed destination) unwraps its `Arc` without
+/// copying, so the *last* delivery of a fan-out — and every delivery of a
+/// fan-out of one — is move-only.
+#[derive(Debug)]
+pub enum MsgSlot<M> {
+    /// Exclusively owned body.
+    Owned(M),
+    /// Body shared with the other destinations of a fan-out.
+    Shared(Arc<M>),
+}
+
+impl<M: Clone> MsgSlot<M> {
+    /// Extracts the message, cloning only if other handles are still live.
+    #[inline]
+    pub fn take(self) -> M {
+        match self {
+            MsgSlot::Owned(m) => m,
+            MsgSlot::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+impl<M: Clone> Clone for MsgSlot<M> {
+    fn clone(&self) -> Self {
+        match self {
+            MsgSlot::Owned(m) => MsgSlot::Owned(m.clone()),
+            MsgSlot::Shared(a) => MsgSlot::Shared(Arc::clone(a)),
+        }
+    }
 }
 
 /// Handler context: identity, environment, and an action buffer.
@@ -123,10 +174,45 @@ impl<M> Outbox<M> {
         Self::default()
     }
 
+    /// An outbox reusing `buf` as its backing storage (cleared first).
+    /// Hosts pair this with [`into_buffer`](Self::into_buffer) to run one
+    /// handler per event without allocating an action vector per step.
+    pub fn with_buffer(mut buf: Vec<Action<M>>) -> Self {
+        buf.clear();
+        Outbox { actions: buf }
+    }
+
+    /// Consumes the outbox, returning the backing storage with all
+    /// buffered actions still inside (counterpart of
+    /// [`with_buffer`](Self::with_buffer)).
+    pub fn into_buffer(self) -> Vec<Action<M>> {
+        self.actions
+    }
+
     /// Sends `msg` to `to`.
     #[inline]
     pub fn send(&mut self, to: ProcessId, msg: M) {
         self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends one shared message to every process in `tos` without copying
+    /// the body per destination ([`Action::SendMany`]). Equivalent — copy
+    /// for copy, in order — to `send`ing a clone to each destination.
+    pub fn send_many<I: IntoIterator<Item = ProcessId>>(&mut self, tos: I, msg: M) {
+        let mut tos = tos.into_iter();
+        let Some(first) = tos.next() else { return };
+        let mut rest: Vec<ProcessId> = Vec::with_capacity(tos.size_hint().0 + 1);
+        rest.push(first);
+        rest.extend(tos);
+        if rest.len() == 1 {
+            // A fan-out of one is a plain send: no Arc allocation.
+            self.send(rest[0], msg);
+        } else {
+            self.actions.push(Action::SendMany {
+                tos: rest,
+                msg: Arc::new(msg),
+            });
+        }
     }
 
     /// A-Delivers `msg` to the application.
@@ -141,12 +227,22 @@ impl<M> Outbox<M> {
         self.actions.push(Action::Timer { after, kind });
     }
 
+    /// Buffers a pre-built action verbatim. Wrapper protocols (delivery
+    /// interceptors, apply adapters) use this to relay inner actions —
+    /// including [`Action::SendMany`], whose shared body must not be
+    /// re-expanded into per-destination copies on the way through.
+    #[inline]
+    pub fn emit(&mut self, action: Action<M>) {
+        self.actions.push(action);
+    }
+
     /// Drains the buffered actions in emission order.
     pub fn drain(&mut self) -> std::vec::Drain<'_, Action<M>> {
         self.actions.drain(..)
     }
 
-    /// Number of buffered actions.
+    /// Number of buffered actions. A [`SendMany`](Action::SendMany)
+    /// counts once however many destinations it fans out to.
     pub fn len(&self) -> usize {
         self.actions.len()
     }
@@ -154,15 +250,6 @@ impl<M> Outbox<M> {
     /// Whether no actions are buffered.
     pub fn is_empty(&self) -> bool {
         self.actions.is_empty()
-    }
-}
-
-impl<M: Clone> Outbox<M> {
-    /// Sends a copy of `msg` to every process in `tos`.
-    pub fn send_many<I: IntoIterator<Item = ProcessId>>(&mut self, tos: I, msg: M) {
-        for to in tos {
-            self.send(to, msg.clone());
-        }
     }
 }
 
@@ -181,7 +268,10 @@ impl<M: fmt::Debug> fmt::Debug for Outbox<M> {
 /// line of the algorithm is executed atomically" maps to handler atomicity).
 pub trait Protocol {
     /// Wire message type exchanged between replicas of this protocol.
-    type Msg: Clone + fmt::Debug + Send + 'static;
+    /// `Sync` because fan-out copies are `Arc`-shared across host threads
+    /// ([`Action::SendMany`]); protocol messages are plain data, so the
+    /// bound is free.
+    type Msg: Clone + fmt::Debug + Send + Sync + 'static;
 
     /// Invoked once before any other handler, at time 0.
     fn on_start(&mut self, ctx: &Context, out: &mut Outbox<Self::Msg>) {
@@ -270,12 +360,54 @@ mod tests {
             Payload::new(),
         );
         Echo.on_cast(m.clone(), &ctx, &mut out);
-        assert_eq!(out.len(), 3); // two sends + one deliver
+        assert_eq!(out.len(), 2); // one shared fan-out + one deliver
         let acts: Vec<_> = out.drain().collect();
-        assert!(matches!(acts[0], Action::Send { to, msg: 7 } if to == ProcessId(1)));
-        assert!(matches!(acts[1], Action::Send { to, msg: 7 } if to == ProcessId(2)));
-        assert!(matches!(&acts[2], Action::Deliver(d) if d.id == m.id));
+        assert!(matches!(
+            &acts[0],
+            Action::SendMany { tos, msg }
+                if **msg == 7 && tos == &[ProcessId(1), ProcessId(2)]
+        ));
+        assert!(matches!(&acts[1], Action::Deliver(d) if d.id == m.id));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn send_many_degenerate_shapes() {
+        let mut out = Outbox::<u32>::new();
+        out.send_many([], 1); // empty fan-out: no action at all
+        assert!(out.is_empty());
+        out.send_many([ProcessId(4)], 2); // fan-out of one: plain send
+        let acts: Vec<_> = out.drain().collect();
+        assert!(matches!(acts[0], Action::Send { to, msg: 2 } if to == ProcessId(4)));
+    }
+
+    #[test]
+    fn msg_slot_take_avoids_copy_when_unique() {
+        let shared = Arc::new(vec![1u8, 2, 3]);
+        let a = MsgSlot::Shared(Arc::clone(&shared));
+        let b = MsgSlot::Shared(shared);
+        assert_eq!(a.take(), vec![1, 2, 3]); // clones: sibling still live
+        assert_eq!(b.take(), vec![1, 2, 3]); // last handle: moves out
+        assert_eq!(MsgSlot::Owned(7u32).take(), 7);
+        let c = MsgSlot::Shared(Arc::new(9u32));
+        assert_eq!(c.clone().take(), 9);
+    }
+
+    #[test]
+    fn outbox_buffer_reuse_roundtrip() {
+        let mut out = Outbox::with_buffer(vec![Action::<u32>::Timer {
+            after: Duration::ZERO,
+            kind: 0,
+        }]);
+        assert!(out.is_empty(), "with_buffer clears stale actions");
+        out.send(ProcessId(0), 5);
+        out.emit(Action::Deliver(AppMessage::new(
+            MessageId::new(ProcessId(0), 0),
+            GroupSet::singleton(GroupId(0)),
+            Payload::new(),
+        )));
+        let buf = out.into_buffer();
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]
