@@ -26,6 +26,18 @@
 use wamcast_core::{GenuineMulticast, MulticastConfig};
 use wamcast_types::{ProcessId, Topology};
 
+/// The \[5\] configuration: Algorithm A1's engine with `skip_stages =
+/// false`. Exposed separately so hosts can layer orthogonal policies on
+/// top — the stack registry combines it with `with_retry` to make the arm
+/// loss-hostable (retry inherits A1's full recovery machinery, which \[5\]
+/// shares by construction).
+pub fn fritzke_config() -> MulticastConfig {
+    MulticastConfig {
+        skip_stages: false,
+        ..MulticastConfig::default()
+    }
+}
+
 /// Builds the Fritzke et al. \[5\] baseline for process `me`: Algorithm A1's
 /// engine with `skip_stages = false`.
 ///
@@ -40,12 +52,5 @@ use wamcast_types::{ProcessId, Topology};
 /// assert_eq!(proto.clock(), 1);
 /// ```
 pub fn fritzke_multicast(me: ProcessId, topo: &Topology) -> GenuineMulticast {
-    GenuineMulticast::new(
-        me,
-        topo,
-        MulticastConfig {
-            skip_stages: false,
-            ..MulticastConfig::default()
-        },
-    )
+    GenuineMulticast::new(me, topo, fritzke_config())
 }

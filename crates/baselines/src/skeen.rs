@@ -18,6 +18,17 @@
 //!
 //! Not fault-tolerant: one crashed destination blocks every message
 //! addressed to it (tested below).
+//!
+//! # Faithful vs. simplified
+//!
+//! **Faithful:** the whole algorithm — per-process logical clocks, the
+//! all-addressee proposal exchange, max-proposal timestamps, `(ts, id)`
+//! delivery order. Nothing is substituted; \[2\] genuinely is this small.
+//! **Hosting:** the stack registry runs it under the failure-free fault
+//! profile (duplication and latency spikes only): the algorithm's own
+//! model has no crashes and quasi-reliable links, and a single lost or
+//! crash-orphaned proposal blocks delivery forever. Duplicates are
+//! harmless (all handlers are idempotent).
 
 use std::collections::{BTreeMap, BTreeSet};
 use wamcast_types::{AppMessage, Context, MessageId, Outbox, ProcessId, Protocol};

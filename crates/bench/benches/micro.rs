@@ -30,7 +30,7 @@ fn bench_groupset(c: &mut Criterion) {
 
 fn bench_sim_event_loop(c: &mut Criterion) {
     use wamcast_sim::{SimConfig, Simulation};
-    use wamcast_types::{AppMessage, Context, Outbox, Payload, Protocol, SimTime, Topology};
+    use wamcast_types::{AppMessage, Context, Outbox, Payload, Protocol, SimTime};
 
     /// Ping-pong protocol to stress the event queue.
     struct PingPong {
@@ -52,9 +52,10 @@ fn bench_sim_event_loop(c: &mut Criterion) {
     c.bench_function("sim_10k_events", |b| {
         b.iter(|| {
             let cfg = SimConfig::default().with_send_log(false);
-            let mut sim = Simulation::new(Topology::symmetric(2, 1), cfg, |_, _| PingPong {
-                remaining: 10_000,
-            });
+            // Shared-topology cache: the iteration loop measures the
+            // engine, not member-table construction.
+            let topo = wamcast_harness::scenario::shared_topology(2, 1);
+            let mut sim = Simulation::new_shared(topo, cfg, |_, _| PingPong { remaining: 10_000 });
             let dest = sim.topology().all_groups();
             sim.cast_at(SimTime::ZERO, ProcessId(0), dest, Payload::new());
             sim.run_to_quiescence();

@@ -27,16 +27,20 @@
 #![forbid(unsafe_code)]
 
 use wamcast_core::{GenuineMulticast, MulticastConfig};
+use wamcast_harness::scenario::shared_topology;
 use wamcast_sim::{SimConfig, Simulation};
-use wamcast_types::{GroupSet, Payload, ProcessId, SimTime, Topology};
+use wamcast_types::{GroupSet, Payload, ProcessId, SimTime};
 
 pub mod harness;
 
 /// Runs one A1 multicast to `k` groups of `d` and returns the inter-group
 /// message count (used by benches to prevent dead-code elimination).
+/// Benches iterate this in a loop, so the topology comes from the
+/// process-wide [`shared_topology`] cache instead of being rebuilt per
+/// iteration.
 pub fn run_a1_once(k: usize, d: usize, skip_stages: bool) -> u64 {
     let cfg = SimConfig::default().with_send_log(false);
-    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, |p, t| {
+    let mut sim = Simulation::new_shared(shared_topology(k, d), cfg, |p, t| {
         GenuineMulticast::new(
             p,
             t,

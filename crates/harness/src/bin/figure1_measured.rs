@@ -1,0 +1,33 @@
+//! E13 — the measured Figure 1: every stack-registry arm (the paper's A1
+//! and A2 plus the executable baselines) run over identical failure-free
+//! probes, with the measured latency degree and inter-group message count
+//! printed next to the analytic row. Exits non-zero if any arm's measured
+//! degree disagrees with its analytic one — the CI gate behind the
+//! "measured table matches analytic latency degrees" acceptance check.
+//!
+//! ```text
+//! figure1_measured              # (2,2), (3,2) and (4,2)
+//! ```
+
+use std::process::ExitCode;
+use wamcast_harness::figure1_measured::{degree_mismatches, measured_rows, render_table};
+
+fn main() -> ExitCode {
+    println!("Measured Figure 1 — every registry arm executed under identical probes");
+    println!("(failure-free; the fault-injected path is `scenario_fuzz --arms all`):\n");
+    let mut failed = false;
+    for (k, d) in [(2usize, 2usize), (3, 2), (4, 2)] {
+        let rows = measured_rows(k, d);
+        println!("{}", render_table(k, d, &rows));
+        for m in degree_mismatches(&rows) {
+            eprintln!("MISMATCH at {k}x{d}: {m}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        println!("every arm's measured latency degree equals its analytic degree");
+        ExitCode::SUCCESS
+    }
+}

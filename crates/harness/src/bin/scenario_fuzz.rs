@@ -2,20 +2,27 @@
 //!
 //! Sweeps random [`FaultPlan`]s (crashes, link loss, partitions,
 //! duplication, latency spikes) across topologies and protocol arms. Two
-//! arms are available:
+//! check levels are available:
 //!
-//! * `--arm delivery` (default) — checks the §2.2 invariant suite plus
-//!   convergence at the delivery level;
+//! * `--arm delivery` (default) — checks each protocol arm's declared
+//!   invariant profile plus convergence at the delivery level;
 //! * `--arm smr` — runs the partitioned KV service on top (closed-loop
 //!   clients, `wamcast-smr`) and checks *application-level* correctness:
 //!   replica agreement, cross-shard atomicity, per-key linearizability
 //!   and cross-shard serializability, via the history checker.
+//!
+//! The protocol rotation comes from the stack registry: `--arms default`
+//! (the paper arms — byte-identical to the pre-registry rotation, pinned
+//! by the golden engine fingerprints), `--arms all` (extends it with
+//! every executable Figure 1 baseline, each hosted under the fault
+//! classes it tolerates), or `--arms name,name,…` for a custom subset.
 //!
 //! Any violation prints a one-line replay command that reproduces it
 //! exactly.
 //!
 //! ```text
 //! scenario_fuzz [--arm smr] [--runs N] [--seed S]      # sweep (default 200 / 1)
+//! scenario_fuzz --arms all --runs 200                  # baselines included
 //! scenario_fuzz --threads 8 --runs 2000                # parallel sweep
 //! scenario_fuzz [--arm smr] --replay --seed S [--plan-hash H]
 //! scenario_fuzz --runs 50 [--arm smr] --inject-bug     # prove violations are caught
@@ -36,6 +43,7 @@
 
 use std::process::ExitCode;
 use wamcast_harness::cli::{self, CommonArgs};
+use wamcast_harness::registry::{ProtocolArm, StackRegistry};
 use wamcast_harness::scenario::{run_scenario, RunSpec};
 use wamcast_harness::smr::{run_smr_scenario, InjectedBug};
 use wamcast_harness::Table;
@@ -99,6 +107,7 @@ fn run_one(arm: Arm, spec: &RunSpec, inject_bug: bool) -> RunResult {
 fn main() -> ExitCode {
     let mut arm = Arm::Delivery;
     let mut threads = 1usize;
+    let mut arms_spec = "default".to_string();
     let parsed = cli::parse_common(200, "scenario-fuzz-failure.txt", |flag, grab| {
         if flag == "--arm" {
             arm = match grab(flag)?.as_str() {
@@ -106,6 +115,9 @@ fn main() -> ExitCode {
                 "smr" => Arm::Smr,
                 other => return Err(format!("--arm: unknown arm {other} (delivery|smr)")),
             };
+            Ok(true)
+        } else if flag == "--arms" {
+            arms_spec = grab(flag)?;
             Ok(true)
         } else if flag == "--threads" {
             threads = cli::parse_u64(flag, &grab(flag)?)? as usize;
@@ -121,17 +133,45 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let rotation = match StackRegistry::standard().subset(&arms_spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario_fuzz: --arms: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if arm == Arm::Smr {
+        if let Some(bad) = rotation.iter().find(|a| a.smr_batch().is_none()) {
+            eprintln!(
+                "scenario_fuzz: --arm smr cannot host arm {} (SMR-capable arms: {})",
+                bad.name(),
+                StackRegistry::standard()
+                    .smr_rotation()
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
     let faults = FaultConfig::default();
 
     if args.replay {
-        return replay(arm, &args, &faults);
+        return replay(arm, &args, &faults, &rotation, &arms_spec);
     }
 
     println!(
-        "scenario_fuzz: {} runs from seed {}, arm {} on {} thread(s) (fault distribution: {:?})\n",
+        "scenario_fuzz: {} runs from seed {}, arm {} over rotation [{}] on {} thread(s) \
+         (fault distribution: {:?})\n",
         args.runs,
         args.seed,
         arm.name(),
+        rotation
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", "),
         threads.max(1),
         faults
     );
@@ -147,11 +187,11 @@ fn main() -> ExitCode {
         // Sequential sweep: stop at the first violation, as before.
         for i in 0..args.runs {
             let seed = args.seed.wrapping_add(i);
-            let spec = RunSpec::derive(seed, &faults);
+            let spec = RunSpec::derive_with(seed, &faults, &rotation);
             let outcome = run_one(arm, &spec, args.inject_bug);
             tally(&mut totals, &outcome);
             if !outcome.violations.is_empty() {
-                return report_violation(seed, &spec, &outcome, arm, &args);
+                return report_violation(seed, &spec, &outcome, arm, &args, &arms_spec, &rotation);
             }
             if (i + 1) % 50 == 0 {
                 println!("  {}/{} runs clean…", i + 1, args.runs);
@@ -165,14 +205,14 @@ fn main() -> ExitCode {
         // early on a violation).
         let outcomes = wamcast_harness::parallel::run_indexed(args.runs, threads, |i| {
             let seed = args.seed.wrapping_add(i);
-            let spec = RunSpec::derive(seed, &faults);
+            let spec = RunSpec::derive_with(seed, &faults, &rotation);
             let outcome = run_one(arm, &spec, args.inject_bug);
             (seed, spec, outcome)
         });
         for (seed, spec, outcome) in &outcomes {
             tally(&mut totals, outcome);
             if !outcome.violations.is_empty() {
-                return report_violation(*seed, spec, outcome, arm, &args);
+                return report_violation(*seed, spec, outcome, arm, &args, &arms_spec, &rotation);
             }
         }
     }
@@ -199,9 +239,9 @@ fn main() -> ExitCode {
     ]);
     println!("\n{}", t.render());
     match arm {
-        Arm::Delivery => {
-            println!("every run converged with all Section 2.2 invariants intact")
-        }
+        Arm::Delivery => println!(
+            "every run converged with its arm's declared Section 2.2 invariant profile intact"
+        ),
         Arm::Smr => println!(
             "every run converged with delivery invariants AND the KV history checks \
              (agreement, atomicity, linearizability, serializability) intact"
@@ -217,10 +257,28 @@ fn report_violation(
     outcome: &RunResult,
     arm: Arm,
     args: &CommonArgs,
+    arms_spec: &str,
+    rotation: &[&'static ProtocolArm],
 ) -> ExitCode {
     let mut replay_cmd = spec.replay_command();
     if arm == Arm::Smr {
         replay_cmd.push_str(" --arm smr");
+    }
+    if arms_spec != "default" {
+        // Replay must rebuild the same rotation or the seed would map to a
+        // different (arm, plan) pair. Emit the *canonical* comma-joined
+        // arm names, not the raw flag value — `--arms "ring, a1"` parses
+        // fine but would paste back as a broken two-token argument.
+        let canonical = if arms_spec == "all" {
+            "all".to_string()
+        } else {
+            rotation
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        replay_cmd.push_str(&format!(" --arms {canonical}"));
     }
     if args.inject_bug {
         // The replay must rebuild the same (broken) system, or it would
@@ -231,7 +289,7 @@ fn report_violation(
     report.push_str(&format!(
         "scenario_fuzz: VIOLATION at seed {seed} (arm {}, {} on {}x{}):\n",
         arm.name(),
-        spec.protocol.name(),
+        spec.arm.name(),
         spec.topo.0,
         spec.topo.1
     ));
@@ -252,14 +310,20 @@ fn report_violation(
     ExitCode::from(1)
 }
 
-fn replay(arm: Arm, args: &CommonArgs, faults: &FaultConfig) -> ExitCode {
-    let spec = RunSpec::derive(args.seed, faults);
+fn replay(
+    arm: Arm,
+    args: &CommonArgs,
+    faults: &FaultConfig,
+    rotation: &[&'static ProtocolArm],
+    arms_spec: &str,
+) -> ExitCode {
+    let spec = RunSpec::derive_with(args.seed, faults, rotation);
     let hash = spec.plan.fingerprint();
     println!(
-        "replaying seed {} — arm {}, {} on {}x{}, plan hash {hash:#018x}",
+        "replaying seed {} — arm {}, {} on {}x{} (rotation {arms_spec}), plan hash {hash:#018x}",
         args.seed,
         arm.name(),
-        spec.protocol.name(),
+        spec.arm.name(),
         spec.topo.0,
         spec.topo.1
     );

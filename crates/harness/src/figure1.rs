@@ -166,11 +166,12 @@ pub fn figure1a_rows(k: usize, d: usize) -> Vec<Figure1Row> {
 /// without the cast and subtract. (The paper's O(kd) is the per-message
 /// stream cost in a model where data messages themselves are the stream.)
 fn detmerge_marginal_msgs(k: usize, d: usize) -> u64 {
+    use crate::scenario::shared_topology;
     use wamcast_sim::{SimConfig, Simulation};
-    use wamcast_types::{GroupSet, Payload, Topology};
+    use wamcast_types::{GroupSet, Payload};
     let run = |with_cast: bool| {
         let cfg = SimConfig::default().with_seed(0xF1C);
-        let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, |p, _| {
+        let mut sim = Simulation::new_shared(shared_topology(k, d), cfg, |p, _| {
             DeterministicMerge::new(p, Duration::from_secs(1))
         });
         if with_cast {

@@ -14,18 +14,22 @@
 //! Each artifact has a binary (see `src/bin/`) that prints a
 //! paper-vs-measured table; `EXPERIMENTS.md` records the outputs.
 //!
-//! The library part hosts the shared machinery: scenario runners
-//! ([`measure`]), the Figure 1 row definitions ([`figure1`]), parameter
-//! sweeps ([`sweeps`]) and a plain-text table printer ([`table`]).
+//! The library part hosts the shared machinery: the stack registry
+//! ([`registry`] — the single protocol-arm dispatch site), scenario
+//! runners ([`measure`]), the Figure 1 row definitions ([`figure1`]) and
+//! their measured counterpart ([`figure1_measured`]), parameter sweeps
+//! ([`sweeps`]) and a plain-text table printer ([`table`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod figure1;
+pub mod figure1_measured;
 pub mod measure;
 pub mod parallel;
 pub mod perf;
+pub mod registry;
 pub mod scenario;
 pub mod smr;
 pub mod sweeps;
@@ -35,7 +39,8 @@ pub mod workload;
 
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
-pub use scenario::{run_scenario, run_scenario_full, ProtocolKind, RunSpec, ScenarioOutcome};
+pub use registry::{ProtocolArm, StackRegistry};
+pub use scenario::{run_scenario, run_scenario_full, RunSpec, ScenarioOutcome};
 pub use smr::{
     run_smr_net, run_smr_scenario, run_smr_sim, smr_throughput_once, InjectedBug, SmrConfig,
     SmrOutcome, SmrThroughputCell,

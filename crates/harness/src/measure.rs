@@ -1,5 +1,11 @@
 //! Generic scenario runners shared by the experiment binaries and benches.
+//!
+//! Topologies come from [`shared_topology`]: sweeps and benches call these
+//! runners hundreds of times over the same handful of shapes, so each
+//! measurement borrows the process-wide immutable `Arc` instead of
+//! rebuilding the member tables.
 
+use crate::scenario::shared_topology;
 use std::time::Duration;
 use wamcast_sim::{invariants, NetConfig, SimConfig, Simulation};
 use wamcast_types::{GroupSet, Payload, ProcessId, Protocol, SimTime, Topology};
@@ -34,7 +40,7 @@ pub fn measure_one_multicast<P: Protocol>(
     horizon: SimTime,
 ) -> OneShot {
     let cfg = SimConfig::default().with_seed(0xF1A);
-    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, factory);
+    let mut sim = Simulation::new_shared(shared_topology(k, d), cfg, factory);
     let dest = GroupSet::first_n(dest_groups);
     let caster = ProcessId(((dest_groups - 1) * d) as u32);
     let id = sim.cast_at(cast_at, caster, dest, Payload::new());
@@ -89,7 +95,7 @@ pub fn measure_broadcast_steady<P: Protocol>(
     net: NetConfig,
 ) -> BroadcastSteady {
     let cfg = SimConfig::default().with_seed(0xF1B).with_net(net);
-    let mut sim = Simulation::new(Topology::symmetric(k, d), cfg, factory);
+    let mut sim = Simulation::new_shared(shared_topology(k, d), cfg, factory);
     let dest = sim.topology().all_groups();
     let mut ids = Vec::new();
     for i in 0..warm {

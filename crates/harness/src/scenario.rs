@@ -10,32 +10,36 @@
 //!
 //! Each run:
 //!
-//! 1. derives a [`RunSpec`] from the seed ([`RunSpec::derive`]): one of
-//!    four topologies (the ISSUE's 3×2 and larger), one of three protocol
-//!    arms (eager A1, batched A1, batched A2), a Poisson workload, and a
+//! 1. derives a [`RunSpec`] from the seed ([`RunSpec::derive`], or
+//!    [`RunSpec::derive_with`] for an explicit rotation): one of four
+//!    topologies (the ISSUE's 3×2 and larger), one protocol arm from the
+//!    rotation list — the default rotation is the registry's paper-arm
+//!    prefix (eager A1, batched A1, batched A2); `--arms all` extends it
+//!    with the executable Figure 1 baselines — a Poisson workload, and a
 //!    [`FaultConfig`]-compiled plan (crashes, loss, partitions,
 //!    duplication, latency spikes — always bounded, always leaving every
-//!    group a correct majority);
-//! 2. executes it under the simulator with retransmission enabled
-//!    (`with_retry`) and a generous virtual-time deadline;
-//! 3. checks convergence (the run must drain: liveness) and the full §2.2
-//!    uniform invariant suite plus genuineness, quantified over the
-//!    processes that survived.
+//!    group a correct majority), restricted to the fault classes the arm
+//!    tolerates ([`FaultTolerance`](crate::registry::FaultTolerance));
+//! 2. executes it under the simulator with retransmission enabled where
+//!    the arm supports it, and a generous virtual-time deadline;
+//! 3. checks convergence (the run must drain: liveness) and the §2.2
+//!    invariant suite the arm's registry profile declares (uniform or
+//!    non-uniform; genuineness only for genuine-multicast arms),
+//!    quantified over the processes that survived.
 //!
 //! The deliberately broken protocol wrapper ([`DeliveryDropper`]) exists to
 //! prove the harness *can* catch violations: wrap any arm with it and the
 //! sweep reports an agreement/validity violation with a deterministic
 //! replay line.
 
+use crate::registry::{ProtocolArm, StackRegistry, WorkloadShape};
 use crate::workload::{all_group_pairs, poisson};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
-use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
 use wamcast_sim::{invariants, FaultConfig, FaultPlan, RunError, SimConfig, Simulation};
 use wamcast_types::{
-    AppMessage, BatchConfig, Context, GroupSet, Outbox, Payload, ProcessId, Protocol, SimTime,
-    Topology,
+    AppMessage, Context, GroupSet, Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
 };
 
 /// Retransmission interval used by every fuzzed protocol instance.
@@ -44,28 +48,6 @@ pub const RETRY_INTERVAL: Duration = Duration::from_millis(250);
 /// Virtual-time convergence allowance beyond the plan's fault horizon.
 const GRACE: Duration = Duration::from_secs(600);
 
-/// The protocol arm a fuzz run exercises.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ProtocolKind {
-    /// Algorithm A1, the paper's eager schedule.
-    A1,
-    /// Algorithm A1 with the batching layer (size 8, 20 ms window).
-    A1Batched,
-    /// Algorithm A2 with a 10 ms round-pacing window.
-    A2,
-}
-
-impl ProtocolKind {
-    /// Short stable name (printed in tables and replay output).
-    pub fn name(self) -> &'static str {
-        match self {
-            ProtocolKind::A1 => "a1",
-            ProtocolKind::A1Batched => "a1-batched",
-            ProtocolKind::A2 => "a2",
-        }
-    }
-}
-
 /// Everything one fuzz run needs, derived deterministically from its seed.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
@@ -73,9 +55,9 @@ pub struct RunSpec {
     pub seed: u64,
     /// Symmetric topology shape `(groups, processes per group)`.
     pub topo: (usize, usize),
-    /// Protocol arm.
-    pub protocol: ProtocolKind,
-    /// The compiled fault plan.
+    /// Protocol arm (a handle into the [`StackRegistry`] table).
+    pub arm: &'static ProtocolArm,
+    /// The compiled fault plan, restricted to the arm's fault tolerance.
     pub plan: FaultPlan,
 }
 
@@ -102,19 +84,43 @@ pub fn shared_topology(k: usize, d: usize) -> Arc<Topology> {
 }
 
 impl RunSpec {
-    /// Derives the spec for `seed` under the given fault distribution.
+    /// Derives the spec for `seed` under the given fault distribution and
+    /// the **default rotation** (the registry's fixed paper-arm prefix).
+    /// Bit-identical to the pre-registry derivation for every seed — this
+    /// is what keeps PR 4's golden engine fingerprints valid.
     pub fn derive(seed: u64, faults: &FaultConfig) -> RunSpec {
-        let topo = TOPOLOGIES[(seed % TOPOLOGIES.len() as u64) as usize];
-        let protocol = match (seed / TOPOLOGIES.len() as u64) % 3 {
-            0 => ProtocolKind::A1,
-            1 => ProtocolKind::A1Batched,
-            _ => ProtocolKind::A2,
-        };
-        let plan = faults.compile(&shared_topology(topo.0, topo.1), seed);
+        Self::derive_with(seed, faults, &StackRegistry::standard().default_rotation())
+    }
+
+    /// Derives the spec for `seed` over an explicit arm rotation (a
+    /// registry subset — `scenario_fuzz --arms …`).
+    ///
+    /// The topology index depends only on the seed and the (fixed)
+    /// topology table; the arm index comes from the rotation list's own
+    /// length — there is no hard-coded arm modulus, and because the
+    /// *default* rotation is a fixed registry prefix, appending arms to
+    /// the registry cannot silently skew the seed → (topology, arm)
+    /// distribution of existing sweeps: extended rotations are always an
+    /// explicit opt-in with their own goldens.
+    ///
+    /// The compiled plan is restricted to the fault classes the selected
+    /// arm tolerates, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn derive_with(seed: u64, faults: &FaultConfig, arms: &[&'static ProtocolArm]) -> RunSpec {
+        assert!(!arms.is_empty(), "rotation must contain at least one arm");
+        let t = TOPOLOGIES.len() as u64;
+        let topo = TOPOLOGIES[(seed % t) as usize];
+        let arm = arms[((seed / t) % arms.len() as u64) as usize];
+        let plan = arm
+            .faults()
+            .restrict(faults.compile(&shared_topology(topo.0, topo.1), seed));
         RunSpec {
             seed,
             topo,
-            protocol,
+            arm,
             plan,
         }
     }
@@ -173,24 +179,18 @@ pub fn run_scenario_full(
     spec: &RunSpec,
     broken_every: Option<u64>,
 ) -> (ScenarioOutcome, wamcast_sim::RunMetrics) {
-    match spec.protocol {
-        ProtocolKind::A1 => run_with(spec, broken_every, |p, t| {
-            GenuineMulticast::new(p, t, MulticastConfig::default().with_retry(RETRY_INTERVAL))
-        }),
-        ProtocolKind::A1Batched => run_with(spec, broken_every, |p, t| {
-            let batch = BatchConfig::new(8).with_max_delay(Duration::from_millis(20));
-            GenuineMulticast::new(
-                p,
-                t,
-                MulticastConfig::default()
-                    .with_batch(batch)
-                    .with_retry(RETRY_INTERVAL),
-            )
-        }),
-        ProtocolKind::A2 => run_with(spec, broken_every, |p, t| {
-            RoundBroadcast::with_pacing(p, t, Duration::from_millis(10)).with_retry(RETRY_INTERVAL)
-        }),
-    }
+    spec.arm.run_scenario(spec, broken_every)
+}
+
+/// Hosts one arm's fuzz stack for `spec`: the generic driver every
+/// [`ProtocolArm`] runner closure funnels into (the registry table is the
+/// only place protocol constructors are enumerated).
+pub(crate) fn drive_arm<P: Protocol>(
+    spec: &RunSpec,
+    broken_every: Option<u64>,
+    factory: impl FnMut(ProcessId, &Topology) -> P,
+) -> (ScenarioOutcome, wamcast_sim::RunMetrics) {
+    run_with(spec, broken_every, factory)
 }
 
 fn run_with<P: Protocol>(
@@ -224,12 +224,12 @@ fn drive<P: Protocol>(
     let (k, d) = spec.topo;
     let topo = shared_topology(k, d);
 
-    // Workload: ~30 casts over one second. A2 is a broadcast algorithm —
-    // every message goes to all groups; A1 mixes group pairs with full
+    // Workload: ~30 casts over one second. Broadcast-only arms send every
+    // message to all groups; multicast arms mix group pairs with full
     // destination sets (bystander groups exercise genuineness).
-    let dests: Vec<GroupSet> = match spec.protocol {
-        ProtocolKind::A2 => vec![topo.all_groups()],
-        _ => {
+    let dests: Vec<GroupSet> = match spec.arm.workload() {
+        WorkloadShape::Broadcast => vec![topo.all_groups()],
+        WorkloadShape::Multicast => {
             let mut v = all_group_pairs(&topo);
             v.push(topo.all_groups());
             v
@@ -273,8 +273,8 @@ fn drive<P: Protocol>(
     }
 
     let correct = sim.alive_processes();
-    let report = invariants::check_all(sim.topology(), sim.metrics(), &correct)
-        .merge(invariants::check_genuineness(sim.topology(), sim.metrics()));
+    let report =
+        invariants::check_with_profile(sim.topology(), sim.metrics(), &correct, spec.arm.profile());
     violations.extend(report.violations);
 
     let m = sim.into_metrics();
@@ -377,26 +377,114 @@ mod tests {
         let a = RunSpec::derive(17, &cfg);
         let b = RunSpec::derive(17, &cfg);
         assert_eq!(a.topo, b.topo);
-        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(a.arm.name(), b.arm.name());
         assert_eq!(a.plan, b.plan);
         let shapes: std::collections::BTreeSet<_> =
             (0..12).map(|s| RunSpec::derive(s, &cfg).topo).collect();
         assert_eq!(shapes.len(), 4, "all topologies visited");
         let kinds: std::collections::BTreeSet<_> = (0..12)
-            .map(|s| RunSpec::derive(s, &cfg).protocol.name())
+            .map(|s| RunSpec::derive(s, &cfg).arm.name())
             .collect();
-        assert_eq!(kinds.len(), 3, "all protocol arms visited");
+        assert_eq!(kinds.len(), 3, "all default-rotation arms visited");
+    }
+
+    #[test]
+    fn default_rotation_mapping_is_pinned() {
+        // The exact seed → (topology, arm) assignment of the default
+        // rotation, as it was before the registry existed. Any change here
+        // invalidates PR 4's golden engine fingerprints — which is exactly
+        // why this regression test pins it: arm growth must never reshuffle
+        // the default rotation.
+        let cfg = FaultConfig::quiet();
+        let expected = [
+            // seed: (topo, arm) — topo = seed % 4, arm = (seed / 4) % 3.
+            ((3, 2), "a1"),
+            ((2, 3), "a1"),
+            ((3, 3), "a1"),
+            ((4, 2), "a1"),
+            ((3, 2), "a1-batched"),
+            ((2, 3), "a1-batched"),
+            ((3, 3), "a1-batched"),
+            ((4, 2), "a1-batched"),
+            ((3, 2), "a2"),
+            ((2, 3), "a2"),
+            ((3, 3), "a2"),
+            ((4, 2), "a2"),
+        ];
+        for (seed, &(topo, arm)) in expected.iter().enumerate() {
+            let spec = RunSpec::derive(seed as u64, &cfg);
+            assert_eq!((spec.topo, spec.arm.name()), (topo, arm), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn extended_rotation_is_explicit_and_covers_every_arm() {
+        let cfg = FaultConfig::quiet();
+        let reg = StackRegistry::standard();
+        let all = reg.all();
+        let n = all.len() as u64;
+        let seen: std::collections::BTreeSet<&str> = (0..TOPOLOGIES.len() as u64 * n)
+            .map(|s| RunSpec::derive_with(s, &cfg, &all).arm.name())
+            .collect();
+        assert_eq!(seen.len(), all.len(), "every registry arm visited");
+        // Arms beyond the default prefix are opt-in only: the default
+        // derivation never selects them however large the registry grows.
+        let default_only: std::collections::BTreeSet<&str> = (0..1000)
+            .map(|s| RunSpec::derive(s, &cfg).arm.name())
+            .collect();
+        assert_eq!(
+            default_only.into_iter().collect::<Vec<_>>(),
+            ["a1", "a1-batched", "a2"]
+        );
+    }
+
+    #[test]
+    fn arm_fault_restriction_is_applied_per_arm() {
+        // With an aggressive distribution, the skeen arm's plans must come
+        // out crash- and loss-free while a1's keep everything; a seed is
+        // searched for which the unrestricted plan really had something to
+        // strip (so the test cannot pass vacuously).
+        let cfg = FaultConfig::default();
+        let reg = StackRegistry::standard();
+        let skeen = [reg.by_name("skeen").unwrap()];
+        let a1 = [reg.by_name("a1").unwrap()];
+        let mut stripped_something = false;
+        for seed in 0..40u64 {
+            let s = RunSpec::derive_with(seed, &cfg, &skeen);
+            assert!(
+                s.plan.crashes.is_empty(),
+                "seed {seed}: skeen hosts no crashes"
+            );
+            assert!(s.plan.drops.is_empty() && s.plan.partitions.is_empty());
+            let full = RunSpec::derive_with(seed, &cfg, &a1);
+            if !full.plan.crashes.is_empty() || !full.plan.drops.is_empty() {
+                stripped_something = true;
+            }
+            // Duplication/spike rules are shared verbatim.
+            assert_eq!(s.plan.duplicates, full.plan.duplicates, "seed {seed}");
+            assert_eq!(s.plan.spikes, full.plan.spikes, "seed {seed}");
+        }
+        assert!(stripped_something, "distribution never generated faults?");
     }
 
     #[test]
     fn quiet_plans_pass_every_arm() {
-        // Control arm: no faults at all; every protocol must pass.
+        // Control arm: no faults at all; every registry arm — the paper
+        // arms and every executable baseline — must pass its own invariant
+        // profile. Seeds 0..4·N cover each (topology, arm) pair once.
         let quiet = FaultConfig::quiet();
-        for seed in 0..6u64 {
-            let spec = RunSpec::derive(seed, &quiet);
+        let all = StackRegistry::standard().all();
+        for seed in 0..(TOPOLOGIES.len() as u64 * all.len() as u64) {
+            let spec = RunSpec::derive_with(seed, &quiet, &all);
             assert!(spec.plan.is_none());
             let out = run_scenario(&spec, None);
-            assert!(out.is_ok(), "seed {seed}: {:?}", out.violations);
+            assert!(
+                out.is_ok(),
+                "seed {seed} ({} on {:?}): {:?}",
+                spec.arm.name(),
+                spec.topo,
+                out.violations
+            );
             assert!(out.deliveries > 0);
         }
     }
@@ -419,7 +507,7 @@ mod tests {
 
     #[test]
     fn faulted_sweep_smoke() {
-        // A handful of genuinely faulty seeds across the rotation.
+        // A handful of genuinely faulty seeds across the default rotation.
         let cfg = FaultConfig::default();
         for seed in 0..8u64 {
             let spec = RunSpec::derive(seed, &cfg);
@@ -427,11 +515,56 @@ mod tests {
             assert!(
                 out.is_ok(),
                 "seed {seed} ({}, {:?}): {:?}\nreplay: {}",
-                spec.protocol.name(),
+                spec.arm.name(),
                 spec.topo,
                 out.violations,
                 spec.replay_command()
             );
+        }
+    }
+
+    #[test]
+    fn faulted_baseline_arms_smoke() {
+        // One fault-injected seed per baseline arm, topologies mixed
+        // (seed = 4a + r selects topology r and arm a mod N); seed 57
+        // revisits the ring on a 3-member-group shape so its retry layer
+        // sees crashes, not just loss.
+        let cfg = FaultConfig::default();
+        let all = StackRegistry::standard().all();
+        for seed in [13u64, 18, 23, 24, 29, 34, 57] {
+            let spec = RunSpec::derive_with(seed, &cfg, &all);
+            let out = run_scenario(&spec, None);
+            assert!(
+                out.is_ok(),
+                "seed {seed} ({} on {:?}): {:?}\nplan: {:?}",
+                spec.arm.name(),
+                spec.topo,
+                out.violations,
+                spec.plan
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_arms_are_byte_deterministic() {
+        // Same seed, same arm → identical RunMetrics, for every newly
+        // executable baseline arm (the no-fault fingerprint contract the
+        // extended golden corpus builds on).
+        let quiet = FaultConfig::quiet();
+        let reg = StackRegistry::standard();
+        for name in [
+            "skeen",
+            "fritzke",
+            "ring",
+            "rodrigues",
+            "sequencer",
+            "optimistic",
+        ] {
+            let arms = [reg.by_name(name).unwrap()];
+            let spec = RunSpec::derive_with(2, &quiet, &arms);
+            let (_, a) = run_scenario_full(&spec, None);
+            let (_, b) = run_scenario_full(&spec, None);
+            assert_eq!(a, b, "arm {name} replayed differently");
         }
     }
 }

@@ -27,7 +27,8 @@
 //! response and moves on; the checker treats such ops as
 //! "maybe-uncommitted" (they must still be all-or-nothing across shards).
 
-use crate::scenario::{ProtocolKind, RunSpec, RETRY_INTERVAL};
+use crate::registry::a1_stack_config;
+use crate::scenario::{RunSpec, RETRY_INTERVAL};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wamcast_core::{GenuineMulticast, MulticastConfig, WithApply};
@@ -499,18 +500,23 @@ pub fn run_smr_net(
 }
 
 /// The `scenario_fuzz --arm smr` runner: derives the fault plan and
-/// topology from `spec` exactly like the delivery arm, maps the protocol
-/// arm onto a batching policy (the SMR stack always runs A1 — A2 is a
-/// broadcast algorithm, the wrong shape for a partitioned store), and
-/// checks application-level correctness.
+/// topology from `spec` exactly like the delivery arm, reads the batching
+/// policy off the spec's registry arm (the SMR stack always runs A1 — A2
+/// is a broadcast algorithm, the wrong shape for a partitioned store, so
+/// its arm contributes only its amortization policy), and checks
+/// application-level correctness.
+///
+/// # Panics
+///
+/// Panics if the spec's arm does not host the SMR service (the fuzz
+/// binary restricts `--arm smr` rotations to SMR-capable arms).
 pub fn run_smr_scenario(spec: &RunSpec, bug: Option<InjectedBug>) -> SmrOutcome {
-    let batch = match spec.protocol {
-        ProtocolKind::A1 => None,
-        ProtocolKind::A1Batched => {
-            Some(BatchConfig::new(8).with_max_delay(Duration::from_millis(20)))
-        }
-        ProtocolKind::A2 => Some(BatchConfig::new(16).with_max_delay(Duration::from_millis(10))),
-    };
+    let batch = spec.arm.smr_batch().unwrap_or_else(|| {
+        panic!(
+            "arm {} cannot host the SMR service (see StackRegistry::smr_rotation)",
+            spec.arm.name()
+        )
+    });
     let cfg = SmrConfig {
         batch,
         // Seed-striped workload shape: vary the cross-shard pressure.
@@ -521,14 +527,9 @@ pub fn run_smr_scenario(spec: &RunSpec, bug: Option<InjectedBug>) -> SmrOutcome 
 }
 
 fn multicast_config(cfg: &SmrConfig) -> MulticastConfig {
-    let mut m = MulticastConfig::default();
-    if let Some(b) = cfg.batch {
-        m = m.with_batch(b);
-    }
-    if let Some(r) = cfg.retry {
-        m = m.with_retry(r);
-    }
-    m
+    // Built at the registry's single A1 construction site, so the SMR
+    // stack can never drift from the delivery arms' policy plumbing.
+    a1_stack_config(cfg.batch, cfg.retry)
 }
 
 fn mean_response_latency(hist: &History) -> Duration {
@@ -713,7 +714,7 @@ mod tests {
             assert!(
                 out.is_ok(),
                 "seed {seed} ({} on {:?}): {:?}",
-                spec.protocol.name(),
+                spec.arm.name(),
                 spec.topo,
                 out.violations
             );

@@ -93,12 +93,17 @@ pub fn latency_shape<P: Protocol>(
     let mut cells = Vec::new();
     for &lat in latencies {
         // measure_one_multicast always uses the default NetConfig; rebuild
-        // the measurement here with the requested latency.
+        // the measurement here with the requested latency (topology shared
+        // across all cells of the sweep).
         let _ = &mut factory;
         let cfg = wamcast_sim::SimConfig::default()
             .with_seed(0xE8)
             .with_net(NetConfig::wan(lat));
-        let mut sim = wamcast_sim::Simulation::new(Topology::symmetric(k, d), cfg, &mut factory);
+        let mut sim = wamcast_sim::Simulation::new_shared(
+            crate::scenario::shared_topology(k, d),
+            cfg,
+            &mut factory,
+        );
         let dest = wamcast_types::GroupSet::first_n(k);
         let caster = ProcessId(((k - 1) * d) as u32);
         let id = sim.cast_at(SimTime::ZERO, caster, dest, wamcast_types::Payload::new());

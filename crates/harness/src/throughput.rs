@@ -31,11 +31,13 @@
 //! cell, so throughput numbers can never come from a run that broke
 //! ordering.
 
+use crate::registry::a1_stack_config;
+use crate::scenario::shared_topology;
 use crate::workload::{all_group_pairs, poisson};
 use std::time::{Duration, Instant};
-use wamcast_core::{GenuineMulticast, MulticastConfig};
+use wamcast_core::GenuineMulticast;
 use wamcast_sim::{invariants, SimConfig, Simulation};
-use wamcast_types::{BatchConfig, Payload, Topology};
+use wamcast_types::{BatchConfig, Payload};
 
 /// Per-process protocol-message budget (copies sent + received per second)
 /// used for the modeled saturation throughput. The absolute value is a
@@ -87,7 +89,7 @@ pub fn throughput_once(
     batch_msgs: usize,
     seed: u64,
 ) -> ThroughputCell {
-    let topo = Topology::symmetric(k, d);
+    let topo = shared_topology(k, d);
     let dests = all_group_pairs(&topo);
     let plan = poisson(&topo, rate_per_sec, horizon, &dests, seed);
     assert!(!plan.is_empty(), "offered load must be non-empty");
@@ -98,10 +100,11 @@ pub fn throughput_once(
         BatchConfig::new(batch_msgs).with_max_delay(batch_window(batch_msgs, rate_per_sec))
     };
     // The send log costs memory proportional to the message count and is
-    // not needed here; per-class counters stay on.
+    // not needed here; per-class counters stay on. The stack comes from
+    // the registry's single A1 construction site.
     let cfg = SimConfig::default().with_seed(seed).with_send_log(false);
-    let mut sim = Simulation::new(topo, cfg, |p, t| {
-        GenuineMulticast::new(p, t, MulticastConfig::default().with_batch(batch))
+    let mut sim = Simulation::new_shared(topo, cfg, |p, t| {
+        GenuineMulticast::new(p, t, a1_stack_config(Some(batch), None))
     });
 
     let started = Instant::now();

@@ -259,3 +259,97 @@ fn coordinator_crash_under_loss() {
     let dests = vec![topo.all_groups()];
     run_checked(topo, plan, dests, 0xE108, a1_retry(None));
 }
+
+/// Ring baseline, crash mid-chain under loss: a member of the middle
+/// destination group crashes while the g0 ↔ g1 hand-off links are fully
+/// lossy for 400 ms. The ring's retry layer (hand-off retransmission,
+/// positive-ack Finals, consensus ticks) must ride it out with the
+/// uniform §2.2 suite intact.
+#[test]
+fn ring_crash_mid_chain_under_handoff_loss() {
+    use wamcast_baselines::RingMulticast;
+    let topo = Topology::symmetric(3, 3);
+    let mut plan = FaultPlan::none().with_crash(SimTime::from_millis(350), ProcessId(4));
+    let (from, until) = (SimTime::ZERO, SimTime::from_millis(400));
+    for p in 0..3u32 {
+        for q in 3..6u32 {
+            plan = plan
+                .with_drop_during(ProcessId(p), ProcessId(q), 1.0, from, until)
+                .with_drop_during(ProcessId(q), ProcessId(p), 1.0, from, until);
+        }
+    }
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    run_checked(topo, plan, dests, 0xE104, |p, t| {
+        RingMulticast::new(p, t).with_retry(RETRY_INTERVAL)
+    });
+}
+
+/// Ring baseline, final-fan-out loss: every copy out of the last group
+/// (g2) is dropped for 500 ms, so deliveries everywhere hinge on the
+/// positive-ack `Final` retransmission path.
+#[test]
+fn ring_final_fanout_loss() {
+    use wamcast_baselines::RingMulticast;
+    let topo = Topology::symmetric(3, 2);
+    let mut plan = FaultPlan::none();
+    for q in 4..6u32 {
+        for p in 0..4u32 {
+            plan = plan.with_drop_during(
+                ProcessId(q),
+                ProcessId(p),
+                1.0,
+                SimTime::ZERO,
+                SimTime::from_millis(500),
+            );
+        }
+    }
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    run_checked(topo, plan, dests, 0xE105, |p, t| {
+        RingMulticast::new(p, t).with_retry(RETRY_INTERVAL)
+    });
+}
+
+/// Rodrigues baseline under crashes: one addressee per group crashes
+/// early, so timestamp collections must complete by pruning the crashed
+/// addressees and the per-message cross-group consensus engines must
+/// rotate off dead ballot-0 coordinators. Checked against the arm's
+/// declared genuine/non-uniform profile.
+#[test]
+fn rodrigues_crashed_addressees_are_pruned() {
+    use wamcast_baselines::RodriguesMulticast;
+    use wamcast_sim::InvariantProfile;
+    let topo = Topology::symmetric(3, 3);
+    let plan = FaultPlan::none()
+        .with_crash(SimTime::from_millis(80), ProcessId(0))
+        .with_crash(SimTime::from_millis(600), ProcessId(5));
+    let mut dests = all_group_pairs(&topo);
+    dests.push(topo.all_groups());
+    let casts = poisson(&topo, 30.0, Duration::from_secs(1), &dests, 0xE106);
+    let cfg = SimConfig::default()
+        .with_seed(0xE106)
+        .with_send_log(false)
+        .with_faults(plan);
+    let mut sim = Simulation::new(topo, cfg, |p, _| RodriguesMulticast::new(p));
+    for c in &casts {
+        sim.cast_at(c.at, c.caster, c.dest, Payload::new());
+    }
+    let drained = sim
+        .try_run_until(SimTime::from_millis(600_000))
+        .expect("no live-lock");
+    assert!(
+        drained,
+        "collections must complete despite crashed addressees"
+    );
+    let correct = sim.alive_processes();
+    assert_eq!(correct.len(), 7);
+    invariants::check_with_profile(
+        sim.topology(),
+        sim.metrics(),
+        &correct,
+        InvariantProfile::GENUINE_NONUNIFORM,
+    )
+    .assert_ok();
+    assert!(sim.metrics().deliveries.len() >= casts.len() / 2);
+}

@@ -222,3 +222,73 @@ fn batched_a1_delivers_in_order_on_threads() {
     }
     cluster.shutdown();
 }
+
+#[test]
+fn ring_multicast_with_retry_survives_lossy_links_on_threads() {
+    // A registry-hosted Figure 1 baseline on the threaded runtime, under
+    // the channel-layer adversary: the ring's retry mode (hand-off
+    // retransmission, positive-ack Final retransmission, consensus ticks)
+    // must ride out a 50%-lossy first 300 ms and still converge to one
+    // total order at every addressed process.
+    use wamcast_baselines::RingMulticast;
+
+    let until = SimTime::from_millis(300);
+    let mut plan = FaultPlan::none().with_duplication(0.3, SimTime::ZERO, until);
+    for from in 0..6u32 {
+        for to in 0..6u32 {
+            if from != to {
+                plan = plan.with_drop_during(
+                    ProcessId(from),
+                    ProcessId(to),
+                    0.5,
+                    SimTime::ZERO,
+                    until,
+                );
+            }
+        }
+    }
+    let cluster = Cluster::spawn_faulty(Topology::symmetric(3, 2), plan, 0x4417, |p, t| {
+        RingMulticast::new(p, t).with_retry(Duration::from_millis(40))
+    });
+    // Mixed destinations: a group pair and the full set, from casters in
+    // different groups (the caster need not be addressed).
+    let d01 = GroupSet::from_iter([GroupId(0), GroupId(1)]);
+    let d12 = GroupSet::from_iter([GroupId(1), GroupId(2)]);
+    let all = cluster.topology().all_groups();
+    let mut ids = Vec::new();
+    for i in 0..4u32 {
+        ids.push(cluster.cast(ProcessId(i % 6), d01, Payload::new()));
+        ids.push(cluster.cast(ProcessId((i + 3) % 6), d12, Payload::new()));
+        ids.push(cluster.cast(ProcessId((i + 5) % 6), all, Payload::new()));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for &id in &ids {
+        cluster
+            .await_delivery_everywhere(id, Duration::from_secs(30))
+            .expect("delivered despite loss");
+    }
+    // Processes of g1 are addressed by everything: their sequences are the
+    // total order every other process's projection must agree with.
+    let reference: Vec<_> = cluster
+        .delivered(ProcessId(2))
+        .iter()
+        .map(|m| m.id)
+        .collect();
+    assert_eq!(reference.len(), 12, "g1 delivers every cast exactly once");
+    let seq3: Vec<_> = cluster
+        .delivered(ProcessId(3))
+        .iter()
+        .map(|m| m.id)
+        .collect();
+    assert_eq!(seq3, reference, "g1 members agree");
+    for p in cluster.topology().processes() {
+        let seq: Vec<_> = cluster.delivered(p).iter().map(|m| m.id).collect();
+        let projected: Vec<_> = reference
+            .iter()
+            .copied()
+            .filter(|id| seq.contains(id))
+            .collect();
+        assert_eq!(seq, projected, "{p}'s order must project from g1's");
+    }
+    cluster.shutdown();
+}

@@ -9,6 +9,75 @@
 use crate::{DeliveryRecord, RunMetrics};
 use wamcast_types::{MessageId, ProcessId, SimTime, Topology};
 
+/// Which specification variant a protocol stack *declares* — the checker
+/// selection knob the stack registry (`wamcast-harness`) attaches to every
+/// hosted arm.
+///
+/// The §2.2 suite is not one-size-fits-all: a broadcast-only baseline that
+/// sends every message to every process satisfies genuineness vacuously
+/// (checking it would prove nothing), and a non-uniform algorithm is
+/// *allowed* to let a crashed process's delivery prefix diverge. A run is
+/// therefore judged against what its protocol promises —
+/// [`check_with_profile`] — rather than against the strongest property set
+/// only the paper's algorithms claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvariantProfile {
+    /// `true`: the §2.2 *uniform* suite (agreement and prefix order bind
+    /// even processes that later crashed). `false`: the non-uniform suite
+    /// ([`check_all_nonuniform`]) — agreement/prefix order quantified over
+    /// correct processes only.
+    pub uniform: bool,
+    /// `true`: the stack claims genuineness (§2.2) and
+    /// [`check_genuineness`] runs against the workload. `false` for
+    /// broadcast-only algorithms, where every process is involved in every
+    /// message by construction.
+    pub genuine: bool,
+}
+
+impl InvariantProfile {
+    /// Genuine multicast with uniform §2.2 properties (A1, Skeen, ring…).
+    pub const GENUINE_UNIFORM: InvariantProfile = InvariantProfile {
+        uniform: true,
+        genuine: true,
+    };
+    /// Genuine multicast with non-uniform agreement/order.
+    pub const GENUINE_NONUNIFORM: InvariantProfile = InvariantProfile {
+        uniform: false,
+        genuine: true,
+    };
+    /// Broadcast-only, uniform (A2, uniform sequencers).
+    pub const BROADCAST_UNIFORM: InvariantProfile = InvariantProfile {
+        uniform: true,
+        genuine: false,
+    };
+    /// Broadcast-only, non-uniform (optimistic sequencers).
+    pub const BROADCAST_NONUNIFORM: InvariantProfile = InvariantProfile {
+        uniform: false,
+        genuine: false,
+    };
+}
+
+/// Runs the checker set a stack's [`InvariantProfile`] declares: the
+/// uniform or non-uniform §2.2 suite, plus genuineness when claimed. This
+/// is the single entry point the harness calls for every registry arm.
+pub fn check_with_profile(
+    topo: &Topology,
+    m: &RunMetrics,
+    correct: &[ProcessId],
+    profile: InvariantProfile,
+) -> InvariantReport {
+    let base = if profile.uniform {
+        check_all(topo, m, correct)
+    } else {
+        check_all_nonuniform(topo, m, correct)
+    };
+    if profile.genuine {
+        base.merge(check_genuineness(topo, m))
+    } else {
+        base
+    }
+}
+
 /// Outcome of checking one run against the specification.
 #[derive(Clone, Debug, Default)]
 pub struct InvariantReport {
@@ -537,6 +606,56 @@ mod tests {
             "uniform suite flags it"
         );
         check_all_nonuniform(&topo, &m, &correct).assert_ok();
+    }
+
+    #[test]
+    fn profile_selects_checker_strength() {
+        // A run where only the later-crashed p0 delivered, with bystander
+        // traffic from a third process: the genuine-uniform profile flags
+        // both uniform agreement and genuineness, the broadcast-nonuniform
+        // profile flags neither.
+        let topo = Topology::symmetric(3, 1);
+        let mut m = RunMetrics::new(3);
+        m.casts.insert(
+            mid(0, 0),
+            CastRecord {
+                caster: ProcessId(0),
+                dest: GroupSet::first_n(2),
+                time: SimTime::ZERO,
+                stamp: 0,
+            },
+        );
+        m.deliveries.entry(mid(0, 0)).or_default().insert(
+            ProcessId(0),
+            DeliveryRecord {
+                time: SimTime::from_millis(1),
+                stamp: 1,
+            },
+        );
+        m.delivered_seq[0].push(mid(0, 0));
+        m.sent_any[2] = true; // p2 is a bystander yet sent something
+        let correct = vec![ProcessId(1)]; // p0 crashed after delivering
+        let strict = check_with_profile(&topo, &m, &correct, InvariantProfile::GENUINE_UNIFORM);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| v.contains("uniform agreement")));
+        assert!(strict.violations.iter().any(|v| v.contains("genuineness")));
+        let weak = check_with_profile(&topo, &m, &correct, InvariantProfile::BROADCAST_NONUNIFORM);
+        weak.assert_ok();
+        // The two middle profiles each flag exactly one of the two.
+        assert_eq!(
+            check_with_profile(&topo, &m, &correct, InvariantProfile::BROADCAST_UNIFORM)
+                .violations
+                .len(),
+            1
+        );
+        assert_eq!(
+            check_with_profile(&topo, &m, &correct, InvariantProfile::GENUINE_NONUNIFORM)
+                .violations
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod metrics;
 pub mod queue;
 mod runtime;
 
-pub use invariants::InvariantReport;
+pub use invariants::{InvariantProfile, InvariantReport};
 pub use latency::{LatencyModel, NetConfig};
 pub use metrics::{CastRecord, DeliveryRecord, RunMetrics, SendRecord};
 pub use queue::BucketQueue;
