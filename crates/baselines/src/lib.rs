@@ -43,6 +43,7 @@ pub mod ring;
 pub mod rodrigues;
 pub mod sequencer;
 pub mod skeen;
+mod wire;
 
 pub use detmerge::DeterministicMerge;
 pub use fritzke::{fritzke_config, fritzke_multicast};

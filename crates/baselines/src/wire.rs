@@ -1,0 +1,318 @@
+//! Wire codecs for every baseline protocol's messages, so the TCP runtime
+//! can host the Figure 1 baselines exactly like the paper's algorithms.
+//! Tag values are part of the wire format; renumbering is a protocol break.
+
+use crate::detmerge::MergeMsg;
+use crate::optimistic::OptimisticMsg;
+use crate::ring::{RingMsg, RingStep};
+use crate::rodrigues::RodriguesMsg;
+use crate::sequencer::SequencerMsg;
+use crate::skeen::SkeenMsg;
+use wamcast_consensus::ConsensusMsg;
+use wamcast_types::wire::{Wire, WireError, WireReader, WireWriter};
+use wamcast_types::{AppMessage, MessageId};
+
+impl Wire for SkeenMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            SkeenMsg::Data(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            SkeenMsg::Propose { id, ts } => {
+                w.u8(1);
+                id.encode(w);
+                w.u64(*ts);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SkeenMsg::Data(AppMessage::decode(r)?)),
+            1 => Ok(SkeenMsg::Propose {
+                id: MessageId::decode(r)?,
+                ts: r.u64()?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "SkeenMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for RingStep {
+    fn encode(&self, w: &mut WireWriter) {
+        self.msg.encode(w);
+        w.u64(self.ts);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let msg = AppMessage::decode(r)?;
+        let ts = r.u64()?;
+        Ok(RingStep { msg, ts })
+    }
+}
+
+impl Wire for RingMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RingMsg::Enter { msg, ts } => {
+                w.u8(0);
+                msg.encode(w);
+                w.u64(*ts);
+            }
+            RingMsg::Cons(c) => {
+                w.u8(1);
+                c.encode(w);
+            }
+            RingMsg::Final { msg, ts } => {
+                w.u8(2);
+                msg.encode(w);
+                w.u64(*ts);
+            }
+            RingMsg::FinalAck { id } => {
+                w.u8(3);
+                id.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RingMsg::Enter {
+                msg: AppMessage::decode(r)?,
+                ts: r.u64()?,
+            }),
+            1 => Ok(RingMsg::Cons(ConsensusMsg::<RingStep>::decode(r)?)),
+            2 => Ok(RingMsg::Final {
+                msg: AppMessage::decode(r)?,
+                ts: r.u64()?,
+            }),
+            3 => Ok(RingMsg::FinalAck {
+                id: MessageId::decode(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "RingMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for RodriguesMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RodriguesMsg::Data(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            RodriguesMsg::Ts { id, ts } => {
+                w.u8(1);
+                id.encode(w);
+                w.u64(*ts);
+            }
+            RodriguesMsg::Cons { id, msg } => {
+                w.u8(2);
+                id.encode(w);
+                msg.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RodriguesMsg::Data(AppMessage::decode(r)?)),
+            1 => Ok(RodriguesMsg::Ts {
+                id: MessageId::decode(r)?,
+                ts: r.u64()?,
+            }),
+            2 => Ok(RodriguesMsg::Cons {
+                id: MessageId::decode(r)?,
+                msg: ConsensusMsg::<u64>::decode(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "RodriguesMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for SequencerMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            SequencerMsg::Data(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            SequencerMsg::Assign { id, n } => {
+                w.u8(1);
+                id.encode(w);
+                w.u64(*n);
+            }
+            SequencerMsg::Vote { id } => {
+                w.u8(2);
+                id.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SequencerMsg::Data(AppMessage::decode(r)?)),
+            1 => Ok(SequencerMsg::Assign {
+                id: MessageId::decode(r)?,
+                n: r.u64()?,
+            }),
+            2 => Ok(SequencerMsg::Vote {
+                id: MessageId::decode(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "SequencerMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for OptimisticMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            OptimisticMsg::Data(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            OptimisticMsg::Seq { id, n } => {
+                w.u8(1);
+                id.encode(w);
+                w.u64(*n);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(OptimisticMsg::Data(AppMessage::decode(r)?)),
+            1 => Ok(OptimisticMsg::Seq {
+                id: MessageId::decode(r)?,
+                n: r.u64()?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "OptimisticMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for MergeMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            MergeMsg::Pub { msg, ts } => {
+                w.u8(0);
+                msg.encode(w);
+                w.u64(*ts);
+            }
+            MergeMsg::Null { ts } => {
+                w.u8(1);
+                w.u64(*ts);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(MergeMsg::Pub {
+                msg: AppMessage::decode(r)?,
+                ts: r.u64()?,
+            }),
+            1 => Ok(MergeMsg::Null { ts: r.u64()? }),
+            tag => Err(WireError::UnknownTag {
+                what: "MergeMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_consensus::Ballot;
+    use wamcast_types::{GroupSet, Payload, ProcessId};
+
+    fn msg(seq: u64) -> AppMessage {
+        AppMessage::new(
+            MessageId::new(ProcessId(1), seq),
+            GroupSet::first_n(2),
+            Payload::from(vec![7; 2]),
+        )
+    }
+
+    #[test]
+    fn baseline_messages_roundtrip() {
+        let id = MessageId::new(ProcessId(3), 8);
+        let skeen = vec![SkeenMsg::Data(msg(0)), SkeenMsg::Propose { id, ts: 5 }];
+        for m in skeen {
+            assert_eq!(SkeenMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        let ring = vec![
+            RingMsg::Enter { msg: msg(1), ts: 0 },
+            RingMsg::Cons(ConsensusMsg::Accept {
+                instance: 1,
+                ballot: Ballot::zero(ProcessId(0)),
+                value: RingStep { msg: msg(2), ts: 3 },
+            }),
+            RingMsg::Final { msg: msg(3), ts: 9 },
+            RingMsg::FinalAck { id },
+        ];
+        for m in ring {
+            assert_eq!(RingMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        let rod = vec![
+            RodriguesMsg::Data(msg(4)),
+            RodriguesMsg::Ts { id, ts: 2 },
+            RodriguesMsg::Cons {
+                id,
+                msg: ConsensusMsg::Decide {
+                    instance: 0,
+                    value: 11,
+                },
+            },
+        ];
+        for m in rod {
+            assert_eq!(RodriguesMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        let seqr = vec![
+            SequencerMsg::Data(msg(5)),
+            SequencerMsg::Assign { id, n: 4 },
+            SequencerMsg::Vote { id },
+        ];
+        for m in seqr {
+            assert_eq!(SequencerMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        let opt = vec![OptimisticMsg::Data(msg(6)), OptimisticMsg::Seq { id, n: 1 }];
+        for m in opt {
+            assert_eq!(OptimisticMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        let merge = vec![
+            MergeMsg::Pub { msg: msg(7), ts: 3 },
+            MergeMsg::Null { ts: 4 },
+        ];
+        for m in merge {
+            assert_eq!(MergeMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(SkeenMsg::from_wire(&[9]).is_err());
+        assert!(RingMsg::from_wire(&[9]).is_err());
+        assert!(RodriguesMsg::from_wire(&[9]).is_err());
+        assert!(SequencerMsg::from_wire(&[9]).is_err());
+        assert!(OptimisticMsg::from_wire(&[9]).is_err());
+        assert!(MergeMsg::from_wire(&[9]).is_err());
+    }
+}

@@ -35,6 +35,7 @@
 
 mod fd;
 mod paxos;
+mod wire;
 
 pub use fd::{FdConfig, FdEvent, HeartbeatFd};
 pub use paxos::{Ballot, ConsensusMsg, GroupConsensus, MergeFn, MsgSink, Value};

@@ -1,0 +1,172 @@
+//! Wire codec for the consensus engine's messages.
+//!
+//! See `wamcast_types::wire` for the format rules (fixed-width LE,
+//! length-prefixed sequences, leading tag bytes on enums). Tag values are
+//! part of the wire format: renumbering them is a protocol break and must
+//! bump `wamcast_types::wire::VERSION`.
+
+use crate::{Ballot, ConsensusMsg};
+use wamcast_types::wire::{Wire, WireError, WireReader, WireWriter};
+use wamcast_types::ProcessId;
+
+impl Wire for Ballot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.round);
+        self.owner.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let round = r.u64()?;
+        let owner = ProcessId::decode(r)?;
+        Ok(Ballot { round, owner })
+    }
+}
+
+impl<V: Wire> Wire for ConsensusMsg<V> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ConsensusMsg::Forward { instance, value } => {
+                w.u8(0);
+                w.u64(*instance);
+                value.encode(w);
+            }
+            ConsensusMsg::Prepare { instance, ballot } => {
+                w.u8(1);
+                w.u64(*instance);
+                ballot.encode(w);
+            }
+            ConsensusMsg::Promise {
+                instance,
+                ballot,
+                accepted,
+            } => {
+                w.u8(2);
+                w.u64(*instance);
+                ballot.encode(w);
+                accepted.encode(w);
+            }
+            ConsensusMsg::Accept {
+                instance,
+                ballot,
+                value,
+            } => {
+                w.u8(3);
+                w.u64(*instance);
+                ballot.encode(w);
+                value.encode(w);
+            }
+            ConsensusMsg::Accepted {
+                instance,
+                ballot,
+                value,
+            } => {
+                w.u8(4);
+                w.u64(*instance);
+                ballot.encode(w);
+                value.encode(w);
+            }
+            ConsensusMsg::Decide { instance, value } => {
+                w.u8(5);
+                w.u64(*instance);
+                value.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ConsensusMsg::Forward {
+                instance: r.u64()?,
+                value: V::decode(r)?,
+            }),
+            1 => Ok(ConsensusMsg::Prepare {
+                instance: r.u64()?,
+                ballot: Ballot::decode(r)?,
+            }),
+            2 => Ok(ConsensusMsg::Promise {
+                instance: r.u64()?,
+                ballot: Ballot::decode(r)?,
+                accepted: Option::<(Ballot, V)>::decode(r)?,
+            }),
+            3 => Ok(ConsensusMsg::Accept {
+                instance: r.u64()?,
+                ballot: Ballot::decode(r)?,
+                value: V::decode(r)?,
+            }),
+            4 => Ok(ConsensusMsg::Accepted {
+                instance: r.u64()?,
+                ballot: Ballot::decode(r)?,
+                value: V::decode(r)?,
+            }),
+            5 => Ok(ConsensusMsg::Decide {
+                instance: r.u64()?,
+                value: V::decode(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "ConsensusMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let b = Ballot {
+            round: 3,
+            owner: ProcessId(2),
+        };
+        let msgs: Vec<ConsensusMsg<u64>> = vec![
+            ConsensusMsg::Forward {
+                instance: 1,
+                value: 42,
+            },
+            ConsensusMsg::Prepare {
+                instance: 2,
+                ballot: b,
+            },
+            ConsensusMsg::Promise {
+                instance: 3,
+                ballot: b,
+                accepted: None,
+            },
+            ConsensusMsg::Promise {
+                instance: 3,
+                ballot: b,
+                accepted: Some((Ballot::zero(ProcessId(0)), 7)),
+            },
+            ConsensusMsg::Accept {
+                instance: 4,
+                ballot: b,
+                value: 9,
+            },
+            ConsensusMsg::Accepted {
+                instance: 5,
+                ballot: b,
+                value: 9,
+            },
+            ConsensusMsg::Decide {
+                instance: 6,
+                value: 10,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(ConsensusMsg::<u64>::from_wire(&m.to_wire()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            ConsensusMsg::<u64>::from_wire(&[200]),
+            Err(WireError::UnknownTag {
+                what: "ConsensusMsg",
+                tag: 200
+            })
+        );
+    }
+}

@@ -40,6 +40,7 @@
 pub mod abcast;
 pub mod amcast;
 pub mod apply;
+mod wire;
 
 pub use abcast::{merge_bundles, BroadcastMsg, RoundBroadcast, RoundBundle};
 pub use amcast::nongenuine::NonGenuineMulticast;

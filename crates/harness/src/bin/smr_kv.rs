@@ -13,6 +13,7 @@
 //!        [--cross-pct P] [--batch B] [--seed S] [--runs R]
 //!        [--faulty]          # compile a fault plan from each seed
 //!        [--net]             # threaded wamcast-net cluster (clean links)
+//!        [--tcp]             # spawn one OS process per replica (peer bin)
 //!        [--inject-bug]      # plant the lost-apply defect; must be caught
 //!        [--replay --seed S [--plan-hash H]]   # reproduce one faulty run
 //! ```
@@ -23,11 +24,14 @@
 //! way `scenario_fuzz` does, so a changed fault distribution is detected
 //! instead of silently replaying a different adversary.
 
-use std::process::ExitCode;
-use std::time::Duration;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
 use wamcast_harness::cli::{self, CommonArgs};
 use wamcast_harness::smr::{run_smr_net, run_smr_sim, InjectedBug, SmrConfig, SmrOutcome};
+use wamcast_harness::tcp_host::{self, run_smr_tcp, TcpRunConfig, SMR_ARM};
 use wamcast_harness::Table;
+use wamcast_net::tcp::TcpClient;
 use wamcast_sim::{FaultConfig, FaultPlan};
 use wamcast_types::{BatchConfig, Topology};
 
@@ -40,6 +44,7 @@ struct KvArgs {
     batch: usize,
     faulty: bool,
     net: bool,
+    tcp: bool,
 }
 
 fn main() -> ExitCode {
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         batch: 1,
         faulty: false,
         net: false,
+        tcp: false,
     };
     let parsed = cli::parse_common(1, "smr-kv-failure.txt", |flag, grab| {
         match flag {
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
             "--batch" => kv.batch = cli::parse_u64(flag, &grab(flag)?)? as usize,
             "--faulty" => kv.faulty = true,
             "--net" => kv.net = true,
+            "--tcp" => kv.tcp = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -74,6 +81,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if kv.tcp && (kv.net || kv.faulty || args.inject_bug || args.replay) {
+        eprintln!(
+            "smr_kv: --tcp spawns live peer processes on clean links; it combines with none of \
+             --net, --faulty, --inject-bug, --replay"
+        );
+        return ExitCode::from(2);
+    }
     if kv.net && kv.faulty {
         eprintln!(
             "smr_kv: --net runs on clean links; drop --faulty (replayable fault runs are \
@@ -105,6 +119,142 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Reserves `n` distinct localhost ports by binding and dropping. A small
+/// race window exists before the peers re-bind; acceptable for a driver
+/// that owns the whole cluster lifecycle.
+fn free_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}")))
+        .collect::<Result<_, _>>()?;
+    holds
+        .iter()
+        .map(|l| l.local_addr().map_err(|e| format!("reserve port: {e}")))
+        .collect()
+}
+
+/// Locates the `peer` binary next to the running `smr_kv` executable
+/// (cargo puts workspace binaries in one target directory).
+fn peer_binary() -> Result<std::path::PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent dir")?;
+    let peer = dir.join(format!("peer{}", std::env::consts::EXE_SUFFIX));
+    if peer.is_file() {
+        Ok(peer)
+    } else {
+        Err(format!(
+            "peer binary not found at {} (build it: cargo build -p wamcast-harness --bins)",
+            peer.display()
+        ))
+    }
+}
+
+/// The spawned cluster: shut down gracefully first, `kill` stragglers.
+struct PeerProcs {
+    addrs: Vec<SocketAddr>,
+    children: Vec<Child>,
+}
+
+impl PeerProcs {
+    fn shutdown(mut self) {
+        for addr in &self.addrs {
+            let mut c = TcpClient::new(*addr, SMR_ARM, Duration::from_millis(500));
+            let _ = c.shutdown_peer();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawns one `peer --smr` process per replica and waits until every one
+/// answers its control plane.
+fn spawn_tcp_cluster(kv: &KvArgs, seed: u64) -> Result<PeerProcs, String> {
+    let n = kv.groups * kv.procs;
+    let addrs = free_addrs(n)?;
+    let addr_list = addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let peer_bin = peer_binary()?;
+    let mut children = Vec::with_capacity(n);
+    for i in 0..n {
+        let child = Command::new(&peer_bin)
+            .args([
+                "--smr",
+                "--me",
+                &i.to_string(),
+                "--groups",
+                &kv.groups.to_string(),
+                "--procs",
+                &kv.procs.to_string(),
+                "--batch",
+                &kv.batch.to_string(),
+                "--seed",
+                &seed.to_string(),
+                "--addrs",
+                &addr_list,
+            ])
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn peer {i}: {e}"));
+        match child {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                PeerProcs { addrs, children }.shutdown();
+                return Err(e);
+            }
+        }
+    }
+    let procs = PeerProcs { addrs, children };
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let laggard = procs.addrs.iter().find_map(|addr| {
+        let mut c = TcpClient::new(*addr, SMR_ARM, Duration::from_millis(500));
+        loop {
+            if tcp_host::fetch_replica_log(&mut c).is_ok() {
+                return None;
+            }
+            if Instant::now() > deadline {
+                return Some(*addr);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    if let Some(addr) = laggard {
+        procs.shutdown();
+        return Err(format!("peer at {addr} never became ready"));
+    }
+    Ok(procs)
+}
+
+fn run_tcp(kv: &KvArgs, cfg: &SmrConfig, seed: u64) -> Result<SmrOutcome, String> {
+    let procs = spawn_tcp_cluster(kv, seed)?;
+    let out = run_smr_tcp(&TcpRunConfig {
+        shape: (kv.groups, kv.procs),
+        addrs: procs.addrs.clone(),
+        smr: cfg.clone(),
+        seed,
+        op_timeout: Duration::from_secs(20),
+        exclude: Vec::new(),
+        expect_all_commit: true,
+    });
+    procs.shutdown();
+    Ok(out)
 }
 
 fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
@@ -156,14 +306,24 @@ fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
         },
         seed,
         if kv.faulty { ", fault plan on" } else { "" },
-        if kv.net {
+        if kv.tcp {
+            " — multi-process TCP runtime"
+        } else if kv.net {
             " — threaded wamcast-net runtime"
         } else {
             " — deterministic simulator"
         },
     );
 
-    let out = if kv.net {
+    let out = if kv.tcp {
+        match run_tcp(kv, &cfg, seed) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("smr_kv: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else if kv.net {
         run_smr_net(shape, &cfg, seed, Duration::from_secs(20))
     } else {
         run_smr_sim(shape, &plan, &cfg, seed, bug)
@@ -191,6 +351,9 @@ fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
     }
     if kv.net {
         replay.push_str(" --net");
+    }
+    if kv.tcp {
+        replay.push_str(" --tcp");
     }
     if args.inject_bug {
         replay.push_str(" --inject-bug");
@@ -232,7 +395,7 @@ fn print_table(kv: &KvArgs, out: &SmrOutcome) {
         out.unresponded.to_string(),
         cross.to_string(),
         format!("{:.1} ms", out.mean_latency.as_secs_f64() * 1e3),
-        if kv.net {
+        if kv.net || kv.tcp {
             "-".into()
         } else {
             format!("{:.1}", out.sends_per_op())

@@ -34,6 +34,7 @@ pub mod scenario;
 pub mod smr;
 pub mod sweeps;
 pub mod table;
+pub mod tcp_host;
 pub mod throughput;
 pub mod workload;
 
@@ -46,4 +47,5 @@ pub use smr::{
     SmrOutcome, SmrThroughputCell,
 };
 pub use table::Table;
+pub use tcp_host::{run_smr_tcp, spawn_smr_peer, KvPeer, TcpRunConfig, SMR_ARM};
 pub use throughput::{throughput_once, throughput_sweep, ThroughputCell};

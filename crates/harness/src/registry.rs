@@ -38,14 +38,17 @@
 use crate::measure::{measure_broadcast_steady, measure_one_multicast};
 use crate::scenario::{self, RunSpec, ScenarioOutcome, RETRY_INTERVAL};
 use std::fmt;
-use std::sync::OnceLock;
+use std::io;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use wamcast_baselines::{
     fritzke_config, OptimisticBroadcast, RingMulticast, RodriguesMulticast, SequencerBroadcast,
     SkeenMulticast,
 };
 use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_net::tcp::{self, Service, SharedDeliveries, TcpNode, TcpNodeConfig};
 use wamcast_sim::{FaultPlan, InvariantProfile, NetConfig, RunMetrics};
+use wamcast_types::wire::Wire;
 use wamcast_types::{BatchConfig, Protocol, SimTime};
 
 /// Arms `[0, DEFAULT_ROTATION_LEN)` of the table are the default fuzz
@@ -151,6 +154,8 @@ pub struct ArmProbe {
 type ScenarioRunner =
     Box<dyn Fn(&RunSpec, Option<u64>) -> (ScenarioOutcome, RunMetrics) + Send + Sync>;
 type ProbeRunner = Box<dyn Fn(usize, usize) -> ArmProbe + Send + Sync>;
+type TcpRunner =
+    Box<dyn Fn(TcpNodeConfig, SharedDeliveries, Service) -> io::Result<TcpNode> + Send + Sync>;
 
 /// One named, constructible protocol stack. See the module docs; values
 /// live only inside the process-wide [`StackRegistry`] table and are
@@ -168,6 +173,7 @@ pub struct ProtocolArm {
     smr: Option<Option<BatchConfig>>,
     run: ScenarioRunner,
     probe: ProbeRunner,
+    tcp: TcpRunner,
 }
 
 impl fmt::Debug for ProtocolArm {
@@ -239,6 +245,27 @@ impl ProtocolArm {
     pub fn probe(&self, k: usize, d: usize) -> ArmProbe {
         (self.probe)(k, d)
     }
+
+    /// Hosts this arm's fuzz stack (retransmission on, where the arm
+    /// supports it) as one TCP-served node of a multi-process cluster.
+    /// Every registered arm gets socket hosting through this one method —
+    /// the same constructor closure the fuzz runner monomorphizes is what
+    /// serves here, so an arm can never behave differently on sockets than
+    /// under the simulator for construction reasons. `cfg.arm` should be
+    /// [`StackRegistry::id_of`] for this arm so envelopes are stamped
+    /// consistently cluster-wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error binding the node's listen address.
+    pub fn serve_tcp(
+        &self,
+        cfg: TcpNodeConfig,
+        delivered: SharedDeliveries,
+        service: Service,
+    ) -> io::Result<TcpNode> {
+        (self.tcp)(cfg, delivered, service)
+    }
 }
 
 /// Metadata of one arm, separated from the constructors for readability
@@ -260,11 +287,16 @@ struct ArmMeta {
 /// point — every hosted protocol enters the registry through here.
 fn arm<P, FF, PF>(meta: ArmMeta, fuzz: FF, probe: PF) -> ProtocolArm
 where
-    P: Protocol,
+    P: Protocol + Send + 'static,
+    P::Msg: Wire,
     FF: Fn(wamcast_types::ProcessId, &wamcast_types::Topology) -> P + Send + Sync + 'static,
     PF: Fn(wamcast_types::ProcessId, &wamcast_types::Topology) -> P + Send + Sync + 'static,
 {
     let workload = meta.workload;
+    // The fuzz constructor is shared: the scenario runner and the TCP host
+    // must build byte-identical stacks.
+    let fuzz = Arc::new(fuzz);
+    let fuzz_tcp = Arc::clone(&fuzz);
     ProtocolArm {
         name: meta.name,
         algorithm: meta.algorithm,
@@ -275,6 +307,10 @@ where
         paper_msgs: meta.paper_msgs,
         smr: meta.smr,
         run: Box::new(move |spec, broken| scenario::drive_arm(spec, broken, |p, t| fuzz(p, t))),
+        tcp: Box::new(move |cfg, delivered, service| {
+            let proto = fuzz_tcp(cfg.me, &cfg.topo);
+            tcp::serve(cfg, proto, delivered, service)
+        }),
         probe: Box::new(move |k, d| match workload {
             WorkloadShape::Multicast => {
                 let r = measure_one_multicast(
@@ -515,6 +551,26 @@ impl StackRegistry {
         self.arms.iter().find(|a| a.name == name)
     }
 
+    /// The wire arm id of `arm`: its registry table index, stamped into
+    /// every TCP envelope so peers of different arms reject each other's
+    /// traffic at decode time. Stable as long as arms are only appended
+    /// (the same growth invariant the default rotation relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is not a handle from this registry.
+    pub fn id_of(&'static self, arm: &'static ProtocolArm) -> u8 {
+        self.arms
+            .iter()
+            .position(|a| std::ptr::eq(a, arm))
+            .expect("arm handle from a different registry") as u8
+    }
+
+    /// Resolves a wire arm id back to its registry arm.
+    pub fn by_id(&'static self, id: u8) -> Option<&'static ProtocolArm> {
+        self.arms.get(id as usize)
+    }
+
     /// Parses a `--arms` value: `default`, `all`, or a comma-separated
     /// list of arm names (e.g. `a1,ring,skeen`).
     ///
@@ -617,6 +673,44 @@ mod tests {
         let quiet = FaultTolerance::FailureFree.restrict(plan);
         assert!(quiet.crashes.is_empty());
         assert_eq!(quiet.duplicates.len(), 1);
+    }
+
+    #[test]
+    fn arm_ids_roundtrip_through_the_table() {
+        let reg = StackRegistry::standard();
+        for arm in reg.arms() {
+            let id = reg.id_of(arm);
+            assert!(std::ptr::eq(reg.by_id(id).expect("id resolves"), arm));
+        }
+        assert!(reg.by_id(reg.arms().count() as u8).is_none());
+    }
+
+    #[test]
+    fn every_arm_is_tcp_hostable() {
+        // Socket hosting comes for free through the single `arm()`
+        // monomorphization point: each registered arm must serve on a real
+        // listener and shut down cleanly.
+        use std::sync::Mutex;
+        use wamcast_net::tcp::null_service;
+        let reg = StackRegistry::standard();
+        let topo = std::sync::Arc::new(wamcast_types::Topology::symmetric(1, 1));
+        for arm in reg.arms() {
+            let node = arm
+                .serve_tcp(
+                    TcpNodeConfig {
+                        me: wamcast_types::ProcessId(0),
+                        topo: std::sync::Arc::clone(&topo),
+                        addrs: vec!["127.0.0.1:0".parse().expect("addr")],
+                        arm: reg.id_of(arm),
+                        faults: None,
+                    },
+                    std::sync::Arc::new(Mutex::new(Vec::new())),
+                    null_service(),
+                )
+                .unwrap_or_else(|e| panic!("arm {} failed to serve: {e}", arm.name()));
+            assert_ne!(node.local_addr().port(), 0);
+            node.shutdown();
+        }
     }
 
     #[test]

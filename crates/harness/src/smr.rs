@@ -168,8 +168,10 @@ impl SmrOutcome {
 }
 
 /// Deterministic per-client command generator (key skew + cross-shard
-/// ratio), independent of the simulator's randomness stream.
-struct OpGen {
+/// ratio), independent of the simulator's randomness stream. Shared with
+/// the TCP driver (`crate::tcp_host`) so every runtime offers the same
+/// workload for the same seed.
+pub(crate) struct OpGen {
     rng: SplitMix64,
     shards: ShardMap,
     key_space: u64,
@@ -178,7 +180,7 @@ struct OpGen {
 }
 
 impl OpGen {
-    fn new(cfg: &SmrConfig, shards: ShardMap, seed: u64, client: usize) -> Self {
+    pub(crate) fn new(cfg: &SmrConfig, shards: ShardMap, seed: u64, client: usize) -> Self {
         OpGen {
             // Distinct golden-ratio-offset stream per client.
             rng: SplitMix64::new(seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -197,7 +199,7 @@ impl OpGen {
         }
     }
 
-    fn next(&mut self) -> Command {
+    pub(crate) fn next(&mut self) -> Command {
         let k = self.shards.num_shards() as u64;
         if k > 1 && self.rng.next_below(100) < u64::from(self.cross_shard_pct) {
             // Two distinct shards, keys pinned to each.
@@ -532,7 +534,7 @@ fn multicast_config(cfg: &SmrConfig) -> MulticastConfig {
     a1_stack_config(cfg.batch, cfg.retry)
 }
 
-fn mean_response_latency(hist: &History) -> Duration {
+pub(crate) fn mean_response_latency(hist: &History) -> Duration {
     let mut total = Duration::ZERO;
     let mut n = 0u32;
     for op in &hist.ops {

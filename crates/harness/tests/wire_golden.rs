@@ -1,0 +1,269 @@
+//! Golden wire-format corpus: one canonical sealed frame per message
+//! type, pinned as checked-in hex.
+//!
+//! The fuzz tier (`wire_fuzz.rs`) proves `decode ∘ encode = id` *today*;
+//! this tier proves the byte format does not drift *across commits* —
+//! a peer built from last month's binary must still interoperate with
+//! one built today. Any intentional format change (which must come with
+//! a `VERSION` bump) is blessed explicitly:
+//!
+//! ```text
+//! WAMCAST_BLESS=1 cargo test -p wamcast-harness --test wire_golden
+//! ```
+//!
+//! Each corpus line is `name <hex-of-sealed-frame>`. The test checks
+//! both directions: the canonical value must re-encode to the pinned
+//! bytes, and the pinned bytes must decode back to the canonical value.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use wamcast_baselines::detmerge::MergeMsg;
+use wamcast_baselines::optimistic::OptimisticMsg;
+use wamcast_baselines::ring::{RingMsg, RingStep};
+use wamcast_baselines::rodrigues::RodriguesMsg;
+use wamcast_baselines::sequencer::SequencerMsg;
+use wamcast_baselines::skeen::SkeenMsg;
+use wamcast_consensus::{Ballot, ConsensusMsg};
+use wamcast_core::{BroadcastMsg, MsgEntry, MulticastMsg, Stage};
+use wamcast_net::tcp::Frame;
+use wamcast_rmcast::RmcastMsg;
+use wamcast_smr::{AppliedOp, ReplicaLog, Response};
+use wamcast_types::wire::{self, Wire};
+use wamcast_types::{AppMessage, GroupId, GroupSet, MessageId, Payload, ProcessId};
+
+/// Pinned `name hex` lines. Regenerate with `WAMCAST_BLESS=1`.
+const GOLDEN: &str = include_str!("golden_wire_corpus.txt");
+
+/// The arm id every corpus frame is sealed under (arbitrary but pinned:
+/// changing it is itself a format change).
+const ARM: u8 = 0x07;
+
+fn mid() -> MessageId {
+    MessageId::new(ProcessId(3), 41)
+}
+
+fn app() -> AppMessage {
+    AppMessage::new(
+        mid(),
+        GroupSet::from_bits(0b101),
+        Payload::from(vec![0xDE, 0xAD, 0xBE, 0xEF]),
+    )
+}
+
+fn ballot() -> Ballot {
+    Ballot {
+        round: 7,
+        owner: ProcessId(2),
+    }
+}
+
+fn entry() -> MsgEntry {
+    MsgEntry {
+        msg: app(),
+        ts: 99,
+        stage: Stage::S2,
+    }
+}
+
+fn applied() -> AppliedOp {
+    AppliedOp {
+        id: mid(),
+        dest: GroupSet::from_bits(0b11),
+        response: Response::Prev(Some(-5)),
+    }
+}
+
+/// One canonical instance per wire type, sealed and hex-dumped.
+fn corpus_lines() -> String {
+    fn line<T: Wire>(out: &mut String, name: &str, v: &T) {
+        let mut hex = String::new();
+        for b in wire::seal(ARM, v) {
+            write!(hex, "{b:02x}").expect("write to String");
+        }
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&hex);
+        out.push('\n');
+    }
+
+    let mut out = String::new();
+    line(&mut out, "ProcessId", &ProcessId(3));
+    line(&mut out, "GroupId", &GroupId(2));
+    line(&mut out, "GroupSet", &GroupSet::from_bits(0b101));
+    line(&mut out, "MessageId", &mid());
+    line(&mut out, "Payload", &Payload::from(vec![1, 2, 3]));
+    line(&mut out, "AppMessage", &app());
+    line(&mut out, "Ballot", &ballot());
+    line(
+        &mut out,
+        "ConsensusMsg.Promise",
+        &ConsensusMsg::Promise {
+            instance: 5,
+            ballot: ballot(),
+            accepted: Some((Ballot::zero(ProcessId(1)), 17u64)),
+        },
+    );
+    line(&mut out, "RmcastMsg.Data", &RmcastMsg::Data(app()));
+    line(&mut out, "RmcastMsg.Ack", &RmcastMsg::Ack(mid()));
+    line(&mut out, "MsgEntry", &entry());
+    line(
+        &mut out,
+        "MulticastMsg.Ts",
+        &MulticastMsg::Ts(Arc::new(vec![entry()])),
+    );
+    line(
+        &mut out,
+        "BroadcastMsg.Bundle",
+        &BroadcastMsg::Bundle {
+            round: 6,
+            msgs: Arc::new(vec![app()]),
+        },
+    );
+    line(
+        &mut out,
+        "SkeenMsg.Propose",
+        &SkeenMsg::Propose { id: mid(), ts: 12 },
+    );
+    line(
+        &mut out,
+        "RingMsg.Cons",
+        &RingMsg::Cons(ConsensusMsg::Decide {
+            instance: 2,
+            value: RingStep { msg: app(), ts: 8 },
+        }),
+    );
+    line(
+        &mut out,
+        "RodriguesMsg.Ts",
+        &RodriguesMsg::Ts { id: mid(), ts: 4 },
+    );
+    line(
+        &mut out,
+        "SequencerMsg.Assign",
+        &SequencerMsg::Assign { id: mid(), n: 9 },
+    );
+    line(
+        &mut out,
+        "OptimisticMsg.Seq",
+        &OptimisticMsg::Seq { id: mid(), n: 3 },
+    );
+    line(&mut out, "MergeMsg.Null", &MergeMsg::Null { ts: 11 });
+    line(&mut out, "Response.Prev", &Response::Prev(Some(-5)));
+    line(&mut out, "AppliedOp", &applied());
+    line(
+        &mut out,
+        "ReplicaLog",
+        &ReplicaLog {
+            process: ProcessId(1),
+            group: GroupId(0),
+            applied: vec![applied()],
+            digest: 0xABCD,
+            decode_errors: 0,
+        },
+    );
+    line(
+        &mut out,
+        "Frame.Peer",
+        &Frame::Peer {
+            from: ProcessId(1),
+            msg: MulticastMsg::Rm(RmcastMsg::Ack(mid())),
+        },
+    );
+    line(
+        &mut out,
+        "Frame.Cast",
+        &Frame::<MulticastMsg>::Cast {
+            seq: 77,
+            dest: GroupSet::from_bits(0b11),
+            payload: Payload::from(vec![9, 8]),
+        },
+    );
+    line(&mut out, "Frame.Shutdown", &Frame::<MulticastMsg>::Shutdown);
+    out
+}
+
+#[test]
+fn wire_format_matches_blessed_corpus() {
+    let got = corpus_lines();
+    if std::env::var_os("WAMCAST_BLESS").is_some() {
+        let path = format!(
+            "{}/tests/golden_wire_corpus.txt",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(&path, &got).expect("write goldens");
+        eprintln!("blessed {} corpus lines into {path}", got.lines().count());
+        return;
+    }
+    assert!(
+        !GOLDEN.trim().is_empty(),
+        "golden corpus missing — run with WAMCAST_BLESS=1 once"
+    );
+    for (g, n) in GOLDEN.lines().zip(got.lines()) {
+        let name = n.split(' ').next().unwrap_or("?");
+        assert_eq!(
+            g, n,
+            "wire format drifted for {name} — an intentional change needs a \
+             VERSION bump and a WAMCAST_BLESS=1 re-bless"
+        );
+    }
+    assert_eq!(GOLDEN, got, "corpus length changed");
+}
+
+/// The pinned bytes must also *decode* back to the canonical value — this
+/// is the direction that catches a decoder losing compatibility with
+/// frames produced by older builds.
+#[test]
+fn blessed_bytes_decode_to_canonical_values() {
+    fn bytes_for(name: &str) -> Vec<u8> {
+        let hex = GOLDEN
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("{name} missing from corpus — re-bless"));
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("corpus is valid hex"))
+            .collect()
+    }
+    fn check<T: Wire + PartialEq + std::fmt::Debug>(name: &str, want: &T) {
+        let got = wire::open::<T>(ARM, &bytes_for(name))
+            .unwrap_or_else(|e| panic!("{name}: blessed bytes no longer decode: {e}"));
+        assert_eq!(
+            &got, want,
+            "{name}: blessed bytes decode to a different value"
+        );
+    }
+    if GOLDEN.trim().is_empty() {
+        return; // first bless pending; the other test reports it
+    }
+    check("AppMessage", &app());
+    check("MsgEntry", &entry());
+    check(
+        "MulticastMsg.Ts",
+        &MulticastMsg::Ts(Arc::new(vec![entry()])),
+    );
+    check(
+        "BroadcastMsg.Bundle",
+        &BroadcastMsg::Bundle {
+            round: 6,
+            msgs: Arc::new(vec![app()]),
+        },
+    );
+    check(
+        "ReplicaLog",
+        &ReplicaLog {
+            process: ProcessId(1),
+            group: GroupId(0),
+            applied: vec![applied()],
+            digest: 0xABCD,
+            decode_errors: 0,
+        },
+    );
+    check(
+        "Frame.Cast",
+        &Frame::<MulticastMsg>::Cast {
+            seq: 77,
+            dest: GroupSet::from_bits(0b11),
+            payload: Payload::from(vec![9, 8]),
+        },
+    );
+}

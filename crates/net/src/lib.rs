@@ -37,6 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
+pub mod tcp;
+
+pub use faults::WallFaults;
+
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -45,37 +50,9 @@ use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wamcast_types::{
-    Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, MessageId, MsgSlot, Outbox,
-    Payload, ProcessId, Protocol, SimTime, Topology,
+    Action, AppMessage, Context, FaultPlan, GroupSet, MessageId, MsgSlot, Outbox, Payload,
+    ProcessId, Protocol, SimTime, Topology,
 };
-
-/// The lossy-channel adversary shared by every thread of a faulty cluster:
-/// the same [`FaultPlan`] vocabulary the simulator interprets, applied at
-/// channel-send time against the cluster's wall clock. Everything that
-/// crosses a channel — protocol traffic, consensus messages, heartbeats if
-/// a failure detector is wired over the same links — sees the same
-/// adversary.
-///
-/// Scope: drop, duplication and partitions are honored; latency *spikes*
-/// are not (an `mpsc` channel has no delay to scale — shaping latency needs
-/// the discrete-event runtime). Fates still draw from the plan's
-/// deterministic stream, but thread interleaving makes the *assignment* of
-/// fates to messages nondeterministic; bit-for-bit replay is the
-/// simulator's job.
-struct LossyLinks {
-    injector: Mutex<FaultInjector>,
-    start: Instant,
-}
-
-impl LossyLinks {
-    fn fate(&self, from: ProcessId, to: ProcessId) -> wamcast_types::LinkFate {
-        let now = SimTime::from_nanos(self.start.elapsed().as_nanos() as u64);
-        self.injector
-            .lock()
-            .expect("fault injector poisoned")
-            .on_send(from, to, now)
-    }
-}
 
 enum Ev<M> {
     /// A protocol message. Fan-out copies ([`Action::SendMany`]) share one
@@ -151,17 +128,14 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         let faults = if plan.is_none() {
             None
         } else {
-            Some(Arc::new(LossyLinks {
-                injector: Mutex::new(FaultInjector::new(plan, seed)),
-                start: Instant::now(),
-            }))
+            Some(Arc::new(WallFaults::new(plan, seed)))
         };
         Self::spawn_inner(topo, faults, factory)
     }
 
     fn spawn_inner(
         topo: Topology,
-        faults: Option<Arc<LossyLinks>>,
+        faults: Option<Arc<WallFaults>>,
         mut factory: impl FnMut(ProcessId, &Topology) -> P,
     ) -> Self {
         let topo = Arc::new(topo);
@@ -180,7 +154,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
                 .map(|_| std::sync::atomic::AtomicBool::new(true))
                 .collect(),
         );
-        let start = faults.as_ref().map_or_else(Instant::now, |f| f.start);
+        let start = faults.as_ref().map_or_else(Instant::now, |f| f.start());
         let mut handles = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
             let pid = ProcessId(i as u32);
@@ -202,13 +176,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         // the `recv_timeout` with `Disconnected` and ends the thread.
         let mut watchdog_stop = None;
         if let Some(f) = &faults {
-            let mut crashes = f
-                .injector
-                .lock()
-                .expect("fault injector poisoned")
-                .plan()
-                .crashes
-                .clone();
+            let mut crashes = f.with_plan(|p| p.crashes.clone());
             if !crashes.is_empty() {
                 crashes.sort_by_key(|&(at, _)| at);
                 let senders = senders.clone();
@@ -369,7 +337,7 @@ fn run_process<P: Protocol + Send + 'static>(
     delivered: Arc<Vec<Mutex<Vec<AppMessage>>>>,
     alive: Arc<Vec<std::sync::atomic::AtomicBool>>,
     start: Instant,
-    faults: Option<Arc<LossyLinks>>,
+    faults: Option<Arc<WallFaults>>,
 ) {
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let now = |start: Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);

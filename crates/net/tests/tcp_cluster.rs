@@ -1,0 +1,200 @@
+//! In-process smoke of the TCP runtime: several `TcpNode`s in one test
+//! process, talking over real localhost sockets. The multi-*process*
+//! version (spawned peers, `kill -9` chaos) lives in the harness crate,
+//! which owns the `peer` binary; this tier proves the socket plumbing —
+//! framing, dial/redial, cast/ack, service requests — with no process
+//! management in the way.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use wamcast_core::{GenuineMulticast, MulticastConfig, RoundBroadcast};
+use wamcast_net::tcp::{self, null_service, SharedDeliveries, TcpClient, TcpNode, TcpNodeConfig};
+use wamcast_types::{AppMessage, GroupSet, Payload, ProcessId, Topology};
+
+/// Reserves `n` distinct localhost ports by binding and dropping.
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    holds
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect()
+}
+
+fn spawn_a2_cluster(
+    k: usize,
+    d: usize,
+    arm: u8,
+) -> (Vec<TcpNode>, Vec<SharedDeliveries>, Vec<SocketAddr>) {
+    let topo = Arc::new(Topology::symmetric(k, d));
+    let addrs = free_addrs(topo.num_processes());
+    let mut nodes = Vec::new();
+    let mut logs = Vec::new();
+    for p in topo.processes() {
+        let delivered: SharedDeliveries = Arc::new(Mutex::new(Vec::new()));
+        let node = tcp::serve(
+            TcpNodeConfig {
+                me: p,
+                topo: Arc::clone(&topo),
+                addrs: addrs.clone(),
+                arm,
+                faults: None,
+            },
+            RoundBroadcast::new(p, &topo).with_retry(Duration::from_millis(100)),
+            Arc::clone(&delivered),
+            null_service(),
+        )
+        .expect("serve");
+        logs.push(delivered);
+        nodes.push(node);
+    }
+    (nodes, logs, addrs)
+}
+
+fn await_all(logs: &[SharedDeliveries], want: usize, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if logs.iter().all(|l| l.lock().unwrap().len() >= want) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn broadcast_total_order_over_sockets() {
+    let (nodes, logs, addrs) = spawn_a2_cluster(2, 2, 7);
+    let mut client = TcpClient::new(addrs[0], 7, Duration::from_secs(5));
+    let all = GroupSet::first_n(2);
+    let n_msgs = 20u64;
+    for seq in 0..n_msgs {
+        let id = client
+            .cast(seq, all, Payload::from(vec![seq as u8]))
+            .expect("cast");
+        assert_eq!(id.origin, ProcessId(0));
+        assert_eq!(id.seq, seq);
+    }
+    assert!(
+        await_all(&logs, n_msgs as usize, Duration::from_secs(30)),
+        "not all nodes delivered {n_msgs} messages: {:?}",
+        logs.iter()
+            .map(|l| l.lock().unwrap().len())
+            .collect::<Vec<_>>()
+    );
+    // Total order: every node delivered the identical sequence.
+    let first: Vec<AppMessage> = logs[0].lock().unwrap().clone();
+    for log in &logs[1..] {
+        assert_eq!(&*log.lock().unwrap(), &first, "delivery orders diverged");
+    }
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn genuine_multicast_over_sockets_routes_by_group() {
+    let topo = Arc::new(Topology::symmetric(2, 2));
+    let addrs = free_addrs(topo.num_processes());
+    let arm = 3;
+    let mut nodes = Vec::new();
+    let mut logs = Vec::new();
+    for p in topo.processes() {
+        let delivered: SharedDeliveries = Arc::new(Mutex::new(Vec::new()));
+        let node = tcp::serve(
+            TcpNodeConfig {
+                me: p,
+                topo: Arc::clone(&topo),
+                addrs: addrs.clone(),
+                arm,
+                faults: None,
+            },
+            GenuineMulticast::new(
+                p,
+                &topo,
+                MulticastConfig::default().with_retry(Duration::from_millis(100)),
+            ),
+            Arc::clone(&delivered),
+            null_service(),
+        )
+        .expect("serve");
+        logs.push(delivered);
+        nodes.push(node);
+    }
+    // Group-0-only cast from a group-0 member: genuineness says group 1
+    // must stay silent.
+    let mut client = TcpClient::new(addrs[0], arm, Duration::from_secs(5));
+    let g0 = GroupSet::first_n(1);
+    client
+        .cast(0, g0, Payload::from_static(b"local"))
+        .expect("cast");
+    assert!(
+        await_all(&logs[..2], 1, Duration::from_secs(30)),
+        "group 0 did not deliver"
+    );
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(logs[2].lock().unwrap().is_empty(), "genuineness violated");
+    assert!(logs[3].lock().unwrap().is_empty(), "genuineness violated");
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn service_requests_answered_on_reader_thread() {
+    let topo = Arc::new(Topology::symmetric(1, 1));
+    let addrs = free_addrs(1);
+    let delivered: SharedDeliveries = Arc::new(Mutex::new(Vec::new()));
+    let node = tcp::serve(
+        TcpNodeConfig {
+            me: ProcessId(0),
+            topo: Arc::clone(&topo),
+            addrs: addrs.clone(),
+            arm: 0,
+            faults: None,
+        },
+        RoundBroadcast::new(ProcessId(0), &topo),
+        Arc::clone(&delivered),
+        Arc::new(|body: &[u8]| body.iter().rev().copied().collect()),
+    )
+    .expect("serve");
+    let mut client = TcpClient::new(addrs[0], 0, Duration::from_secs(5));
+    assert_eq!(
+        client.request(vec![1, 2, 3]).expect("request"),
+        vec![3, 2, 1]
+    );
+    // Wrong-arm clients get no reply (their frames are rejected at decode).
+    let mut wrong = TcpClient::new(addrs[0], 9, Duration::from_millis(300));
+    assert!(wrong.request(vec![0]).is_err());
+    node.shutdown();
+}
+
+#[test]
+fn shutdown_frame_ends_wait() {
+    let topo = Arc::new(Topology::symmetric(1, 1));
+    let addrs = free_addrs(1);
+    let delivered: SharedDeliveries = Arc::new(Mutex::new(Vec::new()));
+    let node = tcp::serve(
+        TcpNodeConfig {
+            me: ProcessId(0),
+            topo: Arc::clone(&topo),
+            addrs: addrs.clone(),
+            arm: 1,
+            faults: None,
+        },
+        RoundBroadcast::new(ProcessId(0), &topo),
+        delivered,
+        null_service(),
+    )
+    .expect("serve");
+    let addr = addrs[0];
+    let h = std::thread::spawn(move || {
+        let mut client = TcpClient::new(addr, 1, Duration::from_secs(5));
+        std::thread::sleep(Duration::from_millis(100));
+        client.shutdown_peer().expect("shutdown frame");
+    });
+    node.wait(); // returns once the Shutdown frame lands
+    h.join().unwrap();
+}

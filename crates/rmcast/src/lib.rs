@@ -37,6 +37,7 @@
 
 mod nonuniform;
 mod uniform;
+mod wire;
 
 pub use nonuniform::RmcastEngine;
 pub use uniform::UniformRmcastEngine;

@@ -1,0 +1,51 @@
+//! Wire codec for reliable-multicast messages. Tag values are part of the
+//! wire format; renumbering is a protocol break.
+
+use crate::RmcastMsg;
+use wamcast_types::wire::{Wire, WireError, WireReader, WireWriter};
+use wamcast_types::{AppMessage, MessageId};
+
+impl Wire for RmcastMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RmcastMsg::Data(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            RmcastMsg::Ack(id) => {
+                w.u8(1);
+                id.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RmcastMsg::Data(AppMessage::decode(r)?)),
+            1 => Ok(RmcastMsg::Ack(MessageId::decode(r)?)),
+            tag => Err(WireError::UnknownTag {
+                what: "RmcastMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_types::{GroupSet, Payload, ProcessId};
+
+    #[test]
+    fn variants_roundtrip() {
+        let m = RmcastMsg::Data(AppMessage::new(
+            MessageId::new(ProcessId(1), 4),
+            GroupSet::first_n(3),
+            Payload::from(b"p".to_vec()),
+        ));
+        assert_eq!(RmcastMsg::from_wire(&m.to_wire()).unwrap(), m);
+        let a = RmcastMsg::Ack(MessageId::new(ProcessId(0), 1));
+        assert_eq!(RmcastMsg::from_wire(&a.to_wire()).unwrap(), a);
+        assert!(RmcastMsg::from_wire(&[9]).is_err());
+    }
+}

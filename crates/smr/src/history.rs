@@ -61,7 +61,7 @@ impl OpRecord {
 }
 
 /// The apply log and digest one correct replica reported.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicaLog {
     /// The replica.
     pub process: ProcessId,

@@ -38,6 +38,7 @@ mod command;
 pub mod history;
 mod kv;
 mod shard;
+mod wire;
 
 pub use command::{Command, DecodeError, Response};
 pub use history::{check, responder_shard, History, HistoryReport, OpRecord, ReplicaLog};

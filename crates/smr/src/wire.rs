@@ -1,0 +1,122 @@
+//! Wire codecs for the SMR control plane: what a TCP client reads back
+//! from peer processes — per-op [`Response`]s and end-of-run
+//! [`ReplicaLog`] snapshots for the history checker. [`crate::Command`]
+//! needs no `Wire` impl: commands travel *inside* `Payload` bytes using
+//! their own fixed-width codec (`Command::encode`/`decode`), which is the
+//! representation replicas apply. Tag values here are part of the wire
+//! format; renumbering is a protocol break.
+
+use crate::history::ReplicaLog;
+use crate::kv::AppliedOp;
+use crate::Response;
+use wamcast_types::wire::{Wire, WireError, WireReader, WireWriter};
+use wamcast_types::{GroupId, GroupSet, MessageId};
+
+impl Wire for Response {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Response::Value(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            Response::Prev(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+            Response::NewValue(v) => {
+                w.u8(2);
+                v.encode(w);
+            }
+            Response::Done => w.u8(3),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Response::Value(Option::<i64>::decode(r)?)),
+            1 => Ok(Response::Prev(Option::<i64>::decode(r)?)),
+            2 => Ok(Response::NewValue(i64::decode(r)?)),
+            3 => Ok(Response::Done),
+            tag => Err(WireError::UnknownTag {
+                what: "Response",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for AppliedOp {
+    fn encode(&self, w: &mut WireWriter) {
+        self.id.encode(w);
+        self.dest.encode(w);
+        self.response.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = MessageId::decode(r)?;
+        let dest = GroupSet::decode(r)?;
+        let response = Response::decode(r)?;
+        Ok(AppliedOp { id, dest, response })
+    }
+}
+
+impl Wire for ReplicaLog {
+    fn encode(&self, w: &mut WireWriter) {
+        self.process.encode(w);
+        self.group.encode(w);
+        self.applied.encode(w);
+        w.u64(self.digest);
+        w.u64(self.decode_errors);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let process = wamcast_types::ProcessId::decode(r)?;
+        let group = GroupId::decode(r)?;
+        let applied = Vec::<AppliedOp>::decode(r)?;
+        let digest = r.u64()?;
+        let decode_errors = r.u64()?;
+        Ok(ReplicaLog {
+            process,
+            group,
+            applied,
+            digest,
+            decode_errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_types::ProcessId;
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Value(None),
+            Response::Value(Some(-3)),
+            Response::Prev(Some(i64::MIN)),
+            Response::NewValue(i64::MAX),
+            Response::Done,
+        ] {
+            assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
+        }
+        assert!(Response::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn replica_log_roundtrips() {
+        let log = ReplicaLog {
+            process: ProcessId(4),
+            group: GroupId(2),
+            applied: vec![AppliedOp {
+                id: MessageId::new(ProcessId(0), 3),
+                dest: GroupSet::first_n(2),
+                response: Response::Done,
+            }],
+            digest: 0xfeed_beef,
+            decode_errors: 0,
+        };
+        assert_eq!(ReplicaLog::from_wire(&log.to_wire()).unwrap(), log);
+    }
+}

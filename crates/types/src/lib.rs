@@ -56,6 +56,7 @@ mod rng;
 mod statemachine;
 mod time;
 mod topology;
+pub mod wire;
 
 pub use batch::BatchConfig;
 pub use batch::SharedBatch;
@@ -71,3 +72,4 @@ pub use rng::SplitMix64;
 pub use statemachine::StateMachine;
 pub use time::SimTime;
 pub use topology::{Topology, TopologyBuilder};
+pub use wire::{Wire, WireError, WireReader, WireWriter};
