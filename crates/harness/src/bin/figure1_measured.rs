@@ -8,9 +8,15 @@
 //! ```text
 //! figure1_measured              # (2,2), (3,2) and (4,2)
 //! ```
+//!
+//! After the one-shot probes it also prints the loaded view at (3,2):
+//! every arm under a short open-loop stream, reporting p50/p99/p999
+//! delivery and commit latency through the shared percentile path.
 
 use std::process::ExitCode;
-use wamcast_harness::figure1_measured::{degree_mismatches, measured_rows, render_table};
+use wamcast_harness::figure1_measured::{
+    degree_mismatches, loaded_cells, measured_rows, render_loaded_table, render_table,
+};
 
 fn main() -> ExitCode {
     println!("Measured Figure 1 — every registry arm executed under identical probes");
@@ -24,6 +30,10 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    // The loaded section: Δ is a one-shot number; the tail under a stream
+    // is not. Same arms, same shape, percentiles instead of means.
+    let (k, d) = (3usize, 2usize);
+    println!("{}", render_loaded_table(k, d, &loaded_cells(k, d, 0xE13)));
     if failed {
         ExitCode::from(1)
     } else {

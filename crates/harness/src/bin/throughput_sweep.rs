@@ -8,7 +8,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use wamcast_harness::{
-    smr_throughput_once, throughput::PER_PROC_MSG_BUDGET, throughput_sweep, Table,
+    smr_throughput_once, table::percentile_cells, throughput::PER_PROC_MSG_BUDGET,
+    throughput_sweep, Table,
 };
 
 /// The E9 acceptance bound asserted by CI: batch 64 must amortize the
@@ -38,11 +39,13 @@ fn main() -> ExitCode {
         "sends/msg",
         "steps/msg",
         "msgs/s (cpu)",
-        "mean latency",
+        "lat p50 (ms)",
+        "lat p99 (ms)",
+        "lat p999 (ms)",
     ]);
     let base = cells[0].modeled_msgs_per_sec;
     for c in &cells {
-        t.row(vec![
+        let mut row = vec![
             if c.batch_msgs <= 1 {
                 "off".into()
             } else {
@@ -53,8 +56,9 @@ fn main() -> ExitCode {
             format!("{:.1}", c.sends_per_msg),
             format!("{:.1}", c.steps_per_msg),
             format!("{:.0}", c.msgs_per_cpu_sec),
-            format!("{:.1} ms", c.mean_latency.as_secs_f64() * 1e3),
-        ]);
+        ];
+        row.extend(percentile_cells(&c.latency));
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -96,11 +100,13 @@ fn main() -> ExitCode {
         "committed",
         "ops/s (virtual)",
         "sends/op",
-        "mean latency",
+        "lat p50 (ms)",
+        "lat p99 (ms)",
+        "lat p999 (ms)",
     ]);
     for (batch, cross) in [(1usize, 0u8), (1, 30), (16, 30), (64, 30)] {
         let c = smr_throughput_once(k, d, 8, 24, cross, batch, 0xE11);
-        t.row(vec![
+        let mut row = vec![
             if batch <= 1 {
                 "off".into()
             } else {
@@ -110,8 +116,9 @@ fn main() -> ExitCode {
             c.committed.to_string(),
             format!("{:.0}", c.ops_per_sec),
             format!("{:.1}", c.sends_per_op),
-            format!("{:.1} ms", c.mean_latency.as_secs_f64() * 1e3),
-        ]);
+        ];
+        row.extend(percentile_cells(&c.latency));
+        t.row(row);
     }
     println!("{}", t.render());
     println!(

@@ -19,6 +19,7 @@
 //! reveals).
 
 use crate::registry::{ProtocolArm, StackRegistry};
+use crate::scale::{self, ScaleCell, ScaleConfig};
 use crate::Table;
 use std::time::Duration;
 
@@ -101,9 +102,49 @@ pub fn render_table(k: usize, d: usize, rows: &[MeasuredRow]) -> String {
     )
 }
 
+/// The loaded counterpart of the one-shot probes: every registry arm
+/// driven by a short open-loop Poisson/Zipf workload on the same `k`×`d`
+/// shape, reporting p50/p99/p999 delivery and commit latency through the
+/// shared scale-cell machinery ([`crate::scale`]). The isolated probe
+/// measures the paper's Δ; this measures what a stream does to the tail.
+pub fn loaded_cells(k: usize, d: usize, seed: u64) -> Vec<ScaleCell> {
+    let cfg = ScaleConfig {
+        per_group: d,
+        rate_per_sec: 50.0,
+        horizon: Duration::from_millis(500),
+        theta: 0.99,
+        seed,
+        max_steps: 20_000_000,
+    };
+    StackRegistry::standard()
+        .arms()
+        .map(|arm| scale::run_cell(arm, k, &cfg))
+        .collect()
+}
+
+/// Renders [`loaded_cells`] with the sweep-shared table layout.
+pub fn render_loaded_table(k: usize, d: usize, cells: &[ScaleCell]) -> String {
+    format!(
+        "loaded percentiles at k = {k}, d = {d} (open loop, 50 casts/s for 500 ms):\n{}",
+        scale::render_table(cells)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn loaded_cells_cover_every_arm_with_samples() {
+        let cells = loaded_cells(3, 2, 0xE13);
+        assert_eq!(cells.len(), StackRegistry::standard().arms().count());
+        for c in &cells {
+            assert!(c.dnf.is_none(), "{}: {:?}", c.arm, c.dnf);
+            assert!(c.counter("committed_casts") > 0, "{} committed none", c.arm);
+        }
+        let table = render_loaded_table(3, 2, &cells);
+        assert!(table.contains("cmt p999"));
+    }
 
     #[test]
     fn measured_degrees_match_analytic_on_2x2() {

@@ -30,6 +30,7 @@ pub mod measure;
 pub mod parallel;
 pub mod perf;
 pub mod registry;
+pub mod scale;
 pub mod scenario;
 pub mod smr;
 pub mod sweeps;
@@ -41,10 +42,11 @@ pub mod workload;
 pub use figure1::{figure1a_rows, figure1b_rows, Figure1Row};
 pub use measure::{measure_broadcast_steady, measure_one_multicast, BroadcastSteady, OneShot};
 pub use registry::{ProtocolArm, StackRegistry};
+pub use scale::{latency_registry, run_cell, ScaleCell, ScaleConfig};
 pub use scenario::{run_scenario, run_scenario_full, RunSpec, ScenarioOutcome};
 pub use smr::{
-    run_smr_net, run_smr_scenario, run_smr_sim, smr_throughput_once, InjectedBug, SmrConfig,
-    SmrOutcome, SmrThroughputCell,
+    response_latency_histogram, run_smr_net, run_smr_scenario, run_smr_sim, smr_throughput_once,
+    InjectedBug, SmrConfig, SmrOutcome, SmrThroughputCell,
 };
 pub use table::Table;
 pub use tcp_host::{run_smr_tcp, spawn_smr_peer, KvPeer, TcpRunConfig, SMR_ARM};

@@ -37,6 +37,7 @@
 
 use crate::measure::{measure_broadcast_steady, measure_one_multicast};
 use crate::scenario::{self, RunSpec, ScenarioOutcome, RETRY_INTERVAL};
+use crate::workload::PlannedCast;
 use std::fmt;
 use std::io;
 use std::sync::{Arc, OnceLock};
@@ -156,10 +157,37 @@ type ScenarioRunner =
 type ProbeRunner = Box<dyn Fn(usize, usize) -> ArmProbe + Send + Sync>;
 type TcpRunner =
     Box<dyn Fn(TcpNodeConfig, SharedDeliveries, Service) -> io::Result<TcpNode> + Send + Sync>;
+type OpenLoopRunner = Box<
+    dyn Fn(
+            Arc<wamcast_types::Topology>,
+            &[PlannedCast],
+            u64,
+            u64,
+            SimTime,
+        ) -> (Result<(), String>, RunMetrics)
+        + Send
+        + Sync,
+>;
 
 /// One named, constructible protocol stack. See the module docs; values
 /// live only inside the process-wide [`StackRegistry`] table and are
 /// always handled as `&'static ProtocolArm`.
+///
+/// # Example
+///
+/// Arms are looked up by name and drive everything arm-indexed — here the
+/// failure-free Figure 1 probe, checked against the arm's own analytic
+/// latency degree:
+///
+/// ```
+/// use wamcast_harness::registry::StackRegistry;
+///
+/// let reg = StackRegistry::standard();
+/// let a1 = reg.by_name("a1").expect("a1 is always registered");
+/// assert_eq!(a1.name(), "a1");
+/// let probe = a1.probe(3, 2); // 3 groups × 2 processes
+/// assert_eq!(probe.degree, a1.analytic_degree().eval(3));
+/// ```
 pub struct ProtocolArm {
     name: &'static str,
     algorithm: &'static str,
@@ -174,6 +202,7 @@ pub struct ProtocolArm {
     run: ScenarioRunner,
     probe: ProbeRunner,
     tcp: TcpRunner,
+    open_loop: OpenLoopRunner,
 }
 
 impl fmt::Debug for ProtocolArm {
@@ -246,6 +275,26 @@ impl ProtocolArm {
         (self.probe)(k, d)
     }
 
+    /// Runs this arm's paper-exact stack under an open-loop planned
+    /// workload (arrivals do not wait for completions) and returns the raw
+    /// run metrics — the scale sweeps derive their latency histograms from
+    /// these after the fact, so recording never perturbs the schedule.
+    ///
+    /// `Err` carries a liveness description (non-convergence by `deadline`,
+    /// or `max_steps` budget exhaustion); the partially-recorded metrics
+    /// are returned either way so a DNF cell can still be reported
+    /// honestly.
+    pub fn run_open_loop(
+        &self,
+        topo: Arc<wamcast_types::Topology>,
+        plan: &[PlannedCast],
+        seed: u64,
+        max_steps: u64,
+        deadline: SimTime,
+    ) -> (Result<(), String>, RunMetrics) {
+        (self.open_loop)(topo, plan, seed, max_steps, deadline)
+    }
+
     /// Hosts this arm's fuzz stack (retransmission on, where the arm
     /// supports it) as one TCP-served node of a multi-process cluster.
     /// Every registered arm gets socket hosting through this one method —
@@ -294,9 +343,13 @@ where
 {
     let workload = meta.workload;
     // The fuzz constructor is shared: the scenario runner and the TCP host
-    // must build byte-identical stacks.
+    // must build byte-identical stacks. The probe constructor is likewise
+    // shared between the one-shot Figure 1 probe and the open-loop scale
+    // runner — both measure the paper-exact stack.
     let fuzz = Arc::new(fuzz);
     let fuzz_tcp = Arc::clone(&fuzz);
+    let probe = Arc::new(probe);
+    let probe_open = Arc::clone(&probe);
     ProtocolArm {
         name: meta.name,
         algorithm: meta.algorithm,
@@ -310,6 +363,11 @@ where
         tcp: Box::new(move |cfg, delivered, service| {
             let proto = fuzz_tcp(cfg.me, &cfg.topo);
             tcp::serve(cfg, proto, delivered, service)
+        }),
+        open_loop: Box::new(move |topo, plan, seed, max_steps, deadline| {
+            crate::scale::drive_open_loop(topo, plan, seed, max_steps, deadline, |p, t| {
+                probe_open(p, t)
+            })
         }),
         probe: Box::new(move |k, d| match workload {
             WorkloadShape::Multicast => {

@@ -32,6 +32,7 @@ use crate::scenario::{RunSpec, RETRY_INTERVAL};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wamcast_core::{GenuineMulticast, MulticastConfig, WithApply};
+use wamcast_metrics::Histogram;
 use wamcast_net::Cluster;
 use wamcast_sim::{invariants, FaultPlan, SimConfig, Simulation};
 use wamcast_smr::{
@@ -534,6 +535,22 @@ fn multicast_config(cfg: &SmrConfig) -> MulticastConfig {
     a1_stack_config(cfg.batch, cfg.retry)
 }
 
+/// The invocation→response latency distribution of a history's committed
+/// ops (nanoseconds) — the commit-latency histogram both SMR runtimes
+/// (sim and net) share, reported through the same
+/// [`percentile_cells`](crate::table::percentile_cells) path as every
+/// other harness bin. Unresponded ops contribute nothing (the checker
+/// already accounts for them as maybe-uncommitted).
+pub fn response_latency_histogram(hist: &History) -> Histogram {
+    let mut h = Histogram::new();
+    for op in &hist.ops {
+        if let Some(r) = op.responded_at {
+            h.record(r.saturating_since(op.invoked_at).as_nanos() as u64);
+        }
+    }
+    h
+}
+
 pub(crate) fn mean_response_latency(hist: &History) -> Duration {
     let mut total = Duration::ZERO;
     let mut n = 0u32;
@@ -567,6 +584,9 @@ pub struct SmrThroughputCell {
     pub sends_per_op: f64,
     /// Mean invocation→response latency.
     pub mean_latency: Duration,
+    /// Full invocation→response latency distribution (nanoseconds),
+    /// from [`response_latency_histogram`].
+    pub latency: Histogram,
     /// Host CPU time spent simulating the cell.
     pub cpu: Duration,
 }
@@ -615,6 +635,7 @@ pub fn smr_throughput_once(
         ops_per_sec: out.committed as f64 / secs.max(1e-9),
         sends_per_op: out.sends_per_op(),
         mean_latency: out.mean_latency,
+        latency: response_latency_histogram(&out.history),
         cpu: out.cpu,
     }
 }

@@ -1,4 +1,41 @@
-//! Plain-text aligned tables for experiment reports.
+//! Plain-text aligned tables for experiment reports, plus the shared
+//! latency-percentile formatting every reporting bin uses (one path for
+//! `scale_sweep`, `throughput_sweep` and `figure1_measured`, so percentile
+//! columns can never drift in units or precision between reports).
+
+use wamcast_metrics::Histogram;
+
+/// Formats a nanosecond quantity as milliseconds with two decimals — the
+/// unit every latency table column uses.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(wamcast_harness::table::fmt_ms(1_500_000), "1.50");
+/// ```
+pub fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// The shared `[p50, p99, p999]` latency cells (milliseconds) extracted
+/// from a histogram. An empty histogram renders as zeros.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_harness::table::percentile_cells;
+/// use wamcast_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(2_000_000); // 2 ms
+/// assert_eq!(percentile_cells(&h).len(), 3);
+/// ```
+pub fn percentile_cells(h: &Histogram) -> Vec<String> {
+    [h.p50(), h.p99(), h.p999()]
+        .iter()
+        .map(|&ns| fmt_ms(ns))
+        .collect()
+}
 
 /// A simple column-aligned text table.
 ///

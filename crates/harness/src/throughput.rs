@@ -36,6 +36,7 @@ use crate::scenario::shared_topology;
 use crate::workload::{all_group_pairs, poisson};
 use std::time::{Duration, Instant};
 use wamcast_core::GenuineMulticast;
+use wamcast_metrics::Histogram;
 use wamcast_sim::{invariants, SimConfig, Simulation};
 use wamcast_types::{BatchConfig, Payload};
 
@@ -65,6 +66,10 @@ pub struct ThroughputCell {
     pub steps_per_msg: f64,
     /// Mean virtual-time latency from cast to last delivery.
     pub mean_latency: Duration,
+    /// Full cast→last-delivery latency distribution (nanoseconds) — the
+    /// p50/p99/p999 columns of `throughput_sweep` come from here via the
+    /// shared [`percentile_cells`](crate::table::percentile_cells) path.
+    pub latency: Histogram,
 }
 
 /// The batch window used for a given size and offered rate: 1.5× the
@@ -128,6 +133,12 @@ pub fn throughput_once(
 
     let m = sim.metrics();
     let n = ids.len();
+    let mut latency = Histogram::new();
+    for &id in &ids {
+        if let Some(l) = m.delivery_latency(id) {
+            latency.record(l.as_nanos() as u64);
+        }
+    }
     let mean_latency = ids
         .iter()
         .filter_map(|&id| m.delivery_latency(id))
@@ -144,6 +155,7 @@ pub fn throughput_once(
         sends_per_msg,
         steps_per_msg: m.steps as f64 / n as f64,
         mean_latency,
+        latency,
     }
 }
 
@@ -192,6 +204,11 @@ mod tests {
         // The batch window bounds the latency cost: two windows (s0 + s2)
         // of ~48 ms each on top of the ~300 ms WAN baseline.
         assert!(batched.mean_latency < eager.mean_latency + Duration::from_millis(120));
+        // The latency histogram covers every delivered message and its
+        // percentiles are ordered (the sweep's reporting path).
+        assert_eq!(eager.latency.count() as usize, eager.delivered);
+        assert!(eager.latency.p999() >= eager.latency.p99());
+        assert!(eager.latency.p99() >= eager.latency.p50());
     }
 
     #[test]

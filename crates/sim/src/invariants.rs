@@ -192,6 +192,20 @@ pub fn check_uniform_integrity(topo: &Topology, m: &RunMetrics) -> InvariantRepo
     r
 }
 
+/// Membership bit-vector for a process subset: turns the per-message
+/// "is q correct?" test into an array index, so the agreement/validity
+/// checkers can quantify over `processes_in(m.dest)` (the addressed
+/// processes — O(|m.dest|·d) per message) instead of scanning every
+/// correct process per message. That is what keeps the 128-group scale
+/// runs subquadratic: a pair-addressed cast touches 2d processes, not n.
+fn membership(topo: &Topology, procs: &[ProcessId]) -> Vec<bool> {
+    let mut in_set = vec![false; topo.num_processes()];
+    for p in procs {
+        in_set[p.index()] = true;
+    }
+    in_set
+}
+
 /// Uniform agreement (§2.2): if *any* process (even one that later crashed)
 /// delivers `m`, then every correct addressed process delivers `m`.
 pub fn check_uniform_agreement(
@@ -200,13 +214,14 @@ pub fn check_uniform_agreement(
     correct: &[ProcessId],
 ) -> InvariantReport {
     let mut r = InvariantReport::default();
+    let is_correct = membership(topo, correct);
     for (mid, dels) in sorted_deliveries(m) {
         if dels.is_empty() {
             continue;
         }
         let Some(c) = m.casts.get(&mid) else { continue };
-        for &q in correct {
-            if topo.addresses(c.dest, q) && !dels.contains_key(&q) {
+        for q in topo.processes_in(c.dest) {
+            if is_correct[q.index()] && !dels.contains_key(&q) {
                 r.violations.push(format!(
                     "uniform agreement: {mid} was delivered by {:?} but correct addressed \
                      process {q} never delivered it",
@@ -224,13 +239,16 @@ pub fn check_uniform_agreement(
 /// non-uniform reliable multicast is allowed to give.
 pub fn check_agreement(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
     let mut r = InvariantReport::default();
+    let is_correct = membership(topo, correct);
     for (mid, dels) in sorted_deliveries(m) {
-        let Some(witness) = correct.iter().find(|p| dels.contains_key(p)) else {
+        // Deliverers are a BTreeMap, so this witness — the smallest-id
+        // correct deliverer — matches the old correct-set scan exactly.
+        let Some(witness) = dels.keys().find(|p| is_correct[p.index()]) else {
             continue; // only crashed processes delivered: vacuous
         };
         let Some(c) = m.casts.get(&mid) else { continue };
-        for &q in correct {
-            if topo.addresses(c.dest, q) && !dels.contains_key(&q) {
+        for q in topo.processes_in(c.dest) {
+            if is_correct[q.index()] && !dels.contains_key(&q) {
                 r.violations.push(format!(
                     "agreement: {mid} was delivered by correct {witness} but correct addressed \
                      process {q} never delivered it"
@@ -245,12 +263,13 @@ pub fn check_agreement(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -
 /// process eventually delivers `m`.
 pub fn check_validity(topo: &Topology, m: &RunMetrics, correct: &[ProcessId]) -> InvariantReport {
     let mut r = InvariantReport::default();
+    let is_correct = membership(topo, correct);
     for (&mid, c) in &m.casts {
-        if !correct.contains(&c.caster) {
+        if !is_correct[c.caster.index()] {
             continue;
         }
-        for &q in correct {
-            if topo.addresses(c.dest, q) && !m.has_delivered(q, mid) {
+        for q in topo.processes_in(c.dest) {
+            if is_correct[q.index()] && !m.has_delivered(q, mid) {
                 r.violations.push(format!(
                     "validity: {mid} cast by correct {} but correct addressed {q} never \
                      delivered it",
@@ -283,8 +302,8 @@ pub fn check_prefix_order_among(
     let mut r = InvariantReport::default();
     // Annotate every process's delivery sequence with its messages'
     // destination sets once — O(deliveries) map lookups total — so the
-    // O(pairs) loop below projects with two bit tests per element instead
-    // of re-querying the cast table per pair.
+    // projections below cost two bit tests per element instead of
+    // re-querying the cast table.
     let annotated: Vec<Vec<(MessageId, wamcast_types::GroupSet)>> = procs
         .iter()
         .map(|p| {
@@ -295,25 +314,73 @@ pub fn check_prefix_order_among(
         })
         .collect();
     let project = |rows: &[(MessageId, wamcast_types::GroupSet)],
-                   gp: wamcast_types::GroupId,
-                   gq: wamcast_types::GroupId|
+                   ga: wamcast_types::GroupId,
+                   gb: wamcast_types::GroupId|
      -> Vec<MessageId> {
         rows.iter()
-            .filter(|(_, dest)| dest.contains(gp) && dest.contains(gq))
+            .filter(|(_, dest)| dest.contains(ga) && dest.contains(gb))
             .map(|&(mid, _)| mid)
             .collect()
     };
-    for (pi, &p) in procs.iter().enumerate() {
-        for (qi, &q) in procs.iter().enumerate().skip(pi + 1) {
-            let (gp, gq) = (topo.group_of(p), topo.group_of(q));
-            let sp = project(&annotated[pi], gp, gq);
-            let sq = project(&annotated[qi], gq, gp);
-            let k = sp.len().min(sq.len());
-            if sp[..k] != sq[..k] {
-                let at = (0..k).find(|&i| sp[i] != sq[i]).unwrap();
+    // Group-pair decomposition instead of the former O(|procs|²) pair
+    // scan. For a pair of groups {gA, gB}, every process of gA ∪ gB is
+    // projected by the *same* filter (dest ⊇ {gA, gB}), so pairwise
+    // prefix-comparability of those projections is equivalent to "each is
+    // a prefix of the longest" (two prefixes of one sequence are always
+    // mutually prefix-comparable, and any non-prefix is itself a violating
+    // pair with the longest). That turns n² sequence comparisons into
+    // G²·(d_A+d_B) transient projections — the checker-side half of
+    // keeping 128-group, 1000+-process scale runs tractable.
+    let mut by_group: Vec<Vec<usize>> = vec![Vec::new(); topo.num_groups()];
+    for (i, &p) in procs.iter().enumerate() {
+        by_group[topo.group_of(p).index()].push(i);
+    }
+    let present: Vec<usize> = (0..topo.num_groups())
+        .filter(|&g| !by_group[g].is_empty())
+        .collect();
+    for (ai, &ga) in present.iter().enumerate() {
+        for &gb in &present[ai..] {
+            let members: Vec<usize> = if ga == gb {
+                by_group[ga].clone()
+            } else {
+                // Ascending overall: process ids are dense per group and
+                // ga < gb, so the concatenation preserves procs order.
+                by_group[ga].iter().chain(&by_group[gb]).copied().collect()
+            };
+            if members.len() < 2 {
+                continue;
+            }
+            let (g_a, g_b) = (
+                wamcast_types::GroupId(ga as u16),
+                wamcast_types::GroupId(gb as u16),
+            );
+            let projections: Vec<Vec<MessageId>> = members
+                .iter()
+                .map(|&i| project(&annotated[i], g_a, g_b))
+                .collect();
+            // First longest projection (ties break to the earlier
+            // process, keeping reports deterministic).
+            let li = projections
+                .iter()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| a.len().cmp(&b.len()).then(j.cmp(i)))
+                .map(|(i, _)| i)
+                .unwrap();
+            let longest = &projections[li];
+            for (i, sp) in projections.iter().enumerate() {
+                if i == li || sp[..] == longest[..sp.len()] {
+                    continue;
+                }
+                let at = (0..sp.len()).find(|&j| sp[j] != longest[j]).unwrap();
+                // Name the smaller-indexed process first, its element
+                // first — the same orientation the pairwise scan printed.
+                let (p, q, vp, vq) = if members[i] < members[li] {
+                    (procs[members[i]], procs[members[li]], sp[at], longest[at])
+                } else {
+                    (procs[members[li]], procs[members[i]], longest[at], sp[at])
+                };
                 r.violations.push(format!(
-                    "prefix order: {p} and {q} diverge at position {at}: {} vs {}",
-                    sp[at], sq[at]
+                    "prefix order: {p} and {q} diverge at position {at}: {vp} vs {vq}"
                 ));
             }
         }
@@ -326,11 +393,17 @@ pub fn check_prefix_order_among(
 /// the caster or is addressed). Checked against the run's workload.
 pub fn check_genuineness(topo: &Topology, m: &RunMetrics) -> InvariantReport {
     let mut r = InvariantReport::default();
-    let involved = |p: ProcessId| {
-        m.casts
-            .values()
-            .any(|c| c.caster == p || topo.addresses(c.dest, p))
-    };
+    // One pass over the casts up front (instead of one pass per process):
+    // a process is involved iff it cast something or its group is in some
+    // destination set — both are O(1) lookups after this fold.
+    let mut cast_something = vec![false; topo.num_processes()];
+    let mut addressed_groups = wamcast_types::GroupSet::new();
+    for c in m.casts.values() {
+        cast_something[c.caster.index()] = true;
+        addressed_groups |= c.dest;
+    }
+    let involved =
+        |p: ProcessId| cast_something[p.index()] || addressed_groups.contains(topo.group_of(p));
     for p in topo.processes() {
         if (m.sent_any[p.index()] || m.received_any[p.index()]) && !involved(p) {
             let what = if m.sent_any[p.index()] {

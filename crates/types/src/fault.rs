@@ -141,6 +141,34 @@ pub struct SpikeRule {
 /// "no fault layer at all" (the zero-fault fast path is byte-identical to a
 /// run without fault injection — guarded by a property test in
 /// `wamcast-sim`).
+///
+/// ```
+/// use wamcast_types::{FaultPlan, ProcessId, SimTime};
+///
+/// // Crash p2 at t=80ms, and partition {p0, p1} away from everyone else
+/// // for the first 50ms (the cut heals when the window closes).
+/// let plan = FaultPlan::none()
+///     .with_crash(SimTime::from_millis(80), ProcessId(2))
+///     .with_partition(
+///         &[ProcessId(0), ProcessId(1)],
+///         SimTime::ZERO,
+///         SimTime::from_millis(50),
+///     );
+/// assert!(!plan.is_none());
+///
+/// // Plans are plain data with a canonical fingerprint: the same
+/// // combinators always rebuild the same adversary, which is what a
+/// // `--replay --plan-hash` line checks against.
+/// let again = FaultPlan::none()
+///     .with_crash(SimTime::from_millis(80), ProcessId(2))
+///     .with_partition(
+///         &[ProcessId(0), ProcessId(1)],
+///         SimTime::ZERO,
+///         SimTime::from_millis(50),
+///     );
+/// assert_eq!(plan.fingerprint(), again.fingerprint());
+/// assert_ne!(plan.fingerprint(), FaultPlan::none().fingerprint());
+/// ```
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct FaultPlan {
     /// Scheduled crash-stop failures.

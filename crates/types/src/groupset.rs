@@ -4,7 +4,7 @@ use crate::GroupId;
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
 
-/// A set of groups, `m.dest ⊆ Γ`, stored as a 64-bit mask.
+/// A set of groups, `m.dest ⊆ Γ`, stored as a 128-bit mask.
 ///
 /// Atomic multicast addresses messages to arbitrary subsets of the system's
 /// groups (§2.2). Destination sets are consulted on every protocol step, so
@@ -25,11 +25,11 @@ use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![GroupId(0), GroupId(1)]);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct GroupSet(u64);
+pub struct GroupSet(u128);
 
 impl GroupSet {
     /// Maximum number of distinct groups representable (bit width of the mask).
-    pub const MAX_GROUPS: usize = 64;
+    pub const MAX_GROUPS: usize = 128;
 
     /// The empty set.
     pub const EMPTY: GroupSet = GroupSet(0);
@@ -58,7 +58,7 @@ impl GroupSet {
             g.index() < Self::MAX_GROUPS,
             "group id {g} out of range for GroupSet"
         );
-        GroupSet(1u64 << g.index())
+        GroupSet(1u128 << g.index())
     }
 
     /// The set {g₀, …, g_{k−1}} of the first `k` groups.
@@ -72,9 +72,9 @@ impl GroupSet {
     pub fn first_n(k: usize) -> Self {
         assert!(k <= Self::MAX_GROUPS, "too many groups: {k}");
         if k == Self::MAX_GROUPS {
-            GroupSet(u64::MAX)
+            GroupSet(u128::MAX)
         } else {
-            GroupSet((1u64 << k) - 1)
+            GroupSet((1u128 << k) - 1)
         }
     }
 
@@ -97,7 +97,7 @@ impl GroupSet {
         if g.index() >= Self::MAX_GROUPS {
             return false;
         }
-        let bit = 1u64 << g.index();
+        let bit = 1u128 << g.index();
         let had = self.0 & bit != 0;
         self.0 &= !bit;
         had
@@ -106,7 +106,7 @@ impl GroupSet {
     /// Whether `g` is a member.
     #[inline]
     pub fn contains(self, g: GroupId) -> bool {
-        g.index() < Self::MAX_GROUPS && self.0 & (1u64 << g.index()) != 0
+        g.index() < Self::MAX_GROUPS && self.0 & (1u128 << g.index()) != 0
     }
 
     /// Number of groups in the set (|m.dest|; the paper's stage-skipping
@@ -152,21 +152,25 @@ impl GroupSet {
     }
 
     /// The raw bitmask. Exposed for hashing/serialization in traces.
+    ///
+    /// Note the wire format still carries destination sets as a `u64`
+    /// (wire v1 predates the 128-group mask); see the `Wire` impl for the
+    /// ≤64-group encoding guard.
     #[inline]
-    pub fn bits(self) -> u64 {
+    pub fn bits(self) -> u128 {
         self.0
     }
 
     /// Rebuilds a set from a raw bitmask produced by [`bits`](Self::bits).
     #[inline]
-    pub fn from_bits(bits: u64) -> Self {
+    pub fn from_bits(bits: u128) -> Self {
         GroupSet(bits)
     }
 }
 
 /// Iterator over the members of a [`GroupSet`] in increasing id order.
 #[derive(Clone, Debug)]
-pub struct Iter(u64);
+pub struct Iter(u128);
 
 impl Iterator for Iter {
     type Item = GroupId;
@@ -306,6 +310,9 @@ mod tests {
         assert!(!s.contains(GroupId(3)));
         assert_eq!(GroupSet::first_n(0), GroupSet::EMPTY);
         assert_eq!(GroupSet::first_n(64).len(), 64);
+        assert!(GroupSet::first_n(64).contains(GroupId(63)));
+        assert_eq!(GroupSet::first_n(128).len(), 128);
+        assert!(GroupSet::first_n(128).contains(GroupId(127)));
     }
 
     #[test]
@@ -332,12 +339,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_group_panics() {
-        GroupSet::singleton(GroupId(64));
+        GroupSet::singleton(GroupId(128));
     }
 
     #[test]
     fn bits_roundtrip() {
-        let s = GroupSet::from_iter([GroupId(0), GroupId(63)]);
+        let s = GroupSet::from_iter([GroupId(0), GroupId(63), GroupId(127)]);
         assert_eq!(GroupSet::from_bits(s.bits()), s);
     }
 
@@ -353,7 +360,7 @@ mod tests {
         let mut rng = SplitMix64::new(0x6517);
         for case in 0..256 {
             let ids: Vec<u16> = (0..rng.next_below(20))
-                .map(|_| rng.next_below(64) as u16)
+                .map(|_| rng.next_below(128) as u16)
                 .collect();
             let mut s = GroupSet::new();
             for &i in &ids {
@@ -372,8 +379,8 @@ mod tests {
         let mut rng = SplitMix64::new(0xC0117);
         for case in 0..256 {
             let (x, y) = (
-                GroupSet::from_bits(rng.next_u64()),
-                GroupSet::from_bits(rng.next_u64()),
+                GroupSet::from_bits((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
+                GroupSet::from_bits((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
             );
             assert_eq!(x | y, y | x, "case {case}");
             assert_eq!(x & y, y & x, "case {case}");
@@ -385,8 +392,8 @@ mod tests {
         let mut rng = SplitMix64::new(0xD1FF);
         for case in 0..256 {
             let (x, y) = (
-                GroupSet::from_bits(rng.next_u64()),
-                GroupSet::from_bits(rng.next_u64()),
+                GroupSet::from_bits((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
+                GroupSet::from_bits((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
             );
             assert!(!(x - y).intersects(y), "case {case}");
             assert!((x - y).is_subset(x), "case {case}");

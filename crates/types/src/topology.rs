@@ -221,13 +221,15 @@ mod tests {
             TopologyError::EmptyGroup { group: 1 }
         );
         let mut b = Topology::builder();
-        for _ in 0..65 {
+        for _ in 0..129 {
             b = b.group(1);
         }
         assert_eq!(
             b.build().unwrap_err(),
-            TopologyError::TooManyGroups { requested: 65 }
+            TopologyError::TooManyGroups { requested: 129 }
         );
+        // 128 groups (the full mask) is now constructible.
+        assert_eq!(Topology::symmetric(128, 1).num_groups(), 128);
     }
 
     #[test]

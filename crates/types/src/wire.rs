@@ -329,6 +329,35 @@ impl<'a> WireReader<'a> {
 /// every value, and `decode` must map every malformed input to `Err` —
 /// never panic, never allocate proportionally to a length claim the input
 /// cannot back. The fuzz suite in `wamcast-harness` enforces both.
+///
+/// # Example
+///
+/// Implementing `Wire` for a two-field struct: encode fields in order,
+/// decode them back in the same order (the `Vec`/`Option`/tuple impls
+/// below compose the same way).
+///
+/// ```
+/// use wamcast_types::wire::{Wire, WireError, WireReader, WireWriter};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Ping { round: u64, urgent: bool }
+///
+/// impl Wire for Ping {
+///     fn encode(&self, w: &mut WireWriter) {
+///         w.u64(self.round);
+///         w.bool(self.urgent);
+///     }
+///     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+///         let round = r.u64()?;
+///         let urgent = r.bool()?;
+///         Ok(Ping { round, urgent })
+///     }
+/// }
+///
+/// let p = Ping { round: 7, urgent: true };
+/// assert_eq!(Ping::from_wire(&p.to_wire()).unwrap(), p);
+/// assert!(Ping::from_wire(&[0u8; 3]).is_err(), "truncated input is an Err");
+/// ```
 pub trait Wire: Sized {
     /// Appends this value's encoding to `w`.
     fn encode(&self, w: &mut WireWriter);
@@ -430,13 +459,22 @@ impl Wire for GroupId {
     }
 }
 
+/// Wire v1 carries destination sets as a `u64` mask: the format predates
+/// the 128-group in-memory mask, and the golden corpus pins the 8-byte
+/// layout. The TCP runtime therefore speaks ≤64-group topologies only —
+/// the 65..128-group range is a simulator-scale feature (`scale_sweep`),
+/// which never serializes destination sets.
 impl Wire for GroupSet {
     fn encode(&self, w: &mut WireWriter) {
-        w.u64(self.bits());
+        assert!(
+            self.bits() >> 64 == 0,
+            "wire v1 encodes at most 64 groups; {self} does not fit (bump VERSION to widen)"
+        );
+        w.u64(self.bits() as u64);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(GroupSet::from_bits(r.u64()?))
+        Ok(GroupSet::from_bits(r.u64()? as u128))
     }
 }
 
