@@ -188,4 +188,14 @@ impl Protocol for SkeenMulticast {
             SkeenMsg::Propose { id, ts } => self.on_propose(from, id, ts, ctx, out),
         }
     }
+
+    fn describe_msg(msg: &SkeenMsg) -> Option<wamcast_types::MsgInfo> {
+        use wamcast_types::{MsgClass, MsgInfo};
+        Some(match msg {
+            SkeenMsg::Data(m) => MsgInfo::new(MsgClass::Rmcast, vec![m.id]),
+            // A Skeen proposal is this process's timestamp vote for `id` —
+            // the flat-process analog of A1's `(TS, m)` exchange.
+            SkeenMsg::Propose { id, .. } => MsgInfo::new(MsgClass::Ts, vec![*id]),
+        })
+    }
 }

@@ -129,6 +129,29 @@ pub enum ConsensusMsg<V> {
     },
 }
 
+impl<V> ConsensusMsg<V> {
+    /// Classifies this message for the trace layer and exposes the value
+    /// it carries, if any: phase-1 and forwarding traffic is
+    /// [`wamcast_types::MsgClass::Propose`], phase-2a is
+    /// [`wamcast_types::MsgClass::Accept`], and
+    /// decision-carrying traffic (phase-2b, catch-up) is
+    /// [`wamcast_types::MsgClass::Decide`]. Embedding protocols map the
+    /// carried value to the cast ids it contains.
+    pub fn trace_class(&self) -> (wamcast_types::MsgClass, Option<&V>) {
+        use wamcast_types::MsgClass;
+        match self {
+            ConsensusMsg::Forward { value, .. } => (MsgClass::Propose, Some(value)),
+            ConsensusMsg::Prepare { .. } => (MsgClass::Propose, None),
+            ConsensusMsg::Promise { accepted, .. } => {
+                (MsgClass::Propose, accepted.as_ref().map(|(_, v)| v))
+            }
+            ConsensusMsg::Accept { value, .. } => (MsgClass::Accept, Some(value)),
+            ConsensusMsg::Accepted { value, .. } => (MsgClass::Decide, Some(value)),
+            ConsensusMsg::Decide { value, .. } => (MsgClass::Decide, Some(value)),
+        }
+    }
+}
+
 /// Sink of outgoing consensus messages, filled by engine calls and drained
 /// by the embedding protocol into its own [`Outbox`](wamcast_types::Outbox).
 #[derive(Debug)]

@@ -650,6 +650,32 @@ impl Protocol for RoundBroadcast {
         }
         self.arm_retry(out);
     }
+
+    fn describe_msg(msg: &BroadcastMsg) -> Option<wamcast_types::MsgInfo> {
+        Some(describe_broadcast_msg(msg))
+    }
+}
+
+/// Classifies an Algorithm A2 wire message for the trace layer. The round
+/// bundle exchange plays the structural role of A1's `(TS, m)` exchange
+/// (one inter-group message per group per round), so it is classed as
+/// [`MsgClass`](wamcast_types::MsgClass)`::Ts`.
+pub fn describe_broadcast_msg(msg: &BroadcastMsg) -> wamcast_types::MsgInfo {
+    use wamcast_types::{MsgClass, MsgInfo};
+    match msg {
+        BroadcastMsg::Rm(m) => MsgInfo::new(MsgClass::Rmcast, vec![m.id]),
+        BroadcastMsg::Cons(c) => {
+            let (class, value) = c.trace_class();
+            let casts = value
+                .map(|b| b.iter().map(|m| m.id).collect())
+                .unwrap_or_default();
+            MsgInfo::new(class, casts)
+        }
+        BroadcastMsg::Bundle { msgs, .. } => {
+            MsgInfo::new(MsgClass::Ts, msgs.iter().map(|m| m.id).collect())
+        }
+        BroadcastMsg::BundleAck { .. } => MsgInfo::new(MsgClass::Other, Vec::new()),
+    }
 }
 
 #[cfg(test)]

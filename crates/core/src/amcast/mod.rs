@@ -908,6 +908,31 @@ impl Protocol for GenuineMulticast {
         }
         self.arm_retry(out);
     }
+
+    fn describe_msg(msg: &MulticastMsg) -> Option<wamcast_types::MsgInfo> {
+        Some(describe_multicast_msg(msg))
+    }
+}
+
+/// Classifies an Algorithm A1 wire message for the trace layer: which
+/// lifecycle class it belongs to and the cast ids it carries. Shared with
+/// the non-genuine variant, whose wire type embeds the same batches.
+pub fn describe_multicast_msg(msg: &MulticastMsg) -> wamcast_types::MsgInfo {
+    use wamcast_types::{MsgClass, MsgInfo};
+    match msg {
+        MulticastMsg::Rm(RmcastMsg::Data(m)) => MsgInfo::new(MsgClass::Rmcast, vec![m.id]),
+        MulticastMsg::Rm(RmcastMsg::Ack(id)) => MsgInfo::new(MsgClass::Rmcast, vec![*id]),
+        MulticastMsg::Cons(c) => {
+            let (class, value) = c.trace_class();
+            let casts = value
+                .map(|b| b.iter().map(|e| e.msg.id).collect())
+                .unwrap_or_default();
+            MsgInfo::new(class, casts)
+        }
+        MulticastMsg::Ts(b) | MulticastMsg::TsNudge(b) => {
+            MsgInfo::new(MsgClass::Ts, b.iter().map(|e| e.msg.id).collect())
+        }
+    }
 }
 
 #[cfg(test)]

@@ -92,4 +92,8 @@ impl Protocol for NonGenuineMulticast {
         self.inner.on_crash_notification(crashed, ctx, &mut tmp);
         self.filter(ctx, &mut tmp, out);
     }
+
+    fn describe_msg(msg: &BroadcastMsg) -> Option<wamcast_types::MsgInfo> {
+        Some(crate::abcast::describe_broadcast_msg(msg))
+    }
 }

@@ -104,6 +104,10 @@ impl<P: Protocol, S: StateMachine + Send + 'static> Protocol for WithApply<P, S>
         self.inner.on_crash_notification(crashed, ctx, &mut tmp);
         self.relay(&mut tmp, out);
     }
+
+    fn describe_msg(msg: &P::Msg) -> Option<wamcast_types::MsgInfo> {
+        P::describe_msg(msg)
+    }
 }
 
 #[cfg(test)]

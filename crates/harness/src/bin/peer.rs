@@ -8,7 +8,14 @@
 //!      [--batch B]         # consensus batch size (smr mode; 1 = off)
 //!      [--drop-pct P]      # lossy-link adversary on outbound copies
 //!      [--seed S]          # fate-stream seed for --drop-pct
+//!      [--trace-cap N]     # flight-recorder capacity (default 8192; 0 off)
 //! ```
+//!
+//! Every peer keeps a bounded flight recorder of its recent causal trace
+//! (cast/send/recv/deliver events). The recorder is dumped to stderr if
+//! the process panics, and is served over the control plane
+//! (`REQ_TRACE`), so after a chaos run — even one that `kill -9`s this
+//! peer — the *surviving* peers still hold pullable evidence.
 //!
 //! The address list names every process of the topology, indexed by
 //! process id; `--me` picks this process's slot. On success the peer
@@ -29,11 +36,12 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use wamcast_harness::cli;
-use wamcast_harness::tcp_host::{self, delivery_service};
+use wamcast_harness::tcp_host::{self, delivery_service, with_trace};
 use wamcast_harness::StackRegistry;
-use wamcast_net::tcp::TcpNodeConfig;
+use wamcast_net::tcp::{SharedTrace, TcpNodeConfig};
 use wamcast_net::WallFaults;
 use wamcast_sim::FaultPlan;
+use wamcast_trace::TraceRing;
 use wamcast_types::{BatchConfig, ProcessId, Topology};
 
 struct PeerArgs {
@@ -44,6 +52,7 @@ struct PeerArgs {
     batch: usize,
     seed: u64,
     drop_pct: u8,
+    trace_cap: usize,
     smr: bool,
     addrs: Vec<SocketAddr>,
 }
@@ -57,6 +66,7 @@ fn parse_args() -> Result<PeerArgs, String> {
         batch: 1,
         seed: 1,
         drop_pct: 0,
+        trace_cap: 8192,
         smr: false,
         addrs: Vec::new(),
     };
@@ -75,14 +85,20 @@ fn parse_args() -> Result<PeerArgs, String> {
             "--drop-pct" => {
                 a.drop_pct = cli::parse_u64(&flag, &grab(&flag)?)?.min(100) as u8;
             }
+            "--trace-cap" => {
+                a.trace_cap = cli::parse_u64(&flag, &grab(&flag)?)? as usize;
+            }
             "--smr" => a.smr = true,
             "--addrs" => {
+                // Name the bad entry AND its position: a 12-address list
+                // with one typo is unreadable without the index.
                 a.addrs = grab(&flag)?
                     .split(',')
-                    .map(|s| {
+                    .enumerate()
+                    .map(|(i, s)| {
                         s.trim()
                             .parse::<SocketAddr>()
-                            .map_err(|e| format!("--addrs: {s}: {e}"))
+                            .map_err(|e| format!("--addrs: entry {i} ({s:?}): {e}"))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
             }
@@ -154,6 +170,23 @@ fn main() -> ExitCode {
     let me = ProcessId(a.me);
     let faults = faults_of(&a, &topo);
 
+    let trace: Option<SharedTrace> =
+        (a.trace_cap > 0).then(|| Arc::new(Mutex::new(TraceRing::new(a.trace_cap))));
+    if let Some(t) = &trace {
+        // Dump the flight recorder before the default panic message so a
+        // crashed peer leaves its causal evidence on stderr. try_lock:
+        // if the panicking thread died inside the recorder itself, skip
+        // the dump rather than deadlock.
+        let t = Arc::clone(t);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(ring) = t.try_lock() {
+                eprintln!("peer: panic; dumping flight recorder\n{}", ring.dump());
+            }
+            prev(info);
+        }));
+    }
+
     let announce = |addr: SocketAddr, what: &str| {
         println!("peer: listening on {addr} ({what}, process {me})");
         let _ = std::io::stdout().flush();
@@ -169,6 +202,7 @@ fn main() -> ExitCode {
                 a.addrs.clone(),
                 batch,
                 faults.clone(),
+                trace.clone(),
             )
         }) {
             Ok(p) => p,
@@ -190,6 +224,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         let delivered = Arc::new(Mutex::new(Vec::new()));
+        let service = match &trace {
+            Some(t) => with_trace(delivery_service(&delivered), t),
+            None => delivery_service(&delivered),
+        };
         let node = match with_bind_retry(|| {
             arm.serve_tcp(
                 TcpNodeConfig {
@@ -198,9 +236,10 @@ fn main() -> ExitCode {
                     addrs: a.addrs.clone(),
                     arm: reg.id_of(arm),
                     faults: faults.clone(),
+                    trace: trace.clone(),
                 },
                 Arc::clone(&delivered),
-                delivery_service(&delivered),
+                service.clone(),
             )
         }) {
             Ok(n) => n,

@@ -26,6 +26,7 @@
 //! scenario_fuzz --threads 8 --runs 2000                # parallel sweep
 //! scenario_fuzz [--arm smr] --replay --seed S [--plan-hash H]
 //! scenario_fuzz --runs 50 [--arm smr] --inject-bug     # prove violations are caught
+//! scenario_fuzz --replay --seed S --trace-out t.json   # Chrome trace_event export
 //! ```
 //!
 //! `--threads N` fans independent seeds across N worker threads (each run
@@ -36,18 +37,36 @@
 //! `--inject-bug` plants the arm's deliberate defect (a delivery-swallowing
 //! wrapper, or a lost-apply state-machine bug) to prove the checks can
 //! fail. On failure the run writes `scenario-fuzz-failure.txt` (override
-//! with `--artifact PATH`) carrying the replay command, the plan and the
-//! violations — CI uploads it as a workflow artifact.
+//! with `--artifact PATH`) carrying the replay command, the plan, the
+//! violations, and a forensic reconstruction: the convicted seed is
+//! re-run with the flight recorder on (deterministic, observation-only —
+//! the same execution), and each cast id the checker named gets its
+//! causal timeline (cast → rmcast → TS exchange → consensus → deliver)
+//! attached to the artifact — CI uploads it as a workflow artifact.
+//!
+//! `--trace-out PATH` additionally exports a Chrome `trace_event` JSON
+//! (open in `chrome://tracing` or Perfetto) of the violating run, the
+//! replayed run, or — on a clean sweep — the final run.
 //!
 //! [`FaultPlan`]: wamcast_types::FaultPlan
 
 use std::process::ExitCode;
 use wamcast_harness::cli::{self, CommonArgs};
+use wamcast_harness::forensics;
 use wamcast_harness::registry::{ProtocolArm, StackRegistry};
-use wamcast_harness::scenario::{run_scenario, RunSpec};
+use wamcast_harness::scenario::{capture_trace, run_scenario, RunSpec};
 use wamcast_harness::smr::{run_smr_scenario, InjectedBug};
 use wamcast_harness::Table;
 use wamcast_sim::FaultConfig;
+use wamcast_trace::TraceRing;
+
+/// Flight-recorder capacity for forensic re-runs: comfortably larger than
+/// any single fuzz run's event count, so nothing relevant is evicted.
+const FORENSICS_CAP: usize = 1 << 17;
+
+/// Narratives attached to a failure artifact: checker cascades can name
+/// dozens of messages for one root cause; the first few tell the story.
+const MAX_NARRATIVES: usize = 3;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Arm {
@@ -104,10 +123,21 @@ fn run_one(arm: Arm, spec: &RunSpec, inject_bug: bool) -> RunResult {
     }
 }
 
+/// Writes `ring`'s events as Chrome `trace_event` JSON (load via
+/// `chrome://tracing` or Perfetto).
+fn write_chrome_trace(path: &str, ring: &TraceRing) {
+    let json = wamcast_trace::chrome_trace(&ring.events());
+    match std::fs::write(path, json) {
+        Ok(()) => println!("scenario_fuzz: Chrome trace written to {path}"),
+        Err(e) => eprintln!("scenario_fuzz: could not write {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut arm = Arm::Delivery;
     let mut threads = 1usize;
     let mut arms_spec = "default".to_string();
+    let mut trace_out: Option<String> = None;
     let parsed = cli::parse_common(200, "scenario-fuzz-failure.txt", |flag, grab| {
         if flag == "--arm" {
             arm = match grab(flag)?.as_str() {
@@ -121,6 +151,9 @@ fn main() -> ExitCode {
             Ok(true)
         } else if flag == "--threads" {
             threads = cli::parse_u64(flag, &grab(flag)?)? as usize;
+            Ok(true)
+        } else if flag == "--trace-out" {
+            trace_out = Some(grab(flag)?);
             Ok(true)
         } else {
             Ok(false)
@@ -158,7 +191,14 @@ fn main() -> ExitCode {
     let faults = FaultConfig::default();
 
     if args.replay {
-        return replay(arm, &args, &faults, &rotation, &arms_spec);
+        return replay(
+            arm,
+            &args,
+            &faults,
+            &rotation,
+            &arms_spec,
+            trace_out.as_deref(),
+        );
     }
 
     println!(
@@ -191,7 +231,16 @@ fn main() -> ExitCode {
             let outcome = run_one(arm, &spec, args.inject_bug);
             tally(&mut totals, &outcome);
             if !outcome.violations.is_empty() {
-                return report_violation(seed, &spec, &outcome, arm, &args, &arms_spec, &rotation);
+                return report_violation(
+                    seed,
+                    &spec,
+                    &outcome,
+                    arm,
+                    &args,
+                    &arms_spec,
+                    &rotation,
+                    trace_out.as_deref(),
+                );
             }
             if (i + 1) % 50 == 0 {
                 println!("  {}/{} runs clean…", i + 1, args.runs);
@@ -212,9 +261,28 @@ fn main() -> ExitCode {
         for (seed, spec, outcome) in &outcomes {
             tally(&mut totals, outcome);
             if !outcome.violations.is_empty() {
-                return report_violation(*seed, spec, outcome, arm, &args, &arms_spec, &rotation);
+                return report_violation(
+                    *seed,
+                    spec,
+                    outcome,
+                    arm,
+                    &args,
+                    &arms_spec,
+                    &rotation,
+                    trace_out.as_deref(),
+                );
             }
         }
+    }
+
+    if let Some(path) = &trace_out {
+        // A clean sweep still exports evidence: re-run the final seed with
+        // the recorder on (determinism makes it the same run) and write
+        // its Chrome trace.
+        let seed = args.seed.wrapping_add(args.runs.saturating_sub(1));
+        let spec = RunSpec::derive_with(seed, &faults, &rotation);
+        let (_, ring) = capture_trace(FORENSICS_CAP, || run_one(arm, &spec, args.inject_bug));
+        write_chrome_trace(path, &ring);
     }
 
     let committed_col = match arm {
@@ -250,7 +318,10 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Prints and persists a violation report; always returns exit code 1.
+/// Prints and persists a violation report — replay line, plan, and the
+/// convicted casts' causal timelines (a forensic re-run of the same seed
+/// with the flight recorder on); always returns exit code 1.
+#[allow(clippy::too_many_arguments)]
 fn report_violation(
     seed: u64,
     spec: &RunSpec,
@@ -259,6 +330,7 @@ fn report_violation(
     args: &CommonArgs,
     arms_spec: &str,
     rotation: &[&'static ProtocolArm],
+    trace_out: Option<&str>,
 ) -> ExitCode {
     let mut replay_cmd = spec.replay_command();
     if arm == Arm::Smr {
@@ -298,6 +370,20 @@ fn report_violation(
     }
     report.push_str(&format!("replay: {replay_cmd}\n"));
     report.push_str(&format!("plan: {:#?}\n", spec.plan));
+    // Forensics: re-run the convicted seed with the flight recorder on.
+    // Runs are deterministic and recording is observation-only, so this
+    // observes the exact execution that was convicted — the timeline below
+    // is the violation's own, not an approximation.
+    let (_, ring) = capture_trace(FORENSICS_CAP, || run_one(arm, spec, args.inject_bug));
+    report.push('\n');
+    report.push_str(&forensics::forensics_report(
+        &ring,
+        &outcome.violations,
+        MAX_NARRATIVES,
+    ));
+    if let Some(path) = trace_out {
+        write_chrome_trace(path, &ring);
+    }
     eprint!("{report}");
     if let Err(e) = std::fs::write(&args.artifact, &report) {
         eprintln!("scenario_fuzz: could not write {}: {e}", args.artifact);
@@ -316,6 +402,7 @@ fn replay(
     faults: &FaultConfig,
     rotation: &[&'static ProtocolArm],
     arms_spec: &str,
+    trace_out: Option<&str>,
 ) -> ExitCode {
     let spec = RunSpec::derive_with(args.seed, faults, rotation);
     let hash = spec.plan.fingerprint();
@@ -337,7 +424,14 @@ fn replay(
         }
     }
     println!("plan: {:#?}", spec.plan);
-    let outcome = run_one(arm, &spec, args.inject_bug);
+    let outcome = match trace_out {
+        None => run_one(arm, &spec, args.inject_bug),
+        Some(path) => {
+            let (out, ring) = capture_trace(FORENSICS_CAP, || run_one(arm, &spec, args.inject_bug));
+            write_chrome_trace(path, &ring);
+            out
+        }
+    };
     // Print every adversary counter: a faithful replay must reproduce the
     // same drop/duplicate totals and end time, not just the verdict.
     println!(

@@ -16,6 +16,7 @@
 //!        [--tcp]             # spawn one OS process per replica (peer bin)
 //!        [--inject-bug]      # plant the lost-apply defect; must be caught
 //!        [--replay --seed S [--plan-hash H]]   # reproduce one faulty run
+//!        [--trace-out PATH]  # Chrome trace_event JSON of the (last) sim run
 //! ```
 //!
 //! `--runs R` sweeps seeds `S..S+R` (default 1), stopping at the first
@@ -28,6 +29,7 @@ use std::net::{SocketAddr, TcpListener};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 use wamcast_harness::cli::{self, CommonArgs};
+use wamcast_harness::scenario::capture_trace;
 use wamcast_harness::smr::{run_smr_net, run_smr_sim, InjectedBug, SmrConfig, SmrOutcome};
 use wamcast_harness::tcp_host::{self, run_smr_tcp, TcpRunConfig, SMR_ARM};
 use wamcast_harness::Table;
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
         net: false,
         tcp: false,
     };
+    let mut trace_out: Option<String> = None;
     let parsed = cli::parse_common(1, "smr-kv-failure.txt", |flag, grab| {
         match flag {
             "--groups" => kv.groups = cli::parse_u64(flag, &grab(flag)?)? as usize,
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
             "--faulty" => kv.faulty = true,
             "--net" => kv.net = true,
             "--tcp" => kv.tcp = true,
+            "--trace-out" => trace_out = Some(grab(flag)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -106,11 +110,19 @@ fn main() -> ExitCode {
         eprintln!("smr_kv: --plan-hash cross-checks a compiled fault plan; it requires --faulty");
         return ExitCode::from(2);
     }
+    if trace_out.is_some() && (kv.net || kv.tcp) {
+        eprintln!(
+            "smr_kv: --trace-out captures the deterministic simulator's flight recorder; \
+             it combines with neither --net nor --tcp (pull live peers' recorders over \
+             the control plane instead)"
+        );
+        return ExitCode::from(2);
+    }
 
     let runs = if args.replay { 1 } else { args.runs };
     for i in 0..runs {
         let seed = args.seed.wrapping_add(i);
-        let code = run_seed(&kv, &args, seed);
+        let code = run_seed(&kv, &args, seed, trace_out.as_deref());
         if code != ExitCode::SUCCESS {
             return code;
         }
@@ -257,7 +269,7 @@ fn run_tcp(kv: &KvArgs, cfg: &SmrConfig, seed: u64) -> Result<SmrOutcome, String
     Ok(out)
 }
 
-fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
+fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64, trace_out: Option<&str>) -> ExitCode {
     let cfg = SmrConfig {
         clients_per_group: kv.clients,
         ops_per_client: kv.ops,
@@ -326,7 +338,21 @@ fn run_seed(kv: &KvArgs, args: &CommonArgs, seed: u64) -> ExitCode {
     } else if kv.net {
         run_smr_net(shape, &cfg, seed, Duration::from_secs(20))
     } else {
-        run_smr_sim(shape, &plan, &cfg, seed, bug)
+        match trace_out {
+            None => run_smr_sim(shape, &plan, &cfg, seed, bug),
+            Some(path) => {
+                // Recording is observation-only, so the traced run is the
+                // run (pinned by tests/trace_neutrality.rs).
+                let (out, ring) =
+                    capture_trace(1 << 17, || run_smr_sim(shape, &plan, &cfg, seed, bug));
+                let json = wamcast_trace::chrome_trace(&ring.events());
+                match std::fs::write(path, json) {
+                    Ok(()) => println!("smr_kv: Chrome trace written to {path}"),
+                    Err(e) => eprintln!("smr_kv: could not write {path}: {e}"),
+                }
+                out
+            }
+        }
     };
     print_table(kv, &out);
 

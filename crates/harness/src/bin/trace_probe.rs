@@ -1,0 +1,143 @@
+//! Trace overhead probe: measure the flight recorder's cost, snapshot,
+//! and gate the tracing-*off* hot path.
+//!
+//! Runs the canonical `3x3 a1-batched` probe scenario (see
+//! `wamcast_harness::perf`) twice — recorder off and recorder on — and
+//! writes `BENCH_trace.json` with both events/sec numbers and the
+//! relative overhead. Because recording is observation-only, both runs
+//! dispatch the identical schedule; the probe asserts the step counts
+//! match before trusting either rate.
+//!
+//! ```text
+//! trace_probe                         # 9 repeats each, best-of
+//! trace_probe --quick                 # CI shape: 5 repeats
+//! trace_probe --gate BENCH_trace.json # fail (exit 1) if the UNTRACED
+//!                                     # rate fell >10% below the snapshot
+//! trace_probe --cap 65536 --out path.json
+//! ```
+//!
+//! The gate deliberately covers only the tracing-off path: recording off
+//! must stay free (a single branch), which is the contract that lets the
+//! recorder ship enabled in the fuzz forensics re-runs without taxing the
+//! thousands of sweeps that never get traced. The traced rate is reported
+//! for tracking, not gated — turning the recorder on is allowed to cost.
+
+use std::process::ExitCode;
+use wamcast_harness::cli::parse_u64;
+use wamcast_harness::perf::{json_number, probe_events, probe_events_traced};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_trace.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut cap = 1usize << 16;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--quick" => quick = true,
+                "--out" => out = grab("--out")?,
+                "--gate" => gate = Some(grab("--gate")?),
+                "--cap" => cap = parse_u64("--cap", &grab("--cap")?)?.max(1) as usize,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("trace_probe: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let repeats = if quick { 5 } else { 9 };
+    println!(
+        "trace_probe: 3x3 a1-batched probe, untraced vs traced (cap {cap}), \
+         best of {repeats} repeats each"
+    );
+
+    let untraced = probe_events(repeats);
+    let (traced, recorded) = probe_events_traced(repeats, cap);
+    if untraced.steps != traced.steps {
+        eprintln!(
+            "trace_probe: NEUTRALITY VIOLATION — untraced probe dispatched {} events, \
+             traced dispatched {}; recording perturbed the schedule",
+            untraced.steps, traced.steps
+        );
+        return ExitCode::from(1);
+    }
+    let off = untraced.events_per_sec();
+    let on = traced.events_per_sec();
+    let overhead_pct = (off / on - 1.0) * 100.0;
+    println!(
+        "  untraced: {} steps in {:?}  ->  {off:.0} events/sec",
+        untraced.steps, untraced.wall
+    );
+    println!(
+        "  traced:   {} steps in {:?}  ->  {on:.0} events/sec ({recorded} events recorded)",
+        traced.steps, traced.wall
+    );
+    println!("  recorder-on overhead: {overhead_pct:.1}%");
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"scenario\": \"3x3 a1-batched probe, traced vs untraced\",\n  \
+         \"untraced_events_per_sec\": {off:.3},\n  \"traced_events_per_sec\": {on:.3},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"probe_steps\": {},\n  \
+         \"recorded_events\": {recorded},\n  \"trace_cap\": {cap}\n}}\n",
+        untraced.steps
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("trace_probe: could not write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("  snapshot written to {out}");
+
+    match gate {
+        Some(path) => run_gate(&path, off, untraced.steps),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// `--gate`: fail if the fresh *untraced* events/sec fell more than 10%
+/// below the snapshot's (the recorder-off hot path must stay free), or
+/// the probe's deterministic step count drifted.
+fn run_gate(path: &str, off_now: f64, steps_now: u64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_probe: could not read gate snapshot {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(off_snap), Some(steps_snap)) = (
+        json_number(&text, "untraced_events_per_sec"),
+        json_number(&text, "probe_steps"),
+    ) else {
+        eprintln!("trace_probe: gate snapshot {path} is missing trace bench fields");
+        return ExitCode::from(2);
+    };
+    if steps_now != steps_snap as u64 {
+        eprintln!(
+            "trace_probe: SCHEDULE DRIFT — probe dispatched {steps_now} events, snapshot \
+             recorded {}; the probe scenario changed, regenerate the snapshot",
+            steps_snap as u64
+        );
+        return ExitCode::from(1);
+    }
+    let floor = off_snap * 0.9;
+    println!(
+        "  gate: untraced {off_now:.0} events/sec vs snapshot {off_snap:.0} (floor {floor:.0})"
+    );
+    if off_now < floor {
+        eprintln!(
+            "trace_probe: REGRESSION — tracing-off events/sec dropped >10% below the \
+             checked-in snapshot"
+        );
+        return ExitCode::from(1);
+    }
+    println!("  gate passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! Violation forensics: turning a convicted fuzz run into a causal story.
+//!
+//! When a checker convicts a run, its violation strings name the offending
+//! application messages by their [`MessageId`] `Debug` form — `m(p1#3)`.
+//! Because every run is deterministic and flight-recording is
+//! observation-only (`tests/trace_neutrality.rs` pins this), re-running
+//! the convicted seed under [`capture_trace`](crate::scenario::capture_trace)
+//! observes the *same* execution that was convicted. This module closes
+//! the loop: it pulls the convicted cast ids back out of the violation
+//! text and renders each one's lifecycle from the recorder as a minimal
+//! ordered narrative (cast → rmcast → timestamp exchange → consensus →
+//! deliver), ready to attach to the failure artifact.
+//!
+//! [`MessageId`]: wamcast_types::MessageId
+
+use wamcast_trace::{narrative, CastKey, TraceRing};
+
+/// Parses one cast key from `s`, which starts just past a `m(p` token
+/// opener; returns the key and how many bytes of `s` it consumed.
+fn parse_key(s: &str) -> Option<(CastKey, usize)> {
+    let hash = s.find('#')?;
+    let caster: u32 = s[..hash].parse().ok()?;
+    let rest = &s[hash + 1..];
+    let close = rest.find(')')?;
+    let seq: u64 = rest[..close].parse().ok()?;
+    Some((CastKey::new(caster, seq), hash + 1 + close + 1))
+}
+
+/// Extracts every distinct cast id named by `violations` (the `m(pN#S)`
+/// token form), in first-mention order. Malformed near-tokens are skipped,
+/// never mis-parsed.
+pub fn extract_cast_keys(violations: &[String]) -> Vec<CastKey> {
+    let mut keys: Vec<CastKey> = Vec::new();
+    for v in violations {
+        let mut rest = v.as_str();
+        while let Some(pos) = rest.find("m(p") {
+            rest = &rest[pos + 3..];
+            if let Some((key, used)) = parse_key(rest) {
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+                rest = &rest[used..];
+            }
+        }
+    }
+    keys
+}
+
+/// Renders the causal timeline of each cast convicted by `violations`
+/// from the captured recorder, at most `max_casts` narratives (checker
+/// cascades can name dozens of messages for one root cause; the first
+/// few tell the story). Falls back to a raw recorder dump when the
+/// violations name no message at all (pure liveness failures).
+pub fn forensics_report(ring: &TraceRing, violations: &[String], max_casts: usize) -> String {
+    let keys = extract_cast_keys(violations);
+    let mut out = String::new();
+    if keys.is_empty() {
+        out.push_str("forensics: the violations name no cast id; raw flight recorder follows\n");
+        out.push_str(&ring.dump());
+        return out;
+    }
+    let events = ring.events();
+    for key in keys.iter().take(max_casts) {
+        out.push_str(&narrative(&events, *key));
+        out.push('\n');
+    }
+    if keys.len() > max_casts {
+        out.push_str(&format!(
+            "({} more convicted cast(s) not shown)\n",
+            keys.len() - max_casts
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wamcast_trace::{Phase, TraceEvent};
+
+    #[test]
+    fn extracts_keys_in_first_mention_order_without_duplicates() {
+        let violations = vec![
+            "uniform agreement: m(p1#3) was delivered by p0 but correct addressed \
+             process p4 never delivered it"
+                .to_string(),
+            "integrity: p2 delivered m(p1#3) more than once".to_string(),
+            "validity: m(p0#7) cast by correct p0 never delivered".to_string(),
+        ];
+        let keys = extract_cast_keys(&violations);
+        assert_eq!(keys, vec![CastKey::new(1, 3), CastKey::new(0, 7)]);
+    }
+
+    #[test]
+    fn malformed_tokens_are_skipped() {
+        let violations = vec!["m(p#3) m(p1#) m(pX#Y) m(p2#5 trailing m(p8#9)".to_string()];
+        assert_eq!(
+            extract_cast_keys(&violations),
+            // `m(p2#5 trailing m(p8#9)` parses from the first '#': caster 2,
+            // then everything to the next ')' is not a number — skipped —
+            // and the scan resumes at the second token.
+            vec![CastKey::new(8, 9)]
+        );
+    }
+
+    #[test]
+    fn report_names_the_convicted_cast() {
+        let mut ring = TraceRing::new(16);
+        for (at, phase) in [
+            (10, Phase::Cast),
+            (20, Phase::RmcastSend),
+            (90, Phase::Deliver),
+        ] {
+            ring.push(TraceEvent {
+                at_us: at,
+                node: 1,
+                phase,
+                cast: Some(CastKey::new(1, 3)),
+                peer: None,
+            });
+        }
+        let violations = vec!["integrity: p2 delivered m(p1#3) more than once".to_string()];
+        let report = forensics_report(&ring, &violations, 3);
+        assert!(report.contains("causal timeline for cast 1:3"), "{report}");
+        assert!(report.contains("deliver"), "{report}");
+    }
+
+    #[test]
+    fn liveness_only_violations_fall_back_to_a_dump() {
+        let ring = TraceRing::new(4);
+        let violations = vec!["liveness: run did not converge".to_string()];
+        let report = forensics_report(&ring, &violations, 3);
+        assert!(report.contains("flight-recorder"), "{report}");
+    }
+}

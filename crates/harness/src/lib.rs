@@ -26,6 +26,7 @@
 pub mod cli;
 pub mod figure1;
 pub mod figure1_measured;
+pub mod forensics;
 pub mod measure;
 pub mod parallel;
 pub mod perf;

@@ -50,6 +50,22 @@ impl ProbeResult {
 /// second across mixed destination sets, no faults, send log off. Returns
 /// the steps executed and the wall time of the run loop only.
 pub fn probe_events_once() -> ProbeResult {
+    probe_once_with_trace(0).0
+}
+
+/// [`probe_events_once`] with the flight recorder on at `capacity`
+/// events. Returns the probe result and the total events the recorder
+/// saw (retained + evicted) — the second number is what the trace
+/// overhead bench reports as recording volume.
+pub fn probe_events_traced_once(capacity: usize) -> (ProbeResult, u64) {
+    assert!(capacity > 0, "a traced probe needs a positive capacity");
+    probe_once_with_trace(capacity)
+}
+
+/// The canonical probe body; `trace_cap` = 0 runs untraced. Both paths
+/// execute the identical schedule (recording is observation-only), so
+/// their `steps` counts must agree — the bench asserts exactly that.
+fn probe_once_with_trace(trace_cap: usize) -> (ProbeResult, u64) {
     let topo = Topology::symmetric(3, 3);
     let mut dests: Vec<GroupSet> = all_group_pairs(&topo);
     dests.push(topo.all_groups());
@@ -60,16 +76,26 @@ pub fn probe_events_once() -> ProbeResult {
         .with_batch(batch)
         .with_retry(crate::scenario::RETRY_INTERVAL);
     let mut sim = Simulation::new(topo, cfg, |p, t| GenuineMulticast::new(p, t, mcfg));
+    if trace_cap > 0 {
+        sim.enable_trace(trace_cap);
+    }
     for c in &casts {
         sim.cast_at(c.at, c.caster, c.dest, Payload::new());
     }
     let start = Instant::now();
     sim.run_to_quiescence();
     let wall = start.elapsed();
-    ProbeResult {
-        steps: sim.metrics().steps,
-        wall,
-    }
+    let recorded = sim
+        .trace()
+        .map(|t| t.len() as u64 + t.evicted())
+        .unwrap_or(0);
+    (
+        ProbeResult {
+            steps: sim.metrics().steps,
+            wall,
+        },
+        recorded,
+    )
 }
 
 /// Runs [`probe_events_once`] `repeats` times and returns the
@@ -84,6 +110,20 @@ pub fn probe_events(repeats: usize) -> ProbeResult {
     samples
         .into_iter()
         .min_by_key(|s| s.wall)
+        .expect("at least one repeat")
+}
+
+/// Best-of-`repeats` [`probe_events_traced_once`] sample (same
+/// minimum-wall rationale as [`probe_events`]). The recorded-event count
+/// is identical across repeats by determinism.
+pub fn probe_events_traced(repeats: usize, capacity: usize) -> (ProbeResult, u64) {
+    let samples: Vec<(ProbeResult, u64)> = (0..repeats.max(1))
+        .map(|_| probe_events_traced_once(capacity))
+        .collect();
+    debug_assert!(samples.windows(2).all(|w| w[0].1 == w[1].1));
+    samples
+        .into_iter()
+        .min_by_key(|(s, _)| s.wall)
         .expect("at least one repeat")
 }
 
@@ -177,6 +217,17 @@ mod tests {
         assert_eq!(a.steps, b.steps, "same seed, same schedule, same steps");
         assert!(a.steps > 10_000, "the probe must be a real workload");
         assert!(a.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn traced_probe_executes_the_untraced_schedule() {
+        let untraced = probe_events_once();
+        let (traced, recorded) = probe_events_traced_once(1 << 16);
+        assert_eq!(
+            untraced.steps, traced.steps,
+            "recording must not perturb the schedule"
+        );
+        assert!(recorded > 0, "a traced probe must actually record");
     }
 
     #[test]

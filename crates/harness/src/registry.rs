@@ -761,6 +761,7 @@ mod tests {
                         addrs: vec!["127.0.0.1:0".parse().expect("addr")],
                         arm: reg.id_of(arm),
                         faults: None,
+                        trace: None,
                     },
                     std::sync::Arc::new(Mutex::new(Vec::new())),
                     null_service(),

@@ -34,10 +34,12 @@
 
 use crate::registry::{ProtocolArm, StackRegistry, WorkloadShape};
 use crate::workload::{all_group_pairs, poisson};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 use wamcast_sim::{invariants, FaultConfig, FaultPlan, RunError, SimConfig, Simulation};
+use wamcast_trace::TraceRing;
 use wamcast_types::{
     AppMessage, Context, GroupSet, Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
 };
@@ -217,6 +219,51 @@ fn run_with<P: Protocol>(
     }
 }
 
+thread_local! {
+    /// Flight-recorder capacity the next `drive` call should trace with
+    /// (0 = tracing off, the default for every sweep run).
+    static TRACE_CAP: Cell<usize> = const { Cell::new(0) };
+    /// Where `drive` parks the captured recorder for [`capture_trace`].
+    static CAPTURED: RefCell<Option<TraceRing>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with simulator flight-recording enabled at `capacity` events
+/// per run, returning `f`'s result and the recorder of the **last**
+/// scenario `f` drove on this thread.
+///
+/// Recording is observation-only: the simulator pushes trace events from
+/// its existing dispatch sites without drawing randomness or scheduling
+/// anything, so a traced run replays the exact schedule of an untraced
+/// one (pinned by `tests/trace_neutrality.rs`). That equality is what
+/// makes forensics sound: re-running a convicted seed under
+/// `capture_trace` observes the *same* execution that was convicted.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (that would be "trace nothing").
+pub fn capture_trace<T>(capacity: usize, f: impl FnOnce() -> T) -> (T, TraceRing) {
+    assert!(capacity > 0, "capture_trace needs a positive capacity");
+    TRACE_CAP.with(|c| c.set(capacity));
+    let out = f();
+    TRACE_CAP.with(|c| c.set(0));
+    let ring = CAPTURED
+        .with(|r| r.borrow_mut().take())
+        .unwrap_or_else(|| TraceRing::new(capacity));
+    (out, ring)
+}
+
+/// The flight-recorder capacity the surrounding [`capture_trace`] call
+/// requested on this thread (0 = tracing off). Scenario drivers outside
+/// this module (the SMR runner) consult this before building their sim.
+pub(crate) fn requested_trace_capacity() -> usize {
+    TRACE_CAP.with(Cell::get)
+}
+
+/// Parks a finished run's recorder for the surrounding [`capture_trace`].
+pub(crate) fn park_captured_trace(t: TraceRing) {
+    CAPTURED.with(|r| *r.borrow_mut() = Some(t));
+}
+
 fn drive<P: Protocol>(
     spec: &RunSpec,
     factory: impl FnMut(ProcessId, &Topology) -> P,
@@ -254,6 +301,10 @@ fn drive<P: Protocol>(
         .with_max_steps(20_000_000)
         .with_faults(spec.plan.clone());
     let mut sim = Simulation::new_shared(topo, cfg, factory);
+    let trace_cap = TRACE_CAP.with(Cell::get);
+    if trace_cap > 0 {
+        sim.enable_trace(trace_cap);
+    }
 
     let mut cast_ids = Vec::with_capacity(casts.len());
     for c in &casts {
@@ -277,7 +328,11 @@ fn drive<P: Protocol>(
         invariants::check_with_profile(sim.topology(), sim.metrics(), &correct, spec.arm.profile());
     violations.extend(report.violations);
 
+    let trace = sim.take_trace();
     let m = sim.into_metrics();
+    if let Some(t) = trace {
+        CAPTURED.with(|r| *r.borrow_mut() = Some(t));
+    }
     let outcome = ScenarioOutcome {
         violations,
         casts: cast_ids.len(),
@@ -364,6 +419,10 @@ impl<P: Protocol> Protocol for DeliveryDropper<P> {
         let mut tmp = Outbox::new();
         self.inner.on_crash_notification(crashed, ctx, &mut tmp);
         self.relay(&mut tmp, out);
+    }
+
+    fn describe_msg(msg: &Self::Msg) -> Option<wamcast_types::MsgInfo> {
+        P::describe_msg(msg)
     }
 }
 

@@ -275,6 +275,10 @@ pub fn run_smr_sim(
         let tap = BuggyKv::new(kv, bug.and_then(|b| b.bug_for(p, t)));
         WithApply::new(GenuineMulticast::new(p, t, mcfg), tap)
     });
+    let trace_cap = crate::scenario::requested_trace_capacity();
+    if trace_cap > 0 {
+        sim.enable_trace(trace_cap);
+    }
 
     let num_clients = k * cfg.clients_per_group;
     let mut gens: Vec<OpGen> = (0..num_clients)
@@ -381,6 +385,9 @@ pub fn run_smr_sim(
     let report = history::check(&hist);
     violations.extend(report.violations);
 
+    if let Some(t) = sim.take_trace() {
+        crate::scenario::park_captured_trace(t);
+    }
     let m = sim.metrics();
     let committed = hist.committed();
     let mean_latency = mean_response_latency(&hist);

@@ -15,6 +15,7 @@
 //! | `[REQ_DELIVERED]`             | `Vec<AppMessage>`       |
 //! | `[REQ_POLL] ++ MessageId`     | `Option<AppliedOp>`     |
 //! | `[REQ_LOG]`                   | `ReplicaLog`            |
+//! | `[REQ_TRACE]`                 | flight-recorder text    |
 //!
 //! Request and reply bodies use the [`wamcast_types::wire`] codec (they
 //! travel inside `Frame::Req`/`Frame::Rep`, which are themselves
@@ -37,7 +38,9 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wamcast_core::{GenuineMulticast, WithApply};
-use wamcast_net::tcp::{self, Service, SharedDeliveries, TcpClient, TcpNode, TcpNodeConfig};
+use wamcast_net::tcp::{
+    self, Service, SharedDeliveries, SharedTrace, TcpClient, TcpNode, TcpNodeConfig,
+};
 use wamcast_net::WallFaults;
 use wamcast_smr::{
     history, responder_shard, shared_replica, AppliedOp, BuggyKv, History, OpRecord, ReplicaLog,
@@ -57,6 +60,10 @@ pub const REQ_DELIVERED: u8 = 0;
 pub const REQ_POLL: u8 = 1;
 /// Request tag: capture the replica's log (`ReplicaLog`).
 pub const REQ_LOG: u8 = 2;
+/// Request tag: dump the node's flight recorder (UTF-8 text; see
+/// [`with_trace`]). Answered only by nodes serving with a trace ring —
+/// others reply empty, which [`fetch_trace`] surfaces as `InvalidData`.
+pub const REQ_TRACE: u8 = 3;
 
 /// A service answering only [`REQ_DELIVERED`] — what bare delivery arms
 /// (the `peer` binary without `--smr`) expose so a client can read back
@@ -108,6 +115,38 @@ pub fn kv_service(me: ProcessId, kv: &SharedKv, delivered: &SharedDeliveries) ->
     })
 }
 
+/// Wraps a service so it additionally answers [`REQ_TRACE`] with the
+/// flight recorder's text dump; everything else defers to `inner`. This
+/// is how a node's recent causal history is pulled over the wire after a
+/// chaos run — including from *surviving* nodes after a peer was
+/// `kill -9`ed, which is the only party left holding evidence.
+pub fn with_trace(inner: Service, trace: &SharedTrace) -> Service {
+    let trace = Arc::clone(trace);
+    Arc::new(move |body: &[u8]| {
+        if body == [REQ_TRACE] {
+            return trace
+                .lock()
+                .map(|ring| ring.dump().into_bytes())
+                .unwrap_or_default();
+        }
+        inner(body)
+    })
+}
+
+/// Pulls a remote node's flight-recorder dump ([`REQ_TRACE`]).
+///
+/// # Errors
+///
+/// Socket errors, reply timeout, or an empty/undecodable reply (a node
+/// serving without a trace ring answers empty).
+pub fn fetch_trace(client: &mut TcpClient) -> io::Result<String> {
+    let rep = client.request(vec![REQ_TRACE])?;
+    if rep.is_empty() {
+        return Err(bad_reply("trace"));
+    }
+    String::from_utf8(rep).map_err(|_| bad_reply("trace"))
+}
+
 /// One TCP-served KV replica living in *this* process (the `peer` binary
 /// wraps exactly one of these; in-process tests host several).
 pub struct KvPeer {
@@ -131,11 +170,15 @@ pub fn spawn_smr_peer(
     addrs: Vec<SocketAddr>,
     batch: Option<BatchConfig>,
     faults: Option<Arc<WallFaults>>,
+    trace: Option<SharedTrace>,
 ) -> io::Result<KvPeer> {
     let shards = ShardMap::new(topo.num_groups());
     let kv = shared_replica(topo.group_of(me), shards);
     let delivered: SharedDeliveries = Arc::new(Mutex::new(Vec::new()));
-    let service = kv_service(me, &kv, &delivered);
+    let mut service = kv_service(me, &kv, &delivered);
+    if let Some(t) = &trace {
+        service = with_trace(service, t);
+    }
     let proto = WithApply::new(
         GenuineMulticast::new(me, &topo, a1_stack_config(batch, Some(RETRY_INTERVAL))),
         BuggyKv::new(Arc::clone(&kv), None),
@@ -147,6 +190,7 @@ pub fn spawn_smr_peer(
             addrs,
             arm: SMR_ARM,
             faults,
+            trace,
         },
         proto,
         delivered,
@@ -414,7 +458,8 @@ mod tests {
         let peers: Vec<KvPeer> = topo
             .processes()
             .map(|p| {
-                spawn_smr_peer(p, Arc::clone(&topo), addrs.clone(), None, None).expect("spawn")
+                spawn_smr_peer(p, Arc::clone(&topo), addrs.clone(), None, None, None)
+                    .expect("spawn")
             })
             .collect();
         let cfg = TcpRunConfig {
@@ -444,8 +489,15 @@ mod tests {
     fn control_plane_rejects_malformed_requests() {
         let topo = Arc::new(Topology::symmetric(1, 1));
         let addrs = free_addrs(1);
-        let peer = spawn_smr_peer(ProcessId(0), Arc::clone(&topo), addrs.clone(), None, None)
-            .expect("spawn");
+        let peer = spawn_smr_peer(
+            ProcessId(0),
+            Arc::clone(&topo),
+            addrs.clone(),
+            None,
+            None,
+            None,
+        )
+        .expect("spawn");
         let mut client = TcpClient::new(addrs[0], SMR_ARM, Duration::from_secs(5));
         // Unknown tag and truncated poll bodies: empty reply, which the
         // typed helpers surface as InvalidData — never a peer crash.

@@ -33,7 +33,9 @@ use std::net::{SocketAddr, TcpListener};
 use std::process::{Child, Command as Proc, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wamcast_harness::tcp_host::{fetch_replica_log, poll_response, spawn_smr_peer, KvPeer};
+use wamcast_harness::tcp_host::{
+    fetch_replica_log, fetch_trace, poll_response, spawn_smr_peer, KvPeer,
+};
 use wamcast_harness::SMR_ARM;
 use wamcast_net::tcp::TcpClient;
 use wamcast_smr::{history, responder_shard, Command, History, OpRecord, ShardMap};
@@ -407,6 +409,24 @@ fn killing_and_restarting_real_peer_processes_keeps_history_clean() {
         },
     );
 
+    // Post-mortem forensics: the killed peers took their recorders with
+    // them, but every survivor holds one — pull p0's over the control
+    // plane and check it carries real lifecycle evidence. This is the
+    // recovery path a human would use after a chaos run: ask the nodes
+    // that lived what they saw.
+    let mut c = TcpClient::new(addrs[0], SMR_ARM, OP_TIMEOUT);
+    let dump = fetch_trace(&mut c).expect("surviving peer serves its flight recorder");
+    assert!(
+        dump.starts_with("flight-recorder:"),
+        "unexpected dump header: {}",
+        dump.lines().next().unwrap_or("")
+    );
+    assert!(
+        dump.contains(" deliver ") && dump.contains(" cast="),
+        "survivor's recorder should hold cast-attributed deliver events:\n{}",
+        dump.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
+
     for child in children.into_inner().iter_mut().flatten() {
         let _ = child.kill();
         let _ = child.wait();
@@ -434,7 +454,7 @@ fn thread_fallback_chaos_survives_peer_restart() {
         topo.processes()
             .map(|me| {
                 Some(
-                    spawn_smr_peer(me, Arc::clone(&topo), addrs.clone(), None, None)
+                    spawn_smr_peer(me, Arc::clone(&topo), addrs.clone(), None, None, None)
                         .expect("spawn"),
                 )
             })
@@ -446,7 +466,7 @@ fn thread_fallback_chaos_survives_peer_restart() {
         // retry, mirroring the peer binary's restart path.
         let mut last = None;
         for _ in 0..50 {
-            match spawn_smr_peer(me, Arc::clone(&topo), addrs.clone(), None, None) {
+            match spawn_smr_peer(me, Arc::clone(&topo), addrs.clone(), None, None, None) {
                 Ok(peer) => return peer,
                 Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
                     last = Some(e);

@@ -528,7 +528,9 @@ impl MetricsRegistry {
     ///
     /// Counters render as `counter <name> <value>`; histograms as
     /// `hist <name> count=<n> min=<v> p50=<v> p99=<v> p999=<v> max=<v>
-    /// mean=<v>`.
+    /// sum=<v> mean=<v>` — `count`, `min`, `max` and `sum` are exact;
+    /// `sum` is included so a consumer can cross-check `mean` (which
+    /// rounds) and aggregate dumps without access to the buckets.
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for (name, slot) in &self.names {
@@ -540,13 +542,14 @@ impl MetricsRegistry {
                     let h = &self.histograms[*i];
                     let _ = writeln!(
                         out,
-                        "hist {name} count={} min={} p50={} p99={} p999={} max={} mean={}",
+                        "hist {name} count={} min={} p50={} p99={} p999={} max={} sum={} mean={}",
                         h.count(),
                         h.min(),
                         h.p50(),
                         h.p99(),
                         h.p999(),
                         h.max(),
+                        h.sum(),
                         h.mean(),
                     );
                 }
@@ -719,6 +722,10 @@ mod tests {
         let lines: Vec<&str> = d.lines().collect();
         assert_eq!(lines[0], "counter aaa 7");
         assert!(lines[1].starts_with("hist zzz count=1 min=100"));
+        // The exact fields survive quantization: one 100-valued sample.
+        for field in ["count=1", "max=100", "sum=100"] {
+            assert!(lines[1].contains(field), "missing {field}: {}", lines[1]);
+        }
         assert_eq!(d, reg.dump());
     }
 

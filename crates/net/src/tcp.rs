@@ -43,11 +43,16 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender, T
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use wamcast_trace::{Phase, TraceEvent, TraceRing};
 use wamcast_types::wire::{self, Wire, WireError, WireReader, WireWriter};
 use wamcast_types::{
     Action, AppMessage, Context, GroupSet, MessageId, MsgSlot, Outbox, Payload, ProcessId,
     Protocol, SimTime, Topology,
 };
+
+/// A node's shared flight recorder: the event loop appends, reader
+/// threads (the control-plane trace pull) and the host's panic hook dump.
+pub type SharedTrace = Arc<Mutex<TraceRing>>;
 
 /// Upper bound on one frame's body, enforced on read before allocating.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -243,6 +248,12 @@ pub struct TcpNodeConfig {
     pub arm: u8,
     /// Optional outbound-link adversary (the shared fault choke point).
     pub faults: Option<Arc<WallFaults>>,
+    /// Optional flight recorder. `None` — the default everywhere tracing
+    /// is not requested — keeps the event loop's record sites to a single
+    /// branch; `Some` makes the loop append one [`TraceEvent`] per
+    /// lifecycle step, sharing the ring with whoever holds the other
+    /// handle (the control-plane pull, the `peer` binary's panic dump).
+    pub trace: Option<SharedTrace>,
 }
 
 enum LoopEv<M> {
@@ -329,6 +340,7 @@ where
         addrs,
         arm,
         faults,
+        trace,
     } = cfg;
     assert_eq!(
         addrs.len(),
@@ -424,7 +436,7 @@ where
         let stop = Arc::clone(&stop_flag);
         handles.push(std::thread::spawn(move || {
             event_loop::<P>(
-                me, arm, proto, topo, loop_rx, links, delivered, faults, stop,
+                me, arm, proto, topo, loop_rx, links, delivered, faults, trace, stop,
             );
             let _ = done_tx.send(());
         }));
@@ -528,6 +540,7 @@ fn event_loop<P>(
     links: Vec<Option<SyncSender<Vec<u8>>>>,
     delivered: SharedDeliveries,
     faults: Option<Arc<WallFaults>>,
+    trace: Option<SharedTrace>,
     stop: Arc<AtomicBool>,
 ) where
     P: Protocol + Send + 'static,
@@ -555,6 +568,48 @@ fn event_loop<P>(
     }
 
     let start = faults.as_ref().map_or_else(Instant::now, |f| f.start());
+    // Flight-recorder append: a no-op branch when tracing is off. Purely
+    // observational — it reads the elapsed clock the loop already keeps
+    // and never blocks the protocol (the only other lock holders are
+    // short-lived dump readers).
+    let record = |phase: Phase, cast: Option<MessageId>, peer: Option<ProcessId>| {
+        if let Some(t) = &trace {
+            if let Ok(mut ring) = t.lock() {
+                ring.push(TraceEvent {
+                    at_us: start.elapsed().as_micros() as u64,
+                    node: me.0,
+                    phase,
+                    cast: cast.map(MessageId::cast_key),
+                    peer: peer.map(|q| q.0),
+                });
+            }
+        }
+    };
+    let record_msg = |msg: &P::Msg, sending: bool, peer: ProcessId| {
+        if trace.is_none() {
+            return;
+        }
+        match P::describe_msg(msg) {
+            Some(info) => {
+                let phase = info.class.phase(sending);
+                if info.casts.is_empty() {
+                    record(phase, None, Some(peer));
+                } else {
+                    for id in info.casts {
+                        record(phase, Some(id), Some(peer));
+                    }
+                }
+            }
+            None => {
+                let phase = if sending {
+                    Phase::MsgSend
+                } else {
+                    Phase::MsgRecv
+                };
+                record(phase, None, Some(peer));
+            }
+        }
+    };
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     // Self-sends loop straight back into our own queue (no socket), via a
     // private channel pair spliced below through `pending_self`.
@@ -573,6 +628,12 @@ fn event_loop<P>(
             // The fate is drawn per copy at the shared choke point, exactly
             // as the in-process runtime's channel sends do.
             let mut ship = |to: ProcessId, msg: MsgSlot<P::Msg>| {
+                // Record before the fault fate, mirroring the simulator:
+                // the copy *was* sent even if the adversary eats it.
+                match &msg {
+                    MsgSlot::Owned(m) => record_msg(m, true, to),
+                    MsgSlot::Shared(m) => record_msg(m, true, to),
+                }
                 let copies = match &faults {
                     None => 1,
                     Some(f) => {
@@ -625,7 +686,10 @@ fn event_loop<P>(
                             ship(to, MsgSlot::Shared(Arc::clone(&msg)));
                         }
                     }
-                    Action::Deliver(m) => delivered.lock().expect("delivery log poisoned").push(m),
+                    Action::Deliver(m) => {
+                        record(Phase::Deliver, Some(m.id), None);
+                        delivered.lock().expect("delivery log poisoned").push(m);
+                    }
                     Action::Timer { after, kind } => timers.push(TimerEntry {
                         at: Instant::now() + after,
                         kind,
@@ -640,9 +704,11 @@ fn event_loop<P>(
     loop {
         // Drain self-sends queued by the last step before anything else.
         while !pending_self.is_empty() {
-            let mut slot = Some(pending_self.remove(0));
+            let m = pending_self.remove(0).take();
+            record_msg(&m, false, me);
+            let mut slot = Some(m);
             step!(|p: &mut P, c: &Context, o: &mut Outbox<P::Msg>| {
-                let m = slot.take().expect("one invocation").take();
+                let m = slot.take().expect("one invocation");
                 p.on_message(me, m, c, o)
             });
         }
@@ -665,6 +731,7 @@ fn event_loop<P>(
         };
         match ev {
             LoopEv::Msg { from, msg } => {
+                record_msg(&msg, false, from);
                 let mut slot = Some(msg);
                 step!(|p: &mut P, c: &Context, o: &mut Outbox<P::Msg>| {
                     let m = slot.take().expect("one invocation");
@@ -672,12 +739,14 @@ fn event_loop<P>(
                 });
             }
             LoopEv::Cast(m) => {
+                record(Phase::Cast, Some(m.id), None);
                 let mut cast = Some(m);
                 step!(|p: &mut P, c: &Context, o: &mut Outbox<P::Msg>| {
                     p.on_cast(cast.take().expect("one invocation"), c, o)
                 });
             }
             LoopEv::CrashNotify(of) => {
+                record(Phase::CrashNotice, None, Some(of));
                 step!(|p: &mut P, c: &Context, o: &mut Outbox<P::Msg>| {
                     p.on_crash_notification(of, c, o)
                 });

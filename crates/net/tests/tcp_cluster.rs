@@ -41,6 +41,7 @@ fn spawn_a2_cluster(
                 addrs: addrs.clone(),
                 arm,
                 faults: None,
+                trace: None,
             },
             RoundBroadcast::new(p, &topo).with_retry(Duration::from_millis(100)),
             Arc::clone(&delivered),
@@ -110,6 +111,7 @@ fn genuine_multicast_over_sockets_routes_by_group() {
                 addrs: addrs.clone(),
                 arm,
                 faults: None,
+                trace: None,
             },
             GenuineMulticast::new(
                 p,
@@ -154,6 +156,7 @@ fn service_requests_answered_on_reader_thread() {
             addrs: addrs.clone(),
             arm: 0,
             faults: None,
+            trace: None,
         },
         RoundBroadcast::new(ProcessId(0), &topo),
         Arc::clone(&delivered),
@@ -183,6 +186,7 @@ fn shutdown_frame_ends_wait() {
             addrs: addrs.clone(),
             arm: 1,
             faults: None,
+            trace: None,
         },
         RoundBroadcast::new(ProcessId(0), &topo),
         delivered,

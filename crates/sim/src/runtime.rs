@@ -5,6 +5,7 @@ use crate::queue::BucketQueue;
 use crate::{NetConfig, RunMetrics, SplitMix64};
 use std::fmt;
 use std::sync::Arc;
+use wamcast_trace::{Phase, TraceEvent, TraceRing};
 use wamcast_types::{
     Action, AppMessage, Context, FaultInjector, FaultPlan, GroupSet, LatencyClock, MessageId,
     MsgSlot, Outbox, Payload, ProcessId, Protocol, SimTime, Topology,
@@ -231,6 +232,12 @@ pub struct Simulation<P: Protocol> {
     /// invocation swaps it into an [`Outbox`], drains it, and puts it
     /// back, so steady-state steps allocate nothing.
     scratch: Vec<Action<P::Msg>>,
+    /// The flight recorder, when tracing is enabled. `None` — the default
+    /// — is the zero-cost path: every record site is a single `is_some`
+    /// branch. Recording draws no randomness and reads only state the
+    /// engine already computed, so enabling it cannot perturb a schedule
+    /// (pinned by the trace-neutrality golden tests in the harness).
+    trace: Option<TraceRing>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -301,6 +308,74 @@ impl<P: Protocol> Simulation<P> {
             topo,
             cfg,
             scratch: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables the flight recorder with the given ring capacity (events;
+    /// oldest evicted first). Call before running; recording never
+    /// changes the schedule, only observes it.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// Takes the flight recorder out of the simulation, if tracing was
+    /// enabled (tracing is disabled afterwards).
+    pub fn take_trace(&mut self) -> Option<TraceRing> {
+        self.trace.take()
+    }
+
+    /// Read access to the flight recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Records one trace event at the current instant (no-op when tracing
+    /// is off).
+    fn record(
+        &mut self,
+        node: ProcessId,
+        phase: Phase,
+        cast: Option<MessageId>,
+        peer: Option<ProcessId>,
+    ) {
+        if let Some(ring) = self.trace.as_mut() {
+            ring.push(TraceEvent {
+                at_us: self.now.as_micros(),
+                node: node.0,
+                phase,
+                cast: cast.map(MessageId::cast_key),
+                peer: peer.map(|q| q.0),
+            });
+        }
+    }
+
+    /// Records a wire message send/receive at `node`, classified via
+    /// [`Protocol::describe_msg`]: one event per referenced cast, or one
+    /// unattributed event when the protocol declines to classify.
+    fn record_msg(&mut self, node: ProcessId, msg: &P::Msg, sending: bool, peer: ProcessId) {
+        if self.trace.is_none() {
+            return;
+        }
+        match P::describe_msg(msg) {
+            Some(info) => {
+                let phase = info.class.phase(sending);
+                if info.casts.is_empty() {
+                    self.record(node, phase, None, Some(peer));
+                } else {
+                    for id in info.casts {
+                        self.record(node, phase, Some(id), Some(peer));
+                    }
+                }
+            }
+            None => {
+                let phase = if sending {
+                    Phase::MsgSend
+                } else {
+                    Phase::MsgRecv
+                };
+                self.record(node, phase, None, Some(peer));
+            }
         }
     }
 
@@ -559,6 +634,7 @@ impl<P: Protocol> Simulation<P> {
         match ev.kind {
             EvKind::Crash => {
                 self.alive[p.index()] = false;
+                self.record(p, Phase::Crash, None, None);
                 // The ◇P oracle: notify all other (currently alive) processes
                 // after the detection delay.
                 let at = self.now + self.cfg.net.detection_delay;
@@ -574,6 +650,7 @@ impl<P: Protocol> Simulation<P> {
                 // Fan-out copies share one body: all but the last live
                 // handle unwrap by deep copy, the last by move.
                 let msg = msg.take();
+                self.record_msg(p, &msg, false, from);
                 self.step(p, |proto, ctx, out| proto.on_message(from, msg, ctx, out));
             }
             EvKind::Timer { kind } => {
@@ -590,9 +667,11 @@ impl<P: Protocol> Simulation<P> {
                         stamp,
                     },
                 );
+                self.record(p, Phase::Cast, Some(msg.id), None);
                 self.step(p, |proto, ctx, out| proto.on_cast(msg, ctx, out));
             }
             EvKind::NotifyCrash { of } => {
+                self.record(p, Phase::CrashNotice, None, Some(of));
                 self.step(p, |proto, ctx, out| {
                     proto.on_crash_notification(of, ctx, out)
                 });
@@ -621,6 +700,7 @@ impl<P: Protocol> Simulation<P> {
         for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => {
+                    self.record_msg(p, &msg, true, to);
                     self.schedule_copy(p, to, stamp, MsgSlot::Owned(msg));
                 }
                 Action::SendMany { tos, msg } => {
@@ -629,10 +709,12 @@ impl<P: Protocol> Simulation<P> {
                     // fate — observationally the same per-copy sequence as
                     // the equivalent `Send` loop, minus the deep copies.
                     for &to in &tos {
+                        self.record_msg(p, &msg, true, to);
                         self.schedule_copy(p, to, stamp, MsgSlot::Shared(Arc::clone(&msg)));
                     }
                 }
                 Action::Deliver(m) => {
+                    self.record(p, Phase::Deliver, Some(m.id), None);
                     self.metrics.deliveries.entry(m.id).or_default().insert(
                         p,
                         DeliveryRecord {

@@ -143,6 +143,14 @@ impl MessageId {
     pub fn new(origin: ProcessId, seq: u64) -> Self {
         MessageId { origin, seq }
     }
+
+    /// The trace layer's raw key for this cast (`(caster, seq)` as plain
+    /// integers — `wamcast-trace` is dependency-free and cannot name
+    /// `MessageId` itself).
+    #[inline]
+    pub fn cast_key(self) -> wamcast_trace::CastKey {
+        wamcast_trace::CastKey::new(self.origin.0, self.seq)
+    }
 }
 
 impl fmt::Debug for MessageId {

@@ -21,10 +21,73 @@
 //! `HashMap` iteration) so that identical event sequences produce identical
 //! action sequences.
 
-use crate::{AppMessage, GroupId, ProcessId, SimTime, Topology};
+use crate::{AppMessage, GroupId, MessageId, ProcessId, SimTime, Topology};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Coarse lifecycle classification of a protocol wire message, reported to
+/// the trace layer via [`Protocol::describe_msg`]. The variants mirror the
+/// paper's message kinds: reliable-multicast dissemination, the `(TS, m)`
+/// timestamp exchange of A1/A2, and the three consensus phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Reliable-multicast dissemination (data or ack).
+    Rmcast,
+    /// A1/A2 timestamp exchange (`(TS, m)` announcements and nudges).
+    Ts,
+    /// Consensus proposal traffic (forward / prepare / promise).
+    Propose,
+    /// Consensus accept (phase-2a) traffic.
+    Accept,
+    /// Decision-carrying consensus traffic (phase-2b / learn).
+    Decide,
+    /// Anything the protocol does not classify further.
+    Other,
+}
+
+/// A wire message described for tracing: what kind it is and which
+/// application casts it carries or references. Returned by
+/// [`Protocol::describe_msg`]; hosts turn each referenced cast into one
+/// trace event, so a batch of `k` casts yields `k` attributable events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgInfo {
+    /// Lifecycle class of the message.
+    pub class: MsgClass,
+    /// Cast ids the message carries or is about (possibly empty).
+    pub casts: Vec<MessageId>,
+}
+
+impl MsgClass {
+    /// The directional trace phase of a message of this class: what a
+    /// host runtime records when such a message is sent (`sending`) or
+    /// received. Shared by every runtime so the two trace vocabularies
+    /// cannot drift.
+    pub fn phase(self, sending: bool) -> wamcast_trace::Phase {
+        use wamcast_trace::Phase;
+        match (self, sending) {
+            (MsgClass::Rmcast, true) => Phase::RmcastSend,
+            (MsgClass::Rmcast, false) => Phase::RmcastRecv,
+            (MsgClass::Ts, true) => Phase::TsSend,
+            (MsgClass::Ts, false) => Phase::TsRecv,
+            (MsgClass::Propose, true) => Phase::ProposeSend,
+            (MsgClass::Propose, false) => Phase::ProposeRecv,
+            (MsgClass::Accept, true) => Phase::AcceptSend,
+            (MsgClass::Accept, false) => Phase::AcceptRecv,
+            (MsgClass::Decide, true) => Phase::DecideSend,
+            (MsgClass::Decide, false) => Phase::DecideRecv,
+            (MsgClass::Other, true) => Phase::MsgSend,
+            (MsgClass::Other, false) => Phase::MsgRecv,
+        }
+    }
+}
+
+impl MsgInfo {
+    /// Describes a message of `class` referencing the given casts.
+    pub fn new(class: MsgClass, casts: Vec<MessageId>) -> Self {
+        MsgInfo { class, casts }
+    }
+}
 
 /// A buffered side effect emitted by a protocol handler.
 #[derive(Clone, Debug)]
@@ -310,6 +373,17 @@ pub trait Protocol {
         out: &mut Outbox<Self::Msg>,
     ) {
         let _ = (crashed, ctx, out);
+    }
+
+    /// Classifies a wire message for the trace layer: its lifecycle class
+    /// and the casts it references. Purely observational — hosts call it
+    /// only when tracing is enabled, and it must not mutate anything (it
+    /// takes no `&self`, so it cannot). The default declines to classify,
+    /// which traces as generic send/recv events; wrapper protocols must
+    /// forward to the wrapped protocol's implementation.
+    fn describe_msg(msg: &Self::Msg) -> Option<MsgInfo> {
+        let _ = msg;
+        None
     }
 }
 
