@@ -30,6 +30,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 use wamcast_types::{FxHashMap, ProcessId};
 
 /// Values decidable by consensus.
@@ -297,8 +298,11 @@ fn merged_candidate<V: Value>(merge: Option<MergeFn<V>>, inst: &Instance<V>) -> 
 #[derive(Clone, Debug)]
 pub struct GroupConsensus<V> {
     me: ProcessId,
-    /// Group members, ascending. `members\[0\]` owns ballot 0.
-    members: Vec<ProcessId>,
+    /// Group members, ascending. `members\[0\]` owns ballot 0. Shared
+    /// (`Arc`) because several handlers need the list while an instance is
+    /// mutably borrowed: a refcount bump there, never a per-message copy
+    /// of the list.
+    members: Arc<[ProcessId]>,
     majority: usize,
     suspected: BTreeSet<ProcessId>,
     /// Point-query only (hot path); anything that must *iterate*
@@ -332,7 +336,7 @@ impl<V: Value> GroupConsensus<V> {
         let majority = members.len() / 2 + 1;
         GroupConsensus {
             me,
-            members,
+            members: members.into(),
             majority,
             suspected: BTreeSet::new(),
             instances: FxHashMap::default(),
@@ -410,9 +414,19 @@ impl<V: Value> GroupConsensus<V> {
     /// Drains decisions reached since the previous call, in instance order.
     /// Each decision is emitted exactly once.
     pub fn take_decisions(&mut self) -> Vec<(u64, V)> {
-        let mut out = std::mem::take(&mut self.undrained);
-        out.sort_by_key(|&(k, _)| k);
+        let mut out = Vec::new();
+        self.drain_decisions_into(&mut out);
         out
+    }
+
+    /// [`take_decisions`](Self::take_decisions) into a caller-owned buffer:
+    /// appends the fresh decisions and sorts the buffer by instance. The
+    /// engine's internal staging vector keeps its capacity, so a host that
+    /// reuses `out` drains at zero allocations steady-state. Callers pass
+    /// an empty buffer (the sort covers the whole vector).
+    pub fn drain_decisions_into(&mut self, out: &mut Vec<(u64, V)>) {
+        out.append(&mut self.undrained);
+        out.sort_by_key(|&(k, _)| k);
     }
 
     /// Proposes `value` for `instance` (the paper's `Propose(k, msgSet)`).
@@ -546,7 +560,7 @@ impl<V: Value> GroupConsensus<V> {
                     return;
                 }
                 let majority = self.majority;
-                let members = self.members.clone();
+                let members = Arc::clone(&self.members);
                 let merge = self.merge;
                 let inst = self.instance_mut(instance);
                 let Some(ps) = inst.prepare.as_mut() else {
@@ -655,7 +669,7 @@ impl<V: Value> GroupConsensus<V> {
     /// it is still viable, otherwise run/refresh a recovery ballot.
     fn drive_as_coordinator(&mut self, instance: u64, sink: &mut MsgSink<V>) {
         let me = self.me;
-        let members = self.members.clone();
+        let members = Arc::clone(&self.members);
         let majority = self.majority;
         let is_b0_owner = members[0] == me;
         let merge = self.merge;
@@ -777,7 +791,7 @@ impl<V: Value> GroupConsensus<V> {
     /// member that already decided replies `Decide` to any stale traffic,
     /// so ticking also heals learners that missed the `Accepted` flood.
     pub fn tick(&mut self, sink: &mut MsgSink<V>) {
-        let members = self.members.clone();
+        let members = Arc::clone(&self.members);
         let coord = self.coordinator();
         let undecided: Vec<u64> = self.active.iter().copied().collect();
         for instance in undecided {
@@ -850,6 +864,19 @@ impl<V: Value> GroupConsensus<V> {
         }
         if let Some(inst) = self.instances.get_mut(&instance) {
             inst.decided = true;
+            // Release the instance's heavy state: every handler path is
+            // guarded by the decisions table once a decision exists, so
+            // candidates, forwarded batches, prepare state and the accepted
+            // value can never be read again — only `accepted_votes` must
+            // survive, because the decided-instance branch of `Accepted`
+            // distinguishes duplicate announcements (a retransmitting peer
+            // that missed the decision, owed a `Decide` reply) from routine
+            // first-time late arrivals by the recorded votes.
+            inst.my_value = None;
+            inst.forwarded = Vec::new();
+            inst.sent_accept0_value = None;
+            inst.prepare = None;
+            inst.accepted = None;
         }
         self.active.remove(&instance);
         self.decisions.insert(instance, value.clone());

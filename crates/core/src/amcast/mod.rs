@@ -51,7 +51,8 @@
 
 pub mod nongenuine;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Duration;
 use wamcast_consensus::{ConsensusMsg, GroupConsensus, MsgSink};
 use wamcast_rmcast::{RmcastEngine, RmcastMsg, RmcastOut, UniformRmcastEngine};
@@ -233,18 +234,24 @@ pub struct GenuineMulticast {
     /// Point-query only; ordered walks go through `by_ts`, `unproposed`
     /// and `s1_waiting`.
     pending: FxHashMap<MessageId, Pending>,
-    /// Delivery-order index over `pending`: the `(ts, id)` pairs of every
-    /// pending message. Makes the line-3 minimality test O(log n) per
-    /// delivery instead of a full scan (the hot path under load).
-    by_ts: BTreeSet<(u64, MessageId)>,
+    /// Delivery-order index over `pending`: a min-heap of `(ts, id)` pairs
+    /// with *lazy deletion*. A message's timestamp only ever grows, so a
+    /// re-timestamp pushes the new pair and leaves the old one to be
+    /// recognized as stale (no longer matching `pending`) and skipped when
+    /// it surfaces at the top. Heap pushes beat the tree-rebalance cost of
+    /// the `BTreeSet` this replaces, and the line-3 minimality test stays
+    /// O(log n) amortized per delivery.
+    by_ts: BinaryHeap<Reverse<(u64, MessageId)>>,
     /// Pending stage-s0/s2 messages — the unproposed batch, and exactly the
-    /// `msgSet` the next consensus proposal carries.
-    unproposed: BTreeSet<MessageId>,
+    /// `msgSet` the next consensus proposal carries. Unordered; the propose
+    /// path sorts the batch it builds (the only ordered consumer).
+    unproposed: FxHashSet<MessageId>,
     /// Stage index over `pending`: the messages currently in stage s1
     /// (proposal exchanged, remote proposals outstanding). Retry-mode
     /// retransmission re-sends `(TS, m)` for exactly these, so a tick
     /// walks this set instead of scanning the whole pending pool.
-    s1_waiting: BTreeSet<MessageId>,
+    /// Unordered; the (rare) retransmission walk sorts its snapshot.
+    s1_waiting: FxHashSet<MessageId>,
     /// Payload bytes of the unproposed batch.
     unproposed_bytes: usize,
     adelivered: FxHashSet<MessageId>,
@@ -277,6 +284,20 @@ pub struct GenuineMulticast {
     rm_buf: RmcastOut,
     /// Reusable buffer for consensus engine calls (same pattern).
     sink_buf: MsgSink<MsgBatch>,
+    /// Reusable staging buffer for freshly decided consensus instances
+    /// (`drain_decisions`); same take/put-back pattern as `sink_buf`, so a
+    /// re-entrant drain (decision → propose → decision) falls back to a
+    /// fresh vector instead of corrupting the outer frame's.
+    dec_buf: Vec<(u64, MsgBatch)>,
+    /// Reusable scratch: `process_decision`'s sorted index over the
+    /// decided batch.
+    order_buf: Vec<usize>,
+    /// Reusable scratch: the ids a decision moved into stage s1.
+    entered_s1_buf: Vec<MessageId>,
+    /// Reusable scratch: per-destination-group `(TS, batch)` staging. Only
+    /// the outer vector's capacity is reusable — each inner entry vector
+    /// is consumed by the shared batch it becomes.
+    ts_batches_buf: Vec<(GroupId, Vec<MsgEntry>)>,
 }
 
 /// Retention cap for [`GenuineMulticast`]'s remembered `(TS, m)` proposals
@@ -290,14 +311,21 @@ const SENT_PROPOSAL_CAP: usize = 4096;
 /// over the shared batch — public so the engine benchmarks can measure
 /// the batch-merge hot path directly.
 pub fn merge_msg_sets(acc: &mut MsgBatch, more: MsgBatch) {
-    let have: BTreeSet<MessageId> = acc.iter().map(|e| e.msg.id).collect();
-    let fresh: Vec<MsgEntry> = more
+    // Batches are small (bounded by the batch policy), so linear id scans
+    // beat building a lookup set; the all-duplicates fast path — every
+    // copy after the first forward — touches no allocator at all, and
+    // `make_mut` copies only when something genuinely appends.
+    if more
         .iter()
-        .filter(|e| !have.contains(&e.msg.id))
-        .cloned()
-        .collect();
-    if !fresh.is_empty() {
-        std::sync::Arc::make_mut(acc).extend(fresh);
+        .all(|e| acc.iter().any(|a| a.msg.id == e.msg.id))
+    {
+        return;
+    }
+    let merged = std::sync::Arc::make_mut(acc);
+    for e in more.iter() {
+        if !merged.iter().any(|a| a.msg.id == e.msg.id) {
+            merged.push(e.clone());
+        }
     }
 }
 
@@ -330,9 +358,9 @@ impl GenuineMulticast {
             k: 1,
             prop_k: 1,
             pending: FxHashMap::default(),
-            by_ts: BTreeSet::new(),
-            unproposed: BTreeSet::new(),
-            s1_waiting: BTreeSet::new(),
+            by_ts: BinaryHeap::new(),
+            unproposed: FxHashSet::default(),
+            s1_waiting: FxHashSet::default(),
             unproposed_bytes: 0,
             adelivered: FxHashSet::default(),
             rmcast,
@@ -345,6 +373,10 @@ impl GenuineMulticast {
             sent_proposal_order: std::collections::VecDeque::new(),
             rm_buf: RmcastOut::new(),
             sink_buf: MsgSink::new(),
+            dec_buf: Vec::new(),
+            order_buf: Vec::new(),
+            entered_s1_buf: Vec::new(),
+            ts_batches_buf: Vec::new(),
         }
     }
 
@@ -411,7 +443,7 @@ impl GenuineMulticast {
         if self.pending.contains_key(&m.id) || self.adelivered.contains(&m.id) {
             return;
         }
-        self.by_ts.insert((self.k, m.id));
+        self.by_ts.push(Reverse((self.k, m.id)));
         self.unproposed.insert(m.id);
         self.unproposed_bytes += m.payload.len();
         self.pending.insert(
@@ -458,22 +490,22 @@ impl GenuineMulticast {
         if self.prop_k > self.k {
             return;
         }
-        let msg_set: Vec<MsgEntry> = self
-            .unproposed
-            .iter()
-            .map(|id| {
-                let p = &self.pending[id];
-                debug_assert!(matches!(p.stage, Stage::S0 | Stage::S2));
-                MsgEntry {
-                    msg: p.msg.clone(),
-                    ts: p.ts,
-                    stage: p.stage,
-                }
-            })
-            .collect();
+        let mut msg_set: Vec<MsgEntry> = Vec::with_capacity(self.unproposed.len());
+        msg_set.extend(self.unproposed.iter().map(|id| {
+            let p = &self.pending[id];
+            debug_assert!(matches!(p.stage, Stage::S0 | Stage::S2));
+            MsgEntry {
+                msg: p.msg.clone(),
+                ts: p.ts,
+                stage: p.stage,
+            }
+        }));
         if msg_set.is_empty() {
             return;
         }
+        // The pool is unordered; the proposal itself is what must be
+        // deterministic (ascending id, as the ordered pool produced).
+        msg_set.sort_unstable_by_key(|e| e.msg.id);
         let mut sink = std::mem::take(&mut self.sink_buf);
         self.cons.propose(self.k, MsgBatch::new(msg_set), &mut sink);
         self.prop_k = self.k + 1;
@@ -483,11 +515,20 @@ impl GenuineMulticast {
 
     /// Pulls decided instances from the consensus engine and processes them
     /// strictly in this process's clock order (Lemma A.1 guarantees all
-    /// group members observe the same instance sequence).
+    /// group members observe the same instance sequence). The loop applies
+    /// every *consecutive* ready decision in one pass: a decision for the
+    /// current clock is processed, the clock advances, and the next
+    /// buffered decision (if already learned) follows immediately —
+    /// including decisions learned re-entrantly while one was processed.
     fn drain_decisions(&mut self, ctx: &Context, out: &mut Outbox<MulticastMsg>) {
-        for (k, v) in self.cons.take_decisions() {
+        let mut buf = std::mem::take(&mut self.dec_buf);
+        self.cons.drain_decisions_into(&mut buf);
+        for (k, v) in buf.drain(..) {
             self.buffered_decisions.insert(k, v);
         }
+        // Put the (drained) buffer back *before* processing: a decision
+        // handler can re-enter this method via its own propose path.
+        self.dec_buf = buf;
         while let Some(msg_set) = self.buffered_decisions.remove(&self.k) {
             self.process_decision(msg_set, ctx, out);
         }
@@ -503,22 +544,26 @@ impl GenuineMulticast {
         let k = self.k;
         // The consensus engine keeps its own handle on the decided batch
         // (for Decide catch-up replies), so iterate the shared batch via a
-        // sorted index instead of deep-copying it; each entry is cloned
-        // exactly once, where its fields are rewritten below.
-        let mut order: Vec<usize> = (0..msg_set.len()).collect();
+        // sorted index instead of deep-copying it; entries are only cloned
+        // where an owned copy genuinely leaves this process (the outbound
+        // TS batches, a never-seen message entering `pending`). All
+        // per-decision buffers are engine-owned scratch — taken here, put
+        // back before any re-entrant call can need them.
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.extend(0..msg_set.len());
         order.sort_by_key(|&i| msg_set[i].msg.id); // deterministic processing order
         let mut max_ts = 0u64;
         // One (TS, batch) per remote destination group, carrying this
         // decision's stage-s1 entries addressed to it (the batched form of
         // line 24); each member of the group gets an `Arc` handle to the
         // same batch.
-        let mut ts_batches: BTreeMap<GroupId, Vec<MsgEntry>> = BTreeMap::new();
+        let mut ts_batches = std::mem::take(&mut self.ts_batches_buf);
         // Messages this decision moved into s1; only these can need the
         // post-decision resolution check below (older s1 messages were
         // checked when their TS messages arrived).
-        let mut entered_s1: Vec<MessageId> = Vec::new();
-        for i in order {
-            let mut entry = msg_set[i].clone();
+        let mut entered_s1 = std::mem::take(&mut self.entered_s1_buf);
+        for &i in &order {
+            let entry = &msg_set[i];
             let id = entry.msg.id;
             if self.adelivered.contains(&id) {
                 // Already A-Delivered here (decision learned late); its
@@ -527,73 +572,94 @@ impl GenuineMulticast {
                 continue;
             }
             let multi_group = entry.msg.dest.len() > 1;
-            if entry.stage == Stage::S2 {
+            let (new_ts, new_stage) = if entry.stage == Stage::S2 {
                 // Line 26: second consensus done; the final timestamp
                 // (already in `entry.ts`) stands.
-                entry.stage = Stage::S3;
+                (entry.ts, Stage::S3)
             } else if multi_group {
                 // Lines 22–24: this group's proposal is the deciding
                 // instance number; exchange it with the other groups.
-                entry.ts = k;
-                entry.stage = Stage::S1;
                 if self.cfg.retry.is_some() {
                     self.record_sent_proposal(id, k);
                 }
                 for g in entry.msg.dest.iter().filter(|&g| g != self.group) {
-                    ts_batches.entry(g).or_default().push(entry.clone());
+                    let e = MsgEntry {
+                        msg: entry.msg.clone(),
+                        ts: k,
+                        stage: Stage::S1,
+                    };
+                    // A message addresses a handful of groups: linear scan
+                    // over the staging vector, sorted once at send time.
+                    match ts_batches.iter_mut().find(|(pg, _)| *pg == g) {
+                        Some((_, batch)) => batch.push(e),
+                        None => ts_batches.push((g, vec![e])),
+                    }
                 }
+                (k, Stage::S1)
             } else {
                 // Lines 28–29: single destination group — the proposal *is*
                 // the final timestamp; no exchange needed, stage s1/s2
                 // skipped (paper A1). In Fritzke [5] mode the message still
                 // runs the (vacuous) proposal exchange plus the second
                 // consensus.
-                entry.ts = k;
-                entry.stage = if self.cfg.skip_stages {
+                let stage = if self.cfg.skip_stages {
                     Stage::S3
                 } else {
                     Stage::S1
                 };
-            }
-            max_ts = max_ts.max(entry.ts);
-            // Line 30: add the message or update its fields (keeping the
-            // delivery-order index and batch counters in sync). The decision
-            // value may teach us a message we never R-Delivered. Remove +
-            // re-insert moves the recorded proposals instead of cloning
-            // them.
-            let remote_proposals = match self.pending.remove(&id) {
-                Some(old) => {
-                    self.by_ts.remove(&(old.ts, id));
-                    if matches!(old.stage, Stage::S0 | Stage::S2) && self.unproposed.remove(&id) {
-                        self.unproposed_bytes -= old.msg.payload.len();
-                    }
-                    old.remote_proposals
-                }
-                None => Vec::new(),
+                (k, stage)
             };
-            self.by_ts.insert((entry.ts, id));
-            if entry.stage == Stage::S1 {
+            max_ts = max_ts.max(new_ts);
+            // Line 30: add the message or update its fields in place
+            // (keeping the delivery-order index and batch counters in
+            // sync). The decision value may teach us a message we never
+            // R-Delivered; an already-pending one keeps its stored body and
+            // recorded proposals — only `ts`/`stage` change.
+            match self.pending.get_mut(&id) {
+                Some(p) => {
+                    // A timestamp is monotone over a message's lifetime, so
+                    // the old heap pair goes stale on change (lazy
+                    // deletion); an unchanged timestamp keeps its live pair.
+                    if p.ts != new_ts {
+                        self.by_ts.push(Reverse((new_ts, id)));
+                    }
+                    if matches!(p.stage, Stage::S0 | Stage::S2) && self.unproposed.remove(&id) {
+                        self.unproposed_bytes -= p.msg.payload.len();
+                    }
+                    p.ts = new_ts;
+                    p.stage = new_stage;
+                }
+                None => {
+                    self.pending.insert(
+                        id,
+                        Pending {
+                            msg: entry.msg.clone(),
+                            ts: new_ts,
+                            stage: new_stage,
+                            remote_proposals: Vec::new(),
+                        },
+                    );
+                    self.by_ts.push(Reverse((new_ts, id)));
+                }
+            }
+            if new_stage == Stage::S1 {
                 entered_s1.push(id);
                 self.s1_waiting.insert(id);
             } else {
                 self.s1_waiting.remove(&id);
             }
-            self.pending.insert(
-                id,
-                Pending {
-                    msg: entry.msg.clone(),
-                    ts: entry.ts,
-                    stage: entry.stage,
-                    remote_proposals,
-                },
-            );
             // Mark as seen so a late R-MCast copy is not re-inserted at s0
             // (the pending/adelivered checks cover the uniform engine).
             if !self.cfg.uniform_dissemination {
                 self.rmcast.mark_seen(&entry.msg, ctx.topology());
             }
         }
-        for (g, entries) in ts_batches {
+        order.clear();
+        self.order_buf = order;
+        // Emission order must match the BTreeMap this staging vector
+        // replaced: ascending destination group.
+        ts_batches.sort_by_key(|&(g, _)| g);
+        for (g, entries) in ts_batches.drain(..) {
             // One wire message per destination *group*, one shared body per
             // member fan-out: the engine clones a refcount per member.
             let batch = MsgBatch::new(entries);
@@ -602,20 +668,23 @@ impl GenuineMulticast {
                 MulticastMsg::Ts(batch),
             );
         }
+        self.ts_batches_buf = ts_batches;
         // Line 31: K ← max(max decided ts, K) + 1.
         self.k = self.k.max(max_ts) + 1;
         // Freshly-s1 messages whose remote proposals already all arrived
         // can be resolved at once (the TS messages may have beaten our
         // decision, parking their proposals in `remote_proposals`).
-        for id in entered_s1 {
+        for id in entered_s1.drain(..) {
             self.try_resolve_s1(id, ctx, out);
         }
+        self.entered_s1_buf = entered_s1;
         // Line 32 + re-evaluation of the line-14 guard, through the batch
         // gate: the next instance starts when the pool hits a size/byte
-        // trigger or the flush timer closes the window.
+        // trigger or the flush timer closes the window. Decisions learned
+        // during either call were processed re-entrantly; any the clock was
+        // not yet ready for are picked up by `drain_decisions`'s loop.
         self.adelivery_test(out);
         self.schedule_propose(ctx, out);
-        self.drain_decisions(ctx, out);
     }
 
     /// Lines 33–40: once every other destination group's proposal for `m`
@@ -656,8 +725,9 @@ impl GenuineMulticast {
             p.ts = own.max(max_remote);
             p.stage = Stage::S2;
             let (new_ts, bytes) = (p.ts, p.msg.payload.len());
-            self.by_ts.remove(&(own, id));
-            self.by_ts.insert((new_ts, id));
+            if new_ts != own {
+                self.by_ts.push(Reverse((new_ts, id)));
+            }
             self.unproposed.insert(id);
             self.unproposed_bytes += bytes;
             self.schedule_propose(ctx, out);
@@ -680,24 +750,33 @@ impl GenuineMulticast {
         let mut replies: Vec<MsgEntry> = Vec::new();
         for entry in entries.iter() {
             let id = entry.msg.id;
-            // Duplicate-copy fast path: every member of the deciding group
-            // sends the same (TS, batch), so all but the first copy find
-            // the proposal already recorded (or the message long
-            // A-Delivered) and nothing below could change any state —
-            // skip the re-walk. Nudges still fall through: they may need
-            // a reply even when nothing changes locally.
-            if !nudge
-                && self.pending.get(&id).map_or_else(
-                    || self.adelivered.contains(&id),
-                    |p| p.proposal_of(sender_group) == Some(entry.ts),
-                )
-            {
-                continue;
-            }
-            // Line 10: a (TS, m) message also discloses m itself.
-            self.on_rdeliver(entry.msg.clone(), ctx, out);
-            if let Some(p) = self.pending.get_mut(&id) {
-                p.set_proposal(sender_group, entry.ts);
+            // One hash probe classifies the entry; the duplicate-copy fast
+            // path (every member of the deciding group sends the same
+            // (TS, batch), so all but the first copy find the proposal
+            // already recorded, or the message long A-Delivered, and
+            // nothing below could change any state) skips the re-walk.
+            // Nudges still fall through: they may need a reply even when
+            // nothing changes locally.
+            match self.pending.get_mut(&id) {
+                Some(p) => {
+                    if !nudge && p.proposal_of(sender_group) == Some(entry.ts) {
+                        continue;
+                    }
+                    p.set_proposal(sender_group, entry.ts);
+                }
+                None if self.adelivered.contains(&id) => {
+                    if !nudge {
+                        continue;
+                    }
+                }
+                None => {
+                    // Line 10: a (TS, m) message also discloses m itself —
+                    // this is the only case that needs an owned copy.
+                    self.on_rdeliver(entry.msg.clone(), ctx, out);
+                    if let Some(p) = self.pending.get_mut(&id) {
+                        p.set_proposal(sender_group, entry.ts);
+                    }
+                }
             }
             self.try_resolve_s1(id, ctx, out);
             if nudge {
@@ -764,7 +843,9 @@ impl GenuineMulticast {
         // s1 index (id order, same order the full pending scan produced),
         // not the whole pending pool.
         let mut per_group: BTreeMap<GroupId, Vec<MsgEntry>> = BTreeMap::new();
-        for id in &self.s1_waiting {
+        let mut stuck: Vec<MessageId> = self.s1_waiting.iter().copied().collect();
+        stuck.sort_unstable();
+        for id in &stuck {
             let p = &self.pending[id];
             debug_assert_eq!(p.stage, Stage::S1, "s1 index out of sync");
             for g in p.msg.dest.iter() {
@@ -798,15 +879,21 @@ impl GenuineMulticast {
     /// pending set.
     fn adelivery_test(&mut self, out: &mut Outbox<MulticastMsg>) {
         loop {
-            let Some(&(min_ts, min_id)) = self.by_ts.iter().next() else {
+            let Some(&Reverse((min_ts, min_id))) = self.by_ts.peek() else {
                 return;
             };
-            let min_p = self.pending.get(&min_id).expect("index mirrors pending");
-            debug_assert_eq!(min_p.ts, min_ts, "index out of sync");
+            // Lazy deletion: a pair that no longer matches `pending` is a
+            // leftover from a re-timestamp or an earlier delivery — discard
+            // and look again. Every pending message's *current* pair is in
+            // the heap, so the first live pair is the true minimum.
+            let Some(min_p) = self.pending.get(&min_id).filter(|p| p.ts == min_ts) else {
+                self.by_ts.pop();
+                continue;
+            };
             if min_p.stage != Stage::S3 {
                 return;
             }
-            self.by_ts.remove(&(min_ts, min_id));
+            self.by_ts.pop();
             let p = self.pending.remove(&min_id).expect("present");
             debug_assert!(!self.s1_waiting.contains(&min_id), "delivering s1 msg");
             self.adelivered.insert(min_id);

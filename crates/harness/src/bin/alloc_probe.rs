@@ -1,0 +1,190 @@
+//! E16 — allocation probe: allocations-per-op under a counting allocator.
+//!
+//! Wraps the system allocator in a counter (this binary only — the
+//! workspace libraries stay `forbid(unsafe_code)`; a bin is its own crate
+//! root) and runs two fixed workloads:
+//!
+//! * the `3x3 a1-batched` engine probe (see `wamcast_harness::perf`),
+//!   reporting heap allocations per dispatched event, and
+//! * a 2-process TCP smoke (the CI wire job's shape, driven by
+//!   `wamcast_harness::tcpperf`), reporting heap allocations per cast —
+//!   counted across *all* threads of the node stack, which is the point:
+//!   encode, decode, and handler allocations all land in the number.
+//!
+//! Wall-clock is deliberately not measured: the counter perturbs timing
+//! but not counts, so the numbers are stable run to run (the sim side is
+//! exactly deterministic; the TCP side varies only with retransmissions).
+//!
+//! ```text
+//! alloc_probe                      # print both numbers
+//! alloc_probe --ops 300            # tcp smoke op count
+//! alloc_probe --merge BENCH_engine.json   # also fold the numbers into the
+//!                                  # snapshot as its "allocs" object
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wamcast_harness::cli::parse_u64;
+use wamcast_harness::perf::probe_events_once;
+use wamcast_harness::tcpperf::probe_tcp_shaped;
+
+/// Heap allocations observed since process start (alloc + realloc calls).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes requested by those allocations.
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator with every `alloc`/`realloc` counted. Counting is
+/// relaxed-atomic: cross-thread precision at a given instant does not
+/// matter, only the total over a workload that has fully quiesced.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One workload's allocation delta.
+struct Measured {
+    /// Operations the workload performed (steps or casts).
+    ops: u64,
+    /// Heap allocations during the workload.
+    allocs: u64,
+    /// Bytes requested during the workload.
+    bytes: u64,
+}
+
+impl Measured {
+    fn per_op(&self) -> f64 {
+        self.allocs as f64 / self.ops.max(1) as f64
+    }
+
+    fn bytes_per_op(&self) -> f64 {
+        self.bytes as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Runs `work`, returning its allocation delta and its op count.
+fn counted(work: impl FnOnce() -> u64) -> Measured {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let ops = work();
+    Measured {
+        ops,
+        allocs: ALLOCS.load(Ordering::Relaxed) - a0,
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut merge: Option<String> = None;
+    let mut ops = 500u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--merge" => merge = Some(grab("--merge")?),
+                "--ops" => ops = parse_u64("--ops", &grab("--ops")?)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("alloc_probe: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    println!("alloc_probe: 3x3 a1-batched probe + {ops}-op 2-process tcp smoke");
+    let sim = counted(|| probe_events_once().steps);
+    println!(
+        "  sim: {} steps, {} allocs ({} B)  ->  {:.2} allocs/step, {:.0} B/step",
+        sim.ops,
+        sim.allocs,
+        sim.bytes,
+        sim.per_op(),
+        sim.bytes_per_op()
+    );
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let tcp = match probe_tcp_shaped((2, 1), ops) {
+        Ok(r) => Measured {
+            ops: r.ops,
+            allocs: ALLOCS.load(Ordering::Relaxed) - a0,
+            bytes: ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+        },
+        Err(e) => {
+            eprintln!("alloc_probe: tcp smoke failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "  tcp: {} casts, {} allocs ({} B)  ->  {:.2} allocs/op, {:.0} B/op",
+        tcp.ops,
+        tcp.allocs,
+        tcp.bytes,
+        tcp.per_op(),
+        tcp.bytes_per_op()
+    );
+
+    if let Some(path) = merge {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("alloc_probe: could not read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let merged = merge_allocs(&text, &sim, &tcp);
+        if let Err(e) = std::fs::write(&path, merged) {
+            eprintln!("alloc_probe: could not write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("  allocs object merged into {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replaces (or appends) the snapshot's `"allocs"` object, leaving every
+/// other key untouched. The object is always the file's last key, so
+/// "strip from the key to the end, then re-append" is a full merge.
+fn merge_allocs(text: &str, sim: &Measured, tcp: &Measured) -> String {
+    let head = match text.find("\"allocs\"") {
+        Some(i) => text[..i].to_string(),
+        None => {
+            let t = text.trim_end();
+            t.strip_suffix('}').unwrap_or(t).to_string()
+        }
+    };
+    let head = head.trim_end().trim_end_matches(',').trim_end();
+    format!(
+        "{head},\n  \"allocs\": {{\n    \"sim_allocs_per_step\": {:.2},\n    \"sim_bytes_per_step\": {:.0},\n    \"sim_steps\": {},\n    \"tcp_allocs_per_op\": {:.2},\n    \"tcp_bytes_per_op\": {:.0},\n    \"tcp_ops\": {}\n  }}\n}}\n",
+        sim.per_op(),
+        sim.bytes_per_op(),
+        sim.ops,
+        tcp.per_op(),
+        tcp.bytes_per_op(),
+        tcp.ops,
+    )
+}

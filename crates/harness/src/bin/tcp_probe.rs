@@ -1,0 +1,149 @@
+//! E16 — TCP throughput probe: measure, snapshot, and gate.
+//!
+//! Measures end-to-end casts/sec through a 2×2 cluster of real TCP peers
+//! (see `wamcast_harness::tcpperf`), then writes `BENCH_tcp.json` carrying
+//! the fresh measurement, the checked-in pre-encode-once reference, and
+//! the speedup.
+//!
+//! ```text
+//! tcp_probe                        # full probe: 2000 ops, 5 repeats
+//! tcp_probe --quick                # CI shape: 500 ops, 3 repeats
+//! tcp_probe --gate BENCH_tcp.json  # also fail (exit 1) if ops/sec
+//!                                  # regressed >20% vs the snapshot, or
+//!                                  # the workload shape drifted
+//! tcp_probe --ops 1000 --out path.json
+//! ```
+//!
+//! The gate compares fresh ops/sec against the snapshot's — hardware
+//! differences between the snapshotting box and the gating box are the
+//! caller's concern, exactly as for `perf_probe`.
+
+use std::process::ExitCode;
+use wamcast_harness::cli::parse_u64;
+use wamcast_harness::tcpperf::{probe_tcp, TcpSnapshot, TCP_PROBE_SHAPE};
+
+/// Pre-change reference measurement (the re-encode-per-peer TCP path),
+/// checked in at build time.
+const PRE_CHANGE: &str = include_str!("../../data/BENCH_tcp_pre.json");
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_tcp.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut ops: Option<u64> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--quick" => quick = true,
+                "--out" => out = grab("--out")?,
+                "--gate" => gate = Some(grab("--gate")?),
+                "--ops" => ops = Some(parse_u64("--ops", &grab("--ops")?)?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("tcp_probe: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let (default_ops, repeats) = if quick { (500, 3) } else { (2000, 5) };
+    let ops = ops.unwrap_or(default_ops);
+    let (groups, per_group) = TCP_PROBE_SHAPE;
+    let peers = groups * per_group;
+    println!("tcp_probe: {ops} ops through {groups}x{per_group} tcp peers ({repeats} repeats)");
+
+    let best = match probe_tcp(ops, repeats) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tcp_probe: probe failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "  2x2 tcp pipeline: {} ops in {:?}  ->  {:.0} ops/sec",
+        best.ops,
+        best.wall,
+        best.ops_per_sec()
+    );
+
+    let current = TcpSnapshot {
+        ops_per_sec: best.ops_per_sec(),
+        ops: best.ops,
+        peers,
+    };
+
+    let pre = TcpSnapshot::from_json(PRE_CHANGE).filter(|p| p.ops_per_sec > 0.0);
+    let mut json = String::from(
+        "{\n  \"schema\": 1,\n  \"scenario\": \"2x2 a1-batched tcp pipeline, 200B payloads\",\n",
+    );
+    json.push_str(&format!("  \"current\": {},\n", current.to_json("    ")));
+    if let Some(pre) = &pre {
+        json.push_str(&format!("  \"pre_change\": {},\n", pre.to_json("    ")));
+        json.push_str(&format!(
+            "  \"speedup\": {{\n    \"ops_per_sec\": {:.2}\n  }}\n",
+            current.ops_per_sec / pre.ops_per_sec
+        ));
+        println!(
+            "  vs pre-encode-once path: {:.2}x ops/sec",
+            current.ops_per_sec / pre.ops_per_sec
+        );
+    } else {
+        json.push_str("  \"pre_change\": null,\n  \"speedup\": null\n");
+    }
+    json.push('}');
+    json.push('\n');
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("tcp_probe: could not write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("  snapshot written to {out}");
+    match gate {
+        Some(path) => run_gate(&path, &current),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// `--gate`: fail if fresh ops/sec fell more than 20% below the
+/// snapshot's `current.ops_per_sec`, or the workload shape drifted.
+fn run_gate(path: &str, current: &TcpSnapshot) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tcp_probe: could not read gate snapshot {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(snap) = TcpSnapshot::from_json(&text) else {
+        eprintln!("tcp_probe: gate snapshot {path} is missing tcp fields");
+        return ExitCode::from(2);
+    };
+    // Shape drift first: ops/sec is only comparable over the same
+    // workload. (CI runs --quick against the full snapshot, so op count
+    // may differ; the peer count pins the topology.)
+    if current.peers != snap.peers {
+        eprintln!(
+            "tcp_probe: SHAPE DRIFT — probe ran {} peers, snapshot recorded {}; \
+             the probe scenario changed, regenerate the snapshot (and say so in the PR)",
+            current.peers, snap.peers
+        );
+        return ExitCode::from(1);
+    }
+    let floor = snap.ops_per_sec * 0.8;
+    println!(
+        "  gate: measured {:.0} ops/sec vs snapshot {:.0} (floor {:.0})",
+        current.ops_per_sec, snap.ops_per_sec, floor
+    );
+    if current.ops_per_sec < floor {
+        eprintln!("tcp_probe: REGRESSION — ops/sec dropped >20% below the checked-in snapshot");
+        return ExitCode::from(1);
+    }
+    println!("  gate passed");
+    ExitCode::SUCCESS
+}

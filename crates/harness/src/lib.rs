@@ -37,6 +37,7 @@ pub mod smr;
 pub mod sweeps;
 pub mod table;
 pub mod tcp_host;
+pub mod tcpperf;
 pub mod throughput;
 pub mod workload;
 

@@ -309,16 +309,26 @@ fn rng_for(name: &str) -> SplitMix64 {
     SplitMix64::new(h)
 }
 
-/// Properties 1–3 for one type: round trip through the envelope, strict
+/// Properties 1–4 for one type: round trip through the envelope,
+/// `seal_into` differential equality over a reused dirty buffer, strict
 /// truncation rejection on a sample, mutation panic-freedom.
 fn fuzz_type<T>(name: &str, mut gen: impl FnMut(&mut SplitMix64) -> T)
 where
     T: Wire + PartialEq + Debug,
 {
     let mut rng = rng_for(name);
+    // The pooled-buffer path's reuse buffer: deliberately *dirty* from the
+    // previous case (and pre-soiled here), so any dependence of `seal_into`
+    // on its buffer's prior contents or capacity shows up as a byte diff.
+    let mut reused: Vec<u8> = vec![0xEE; 7];
     for case in 0..CASES {
         let v = gen(&mut rng);
         let sealed = wire::seal(ARM, &v);
+        wire::seal_into(ARM, &v, &mut reused);
+        assert_eq!(
+            reused, sealed,
+            "{name} case {case}: seal_into over a reused buffer diverged from seal"
+        );
         let back = wire::open::<T>(ARM, &sealed)
             .unwrap_or_else(|e| panic!("{name} case {case}: decode failed: {e}"));
         assert_eq!(back, v, "{name} case {case}: round trip changed the value");
@@ -378,6 +388,8 @@ fn foundation_types_roundtrip() {
 fn consensus_messages_roundtrip() {
     fuzz_type("Ballot", gen_ballot);
     fuzz_type("ConsensusMsg<u64>", |r| gen_cons(r, |r| r.next_u64()));
+    // The instantiation A1 actually puts on the wire: batch-valued Paxos.
+    fuzz_type("ConsensusMsg<MsgBatch>", |r| gen_cons(r, gen_batch));
 }
 
 #[test]
@@ -412,6 +424,19 @@ fn smr_control_plane_roundtrips() {
 #[test]
 fn tcp_frames_roundtrip() {
     fuzz_type("Frame<MulticastMsg>", gen_frame);
+    // The broadcast arm's frame instantiation (A2 over TCP).
+    fuzz_type("Frame<BroadcastMsg>", |r| match r.next_below(3) {
+        0 => Frame::Peer {
+            from: gen_pid(r),
+            msg: gen_bcast(r),
+        },
+        1 => Frame::Cast {
+            seq: r.next_u64(),
+            dest: gen_gset(r),
+            payload: gen_payload(r),
+        },
+        _ => Frame::Shutdown,
+    });
 }
 
 #[test]

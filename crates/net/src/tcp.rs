@@ -18,6 +18,12 @@
 //! * Framing is a `u32` little-endian length prefix (bounded by
 //!   [`MAX_FRAME`]) around an enveloped [`Frame`]; see
 //!   [`wamcast_types::wire`] for the envelope.
+//! * **Encode-once fan-out:** a peer frame's bytes name the sender, never
+//!   the destination, so the event loop encodes each outbound frame
+//!   exactly once (into a pooled scratch buffer) and every writer link —
+//!   and every adversary-duplicated copy — shares the same `Arc<[u8]>`.
+//!   Connection readers likewise decode from one pooled buffer per
+//!   connection ([`read_frame_into`]).
 //! * **Reconnect-on-reset:** outbound links redial on demand. Frames that
 //!   race a down link are *dropped*, exactly like a lossy UDP link — the
 //!   protocols' retransmission modes (`with_retry`) are what make the
@@ -62,6 +68,12 @@ const DIAL_TIMEOUT: Duration = Duration::from_millis(300);
 
 /// Poll interval at which blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(200);
+
+/// Soft cap on one coalesced write: a writer drains its link queue into a
+/// single syscall up to roughly this many bytes. Individual frames larger
+/// than the cap still go out (alone); the cap only stops the batch from
+/// growing further.
+const COALESCE_BYTES: usize = 64 * 1024;
 
 /// Everything that crosses a socket, peer-to-peer or client-to-peer.
 ///
@@ -161,6 +173,8 @@ impl<M: Wire> Wire for Frame<M> {
             2 => Ok(Frame::CastAck {
                 id: MessageId::decode(r)?,
             }),
+            // The borrowed slice is the pooled read buffer; `to_vec` is the
+            // single borrow-to-owned conversion the decoded frame keeps.
             3 => Ok(Frame::Req {
                 body: r.bytes()?.to_vec(),
             }),
@@ -208,6 +222,16 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
 /// Reads one length-prefixed frame, rejecting oversize claims before
 /// allocating.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    read_frame_into(r, &mut body)?;
+    Ok(body)
+}
+
+/// [`read_frame`] into a caller-owned buffer: clears `buf` and fills it
+/// with the frame body. A connection reader looping over one buffer pays
+/// one allocation for the largest frame it ever sees instead of one per
+/// frame. Oversize claims are rejected before the buffer grows.
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<()> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len);
@@ -217,9 +241,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds cap {MAX_FRAME}"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)
 }
 
 /// The A-Deliver log a node appends to and a host snapshots.
@@ -358,7 +382,10 @@ where
     // and redialing after resets. A frame that races a down link is
     // dropped (the retransmission layer recovers), mirroring loss — not
     // buffered forever, which would reorder recovery unboundedly.
-    let mut links: Vec<Option<SyncSender<Vec<u8>>>> = Vec::with_capacity(addrs.len());
+    // Frames travel as `Arc<[u8]>`: the event loop encodes each outbound
+    // frame exactly once and every link (and every duplicate copy) shares
+    // the same bytes by refcount.
+    let mut links: Vec<Option<SyncSender<Arc<[u8]>>>> = Vec::with_capacity(addrs.len());
     for (i, addr) in addrs.iter().enumerate() {
         if i == me.index() {
             links.push(None);
@@ -366,10 +393,16 @@ where
         }
         let addr = *addr;
         let stop = Arc::clone(&stop_flag);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(4096);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Arc<[u8]>>(4096);
         links.push(Some(tx));
         handles.push(std::thread::spawn(move || {
             let mut stream: Option<TcpStream> = None;
+            // Coalescing buffer: everything queued on the link when the
+            // writer wakes goes out in ONE write syscall (bounded, so one
+            // slow drain cannot grow it unboundedly). Under load this
+            // collapses the two-syscalls-per-frame pattern into a
+            // fraction of a syscall per frame.
+            let mut wbuf: Vec<u8> = Vec::new();
             loop {
                 let frame = match rx.recv_timeout(POLL) {
                     Ok(f) => f,
@@ -381,6 +414,25 @@ where
                     }
                     Err(RecvTimeoutError::Disconnected) => return,
                 };
+                // Oversize frames are unsendable (the receiver rejects
+                // them); skipping preserves write_frame's drop semantics.
+                let append = |wbuf: &mut Vec<u8>, f: &[u8]| {
+                    if f.len() <= MAX_FRAME as usize {
+                        wbuf.extend_from_slice(&(f.len() as u32).to_le_bytes());
+                        wbuf.extend_from_slice(f);
+                    }
+                };
+                wbuf.clear();
+                append(&mut wbuf, &frame);
+                while wbuf.len() < COALESCE_BYTES {
+                    match rx.try_recv() {
+                        Ok(f) => append(&mut wbuf, &f),
+                        Err(_) => break,
+                    }
+                }
+                if wbuf.is_empty() {
+                    continue;
+                }
                 if stream.is_none() {
                     stream = TcpStream::connect_timeout(&addr, DIAL_TIMEOUT)
                         .and_then(|s| {
@@ -390,10 +442,10 @@ where
                         .ok();
                 }
                 let Some(s) = stream.as_mut() else {
-                    continue; // link down: drop the frame
+                    continue; // link down: drop the batch
                 };
-                if write_frame(s, &frame).is_err() {
-                    // Reset mid-write: drop this frame, redial on the next.
+                if s.write_all(&wbuf).and_then(|()| s.flush()).is_err() {
+                    // Reset mid-write: drop this batch, redial on the next.
                     stream = None;
                 }
             }
@@ -457,7 +509,7 @@ where
 
 /// Handles one inbound connection (peer or client) until EOF or shutdown.
 fn read_connection<M: Wire + Send + 'static>(
-    mut conn: TcpStream,
+    conn: TcpStream,
     me: ProcessId,
     arm: u8,
     stop: Arc<AtomicBool>,
@@ -471,12 +523,20 @@ fn read_connection<M: Wire + Send + 'static>(
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // Pooled per-connection buffers: one read buffer every inbound frame
+    // lands in, one write buffer every reply (ack/rep) is sealed into —
+    // steady-state, this reader allocates only what decoded values own.
+    // The BufReader turns the two-reads-per-frame pattern (length, body)
+    // into memcpys from one page-sized socket read.
+    let mut conn = io::BufReader::with_capacity(64 * 1024, conn);
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let bytes = match read_frame(&mut conn) {
-            Ok(b) => b,
+        match read_frame_into(&mut conn, &mut rbuf) {
+            Ok(()) => {}
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -484,7 +544,7 @@ fn read_connection<M: Wire + Send + 'static>(
             }
             Err(_) => return, // EOF or reset: the dialer reconnects if it cares
         };
-        let frame = match wire::open::<Frame<M>>(arm, &bytes) {
+        let frame = match wire::open::<Frame<M>>(arm, &rbuf) {
             Ok(f) => f,
             // Wrong version/arm/garbage: drop the frame, keep the
             // connection — a self-stabilizing receiver never crashes on
@@ -501,8 +561,9 @@ fn read_connection<M: Wire + Send + 'static>(
                 // ack is just confirmation), then inject exactly once even
                 // if a client retries the frame.
                 let ack: Frame<M> = Frame::CastAck { id };
+                wire::seal_into(arm, &ack, &mut wbuf);
                 if let Ok(mut w) = write_half.lock() {
-                    let _ = write_frame(&mut *w, &wire::seal(arm, &ack));
+                    let _ = write_frame(&mut *w, &wbuf);
                 }
                 let fresh = injected.lock().map(|mut s| s.insert(seq)).unwrap_or(false);
                 if fresh {
@@ -513,8 +574,9 @@ fn read_connection<M: Wire + Send + 'static>(
                 let rep: Frame<M> = Frame::Rep {
                     body: service(&body),
                 };
+                wire::seal_into(arm, &rep, &mut wbuf);
                 if let Ok(mut w) = write_half.lock() {
-                    let _ = write_frame(&mut *w, &wire::seal(arm, &rep));
+                    let _ = write_frame(&mut *w, &wbuf);
                 }
             }
             Frame::CrashNotify { of } => {
@@ -537,7 +599,7 @@ fn event_loop<P>(
     mut proto: P,
     topo: Arc<Topology>,
     rx: Receiver<LoopEv<P::Msg>>,
-    links: Vec<Option<SyncSender<Vec<u8>>>>,
+    links: Vec<Option<SyncSender<Arc<[u8]>>>>,
     delivered: SharedDeliveries,
     faults: Option<Arc<WallFaults>>,
     trace: Option<SharedTrace>,
@@ -613,7 +675,12 @@ fn event_loop<P>(
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     // Self-sends loop straight back into our own queue (no socket), via a
     // private channel pair spliced below through `pending_self`.
-    let mut pending_self: Vec<MsgSlot<P::Msg>> = Vec::new();
+    let mut pending_self: std::collections::VecDeque<MsgSlot<P::Msg>> =
+        std::collections::VecDeque::new();
+    // Scratch buffer every outbound frame is encoded into (then copied
+    // once into its shared `Arc<[u8]>`): the encode allocation is paid
+    // once per event loop, not once per frame.
+    let mut enc_buf: Vec<u8> = Vec::new();
 
     macro_rules! step {
         ($f:expr) => {{
@@ -627,7 +694,14 @@ fn event_loop<P>(
             ($f)(&mut proto, &ctx, &mut out);
             // The fate is drawn per copy at the shared choke point, exactly
             // as the in-process runtime's channel sends do.
-            let mut ship = |to: ProcessId, msg: MsgSlot<P::Msg>| {
+            //
+            // `frame` is the encode-once slot for the action being shipped:
+            // the frame bytes carry `me`, not the destination, so one
+            // encoding serves every destination of a `SendMany` (and every
+            // duplicated copy). It is built lazily on the first remote
+            // destination — an action whose copies are all dropped or
+            // self-addressed never encodes at all.
+            let mut ship = |to: ProcessId, msg: MsgSlot<P::Msg>, frame: &mut Option<Arc<[u8]>>| {
                 // Record before the fault fate, mirroring the simulator:
                 // the copy *was* sent even if the adversary eats it.
                 match &msg {
@@ -652,12 +726,12 @@ fn event_loop<P>(
                 }
                 if to == me {
                     for _ in 0..copies {
-                        pending_self.push(msg.clone());
+                        pending_self.push_back(msg.clone());
                     }
                     return;
                 }
-                let frame = {
-                    let mut w = WireWriter::new();
+                if frame.is_none() {
+                    let mut w = WireWriter::over(std::mem::take(&mut enc_buf));
                     w.raw(&wire::MAGIC);
                     w.u8(wire::VERSION);
                     w.u8(arm);
@@ -667,11 +741,13 @@ fn event_loop<P>(
                         MsgSlot::Owned(m) => m.encode(&mut w),
                         MsgSlot::Shared(m) => m.encode(&mut w),
                     }
-                    w.finish()
-                };
+                    enc_buf = w.finish();
+                    *frame = Some(Arc::from(enc_buf.as_slice()));
+                }
+                let bytes = frame.as_ref().expect("just built");
                 if let Some(link) = &links[to.index()] {
                     for _ in 0..copies {
-                        match link.try_send(frame.clone()) {
+                        match link.try_send(Arc::clone(bytes)) {
                             Ok(()) | Err(TrySendError::Full(_)) => {} // full = drop
                             Err(TrySendError::Disconnected(_)) => {}
                         }
@@ -680,10 +756,11 @@ fn event_loop<P>(
             };
             for action in out.drain() {
                 match action {
-                    Action::Send { to, msg } => ship(to, MsgSlot::Owned(msg)),
+                    Action::Send { to, msg } => ship(to, MsgSlot::Owned(msg), &mut None),
                     Action::SendMany { tos, msg } => {
+                        let mut frame = None;
                         for &to in &tos {
-                            ship(to, MsgSlot::Shared(Arc::clone(&msg)));
+                            ship(to, MsgSlot::Shared(Arc::clone(&msg)), &mut frame);
                         }
                     }
                     Action::Deliver(m) => {
@@ -703,8 +780,8 @@ fn event_loop<P>(
 
     loop {
         // Drain self-sends queued by the last step before anything else.
-        while !pending_self.is_empty() {
-            let m = pending_self.remove(0).take();
+        while let Some(slot) = pending_self.pop_front() {
+            let m = slot.take();
             record_msg(&m, false, me);
             let mut slot = Some(m);
             step!(|p: &mut P, c: &Context, o: &mut Outbox<P::Msg>| {
@@ -803,12 +880,13 @@ impl TcpClient {
         let res = (|| {
             let s = self.ensure()?;
             write_frame(s, &wire::seal(arm, &out))?;
+            let mut rbuf = Vec::new();
             loop {
                 if Instant::now() > deadline {
                     return Err(io::Error::new(io::ErrorKind::TimedOut, "reply timeout"));
                 }
-                let bytes = read_frame(s)?;
-                match wire::open::<Frame<NoMsg>>(arm, &bytes) {
+                read_frame_into(s, &mut rbuf)?;
+                match wire::open::<Frame<NoMsg>>(arm, &rbuf) {
                     Ok(f @ (Frame::CastAck { .. } | Frame::Rep { .. })) => return Ok(f),
                     Ok(_) | Err(_) => continue, // not for us; keep waiting
                 }

@@ -1,7 +1,7 @@
 //! Non-uniform reliable multicast: deliver on first receipt.
 
 use crate::{RmcastMsg, RmcastOut};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use wamcast_types::{AppMessage, FxHashMap, FxHashSet, MessageId, ProcessId, Topology};
 
 /// Non-uniform reliable multicast engine (§2.2).
@@ -57,16 +57,24 @@ pub struct RmcastEngine {
     ack_mode: bool,
     /// Per message: the copy plus the recipients that have not acked yet.
     /// Only populated in ack mode, by this process's own sends (origin
-    /// casts and crash relays).
-    outstanding: BTreeMap<MessageId, (AppMessage, BTreeSet<ProcessId>)>,
+    /// casts and crash relays). Hash-keyed with a small inner `Vec` — the
+    /// per-ack bookkeeping is the hot path; the only *ordered* consumer is
+    /// the (rare, timer-driven) [`tick`](Self::tick), which sorts its own
+    /// snapshot instead.
+    outstanding: FxHashMap<MessageId, (AppMessage, Vec<ProcessId>)>,
     /// Per-process secondary index over `outstanding`: debtor → messages
     /// it still owes an ack for. A crash notification used to `retain`
     /// over *every* outstanding entry; with the index it touches exactly
-    /// the crashed process's debts.
-    debtors: BTreeMap<ProcessId, BTreeSet<MessageId>>,
+    /// the crashed process's debts. Unordered: its walk only *removes*
+    /// state, never emits.
+    debtors: FxHashMap<ProcessId, FxHashSet<MessageId>>,
     /// Processes reported crashed: never tracked as ack debtors (a send to
     /// one *after* its crash notification must not wait forever).
     crashed: BTreeSet<ProcessId>,
+    /// Reusable scratch for fan-out recipient lists: taken, filled,
+    /// cleared and put back per cast, so steady-state casts allocate
+    /// nothing for the recipient walk.
+    recips_buf: Vec<ProcessId>,
 }
 
 impl RmcastEngine {
@@ -78,9 +86,10 @@ impl RmcastEngine {
             by_origin: FxHashMap::default(),
             relayed: FxHashSet::default(),
             ack_mode: false,
-            outstanding: BTreeMap::new(),
-            debtors: BTreeMap::new(),
+            outstanding: FxHashMap::default(),
+            debtors: FxHashMap::default(),
             crashed: BTreeSet::new(),
+            recips_buf: Vec::new(),
         }
     }
 
@@ -107,8 +116,16 @@ impl RmcastEngine {
     /// Re-sends every unacked copy. Call from the embedding protocol's
     /// retransmission timer; a no-op outside ack mode.
     pub fn tick(&mut self, out: &mut RmcastOut) {
-        for (m, waiting) in self.outstanding.values() {
-            for &q in waiting {
+        // The tracking maps are unordered; the re-send schedule must not
+        // be. Sort a snapshot into the order the ordered maps used to give:
+        // ascending message id, then ascending recipient.
+        let mut ids: Vec<MessageId> = self.outstanding.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (m, waiting) = &self.outstanding[&id];
+            let mut rs: Vec<ProcessId> = waiting.clone();
+            rs.sort_unstable();
+            for q in rs {
                 out.sends.push((q, RmcastMsg::Data(m.clone())));
             }
         }
@@ -126,7 +143,9 @@ impl RmcastEngine {
         };
         for id in owed {
             if let Some((_, waiting)) = self.outstanding.get_mut(&id) {
-                waiting.remove(&crashed);
+                if let Some(i) = waiting.iter().position(|&q| q == crashed) {
+                    waiting.swap_remove(i);
+                }
                 if waiting.is_empty() {
                     self.outstanding.remove(&id);
                 }
@@ -134,16 +153,17 @@ impl RmcastEngine {
         }
     }
 
-    fn track(&mut self, m: &AppMessage, recipients: impl IntoIterator<Item = ProcessId>) {
+    fn track(&mut self, m: &AppMessage, recipients: &[ProcessId]) {
         if !self.ack_mode {
             return;
         }
         let entry = self
             .outstanding
             .entry(m.id)
-            .or_insert_with(|| (m.clone(), BTreeSet::new()));
-        for q in recipients {
-            if !self.crashed.contains(&q) && entry.1.insert(q) {
+            .or_insert_with(|| (m.clone(), Vec::new()));
+        for &q in recipients {
+            if !self.crashed.contains(&q) && !entry.1.contains(&q) {
+                entry.1.push(q);
                 self.debtors.entry(q).or_default().insert(m.id);
             }
         }
@@ -159,14 +179,14 @@ impl RmcastEngine {
         if !self.seen.insert(m.id) {
             return; // duplicate R-MCast of the same id
         }
-        let recipients: Vec<ProcessId> = topo
-            .processes_in(m.dest)
-            .filter(|&q| q != self.me)
-            .collect();
+        let mut recipients = std::mem::take(&mut self.recips_buf);
+        recipients.extend(topo.processes_in(m.dest).filter(|&q| q != self.me));
         for &q in &recipients {
             out.sends.push((q, RmcastMsg::Data(m.clone())));
         }
-        self.track(&m, recipients);
+        self.track(&m, &recipients);
+        recipients.clear();
+        self.recips_buf = recipients;
         if topo.addresses(m.dest, self.me) {
             self.record_delivery(&m);
             out.delivered.push(m);
@@ -192,7 +212,8 @@ impl RmcastEngine {
             }
             RmcastMsg::Ack(id) => {
                 if let Some((_, waiting)) = self.outstanding.get_mut(&id) {
-                    if waiting.remove(&from) {
+                    if let Some(i) = waiting.iter().position(|&q| q == from) {
+                        waiting.swap_remove(i);
                         if let Some(owed) = self.debtors.get_mut(&from) {
                             owed.remove(&id);
                             if owed.is_empty() {
@@ -250,16 +271,19 @@ impl RmcastEngine {
             if !self.relayed.insert(m.id) {
                 continue;
             }
-            let recipients: Vec<ProcessId> = topo
-                .processes_in(m.dest)
-                .filter(|&q| q != self.me && q != crashed)
-                .collect();
+            let mut recipients = std::mem::take(&mut self.recips_buf);
+            recipients.extend(
+                topo.processes_in(m.dest)
+                    .filter(|&q| q != self.me && q != crashed),
+            );
             for &q in &recipients {
                 out.sends.push((q, RmcastMsg::Data(m.clone())));
             }
             // Relays are retransmitted too: under loss, the relayer is the
             // only remaining source of a crashed origin's message.
-            self.track(&m, recipients);
+            self.track(&m, &recipients);
+            recipients.clear();
+            self.recips_buf = recipients;
         }
     }
 

@@ -45,6 +45,16 @@ impl Payload {
         Payload(Repr::Static(bytes))
     }
 
+    /// A payload copying `bytes` straight into its reference-counted
+    /// buffer — exactly one allocation and one copy. `From<Vec<u8>>` on a
+    /// borrowed slice would cost two (slice → `Vec`, `Vec` → `Arc<[u8]>`,
+    /// whose lengths differ from the capacity in general); the wire
+    /// decoder reads borrowed frame bytes, so this is its decode path.
+    #[inline]
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload(Repr::Owned(Arc::from(bytes)))
+    }
+
     /// The payload bytes.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {

@@ -151,6 +151,17 @@ impl WireWriter {
         }
     }
 
+    /// A writer over a caller-owned buffer: clears `buf` (keeping its
+    /// capacity) and appends into it. With [`Self::finish`] handing the
+    /// buffer back, a hot loop encodes every frame into one allocation
+    /// instead of one per frame — see [`seal_into`] for the pooled-envelope
+    /// form. The encoding is byte-identical to a fresh writer's: clearing
+    /// resets the length, and stale capacity is never observable.
+    pub fn over(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter { buf }
+    }
+
     /// Appends one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -391,6 +402,29 @@ pub fn seal<M: Wire>(arm: u8, msg: &M) -> Vec<u8> {
     w.finish()
 }
 
+/// [`seal`] into a caller-owned buffer: clears `buf` (keeping its capacity)
+/// and writes `magic, version, arm-id, body` into it. The bytes produced
+/// are identical to `seal(arm, msg)` — same writer, same write sequence —
+/// so a pooled buffer can replace a fresh allocation anywhere without
+/// changing what goes on the wire; the differential fuzz suite pins this.
+///
+/// # Example
+///
+/// ```
+/// use wamcast_types::wire::{seal, seal_into};
+/// let mut buf = vec![0xAA; 64]; // dirty, oversized — contents don't leak
+/// seal_into(4, &7u64, &mut buf);
+/// assert_eq!(buf, seal(4, &7u64));
+/// ```
+pub fn seal_into<M: Wire>(arm: u8, msg: &M, buf: &mut Vec<u8>) {
+    let mut w = WireWriter::over(std::mem::take(buf));
+    w.raw(&MAGIC);
+    w.u8(VERSION);
+    w.u8(arm);
+    msg.encode(&mut w);
+    *buf = w.finish();
+}
+
 /// Validates the envelope header and returns the arm id, leaving the body
 /// unread. Used by hosts that must dispatch before decoding.
 pub fn peek_arm(bytes: &[u8]) -> Result<u8, WireError> {
@@ -497,7 +531,9 @@ impl Wire for Payload {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Payload::from(r.bytes()?.to_vec()))
+        // One copy, borrowed slice straight into the refcounted buffer —
+        // `from(to_vec())` would copy twice (slice → Vec → Arc<[u8]>).
+        Ok(Payload::copy_from_slice(r.bytes()?))
     }
 }
 
@@ -706,6 +742,37 @@ mod tests {
         );
 
         assert_eq!(peek_arm(&dgram[..3]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_reuses_capacity() {
+        let m = sample_msg();
+        let fresh = seal(2, &m);
+        // Dirty, oversized buffer: contents must not leak into the frame.
+        let mut buf = vec![0xAA; 256];
+        seal_into(2, &m, &mut buf);
+        assert_eq!(buf, fresh);
+        let cap = buf.capacity();
+        seal_into(2, &m, &mut buf);
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+        assert_eq!(open::<AppMessage>(2, &buf).unwrap(), m);
+    }
+
+    #[test]
+    fn writer_over_clears_and_keeps_capacity() {
+        let mut w = WireWriter::over(vec![1, 2, 3]);
+        assert!(w.is_empty());
+        w.u8(9);
+        assert_eq!(w.finish(), vec![9]);
+    }
+
+    #[test]
+    fn payload_decode_is_single_copy_equivalent() {
+        let p = Payload::from(b"wire bytes".to_vec());
+        let enc = p.to_wire();
+        assert_eq!(Payload::from_wire(&enc).unwrap(), p);
+        assert_eq!(Payload::copy_from_slice(b"wire bytes"), p);
     }
 
     #[test]
